@@ -1,0 +1,197 @@
+// Command husgraph runs one graph algorithm on one dataset with a chosen
+// engine, update model and device profile, printing per-iteration traces
+// and totals.
+//
+// Usage:
+//
+//	husgraph -dataset twitter-sim -algo BFS [-system hus|graphchi|gridgraph|xstream]
+//	         [-model hybrid|rop|cop] [-device hdd|ssd|nvme|ram] [-threads N] [-p P]
+//	         [-trace] [-input edges.txt] [-store DIR]
+//
+// With -input, a whitespace edge list ("src dst [weight]" per line) is
+// processed instead of a registry dataset. With -store, the dual-block
+// representation is kept in real files under DIR instead of memory.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"husgraph/internal/blockstore"
+	"husgraph/internal/core"
+	"husgraph/internal/experiments"
+	"husgraph/internal/gen"
+	"husgraph/internal/graph"
+	"husgraph/internal/report"
+	"husgraph/internal/storage"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "husgraph: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	dataset := flag.String("dataset", "livejournal-sim", "registry dataset name (see husgen -list)")
+	input := flag.String("input", "", "edge-list file to load instead of a registry dataset")
+	algoName := flag.String("algo", "PageRank", "algorithm: PageRank|BFS|WCC|SSSP|PageRank-Delta|KCore|PPR")
+	system := flag.String("system", "hus", "engine: hus|graphchi|gridgraph|xstream")
+	modelName := flag.String("model", "hybrid", "update model for hus: hybrid|rop|cop")
+	deviceName := flag.String("device", "hdd", "device profile: hdd|ssd|nvme|ram")
+	threads := flag.Int("threads", 0, "worker threads (0 = GOMAXPROCS)")
+	p := flag.Int("p", 8, "partition count")
+	memBudget := flag.Int64("membudget", 0, "if > 0, choose P so one block's working set fits this many bytes (paper §3.2)")
+	trace := flag.Bool("trace", false, "print per-iteration statistics")
+	storeDir := flag.String("store", "", "keep the dual-block store in real files under this directory")
+	formatName := flag.String("format", "raw", "block record format: raw|compressed")
+	valuesOut := flag.String("valuesout", "", "write final vertex values to this file (one 'vertex value' line each)")
+	flag.Parse()
+
+	prof, err := storage.ProfileByName(*deviceName)
+	if err != nil {
+		return err
+	}
+	algo, err := experiments.AlgoByName(*algoName)
+	if err != nil {
+		return err
+	}
+
+	var g *graph.Graph
+	if *input != "" {
+		f, err := os.Open(*input)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if g, err = graph.ReadEdgeList(f, 0); err != nil {
+			return err
+		}
+		fmt.Printf("loaded %s: %d vertices, %d edges\n", *input, g.NumVertices, g.NumEdges())
+	} else {
+		d, err := gen.ByName(*dataset)
+		if err != nil {
+			return err
+		}
+		g = d.Build()
+		fmt.Printf("generated %s: %d vertices, %d edges\n", d.Name, g.NumVertices, g.NumEdges())
+	}
+
+	var res *core.Result
+	sysName := *system
+	start := time.Now()
+	if sysName == "hus" {
+		model, err := core.ParseModel(*modelName)
+		if err != nil {
+			return err
+		}
+		input := g
+		if algo.Symmetric {
+			input = g.Symmetrize()
+		}
+		var st storage.Store
+		dev := storage.NewDevice(prof)
+		if *storeDir != "" {
+			if st, err = storage.NewFileStore(dev, *storeDir); err != nil {
+				return err
+			}
+		} else {
+			st = storage.NewMemStore(dev)
+		}
+		format, err := blockstore.ParseFormat(*formatName)
+		if err != nil {
+			return err
+		}
+		partitions := *p
+		if *memBudget > 0 {
+			partitions = blockstore.ChooseP(input.NumVertices, int64(input.NumEdges()), algo.Weighted, *memBudget)
+			fmt.Printf("memory budget %d B -> P = %d\n", *memBudget, partitions)
+		}
+		ds, err := blockstore.BuildOpts(st, input, blockstore.Options{P: partitions, Format: format, Weighted: algo.Weighted})
+		if err != nil {
+			return err
+		}
+		dev.Reset() // exclude preprocessing from the run accounting
+		eng := core.New(ds, core.Config{Model: model, Threads: *threads, MaxIters: algo.MaxIters})
+		if res, err = eng.Run(algo.New(g)); err != nil {
+			return err
+		}
+	} else {
+		r := experiments.NewRunner(experiments.Options{Threads: *threads, P: *p})
+		var full string
+		switch sysName {
+		case "graphchi":
+			full = "GraphChi"
+		case "gridgraph":
+			full = "GridGraph"
+		case "xstream":
+			full = "X-Stream"
+		default:
+			return fmt.Errorf("unknown system %q (want hus|graphchi|gridgraph|xstream)", sysName)
+		}
+		if *input != "" {
+			return fmt.Errorf("-input currently supports -system hus only")
+		}
+		d, err := gen.ByName(*dataset)
+		if err != nil {
+			return err
+		}
+		if res, err = r.RunBaseline(full, d, algo, prof, *threads); err != nil {
+			return err
+		}
+	}
+	wall := time.Since(start)
+
+	if *trace {
+		t := report.NewTable("per-iteration trace",
+			"iter", "model", "active V", "active E", "I/O MB", "I/O time", "compute", "runtime")
+		for _, it := range res.Iterations {
+			t.AddRow(
+				fmt.Sprintf("%d", it.Iter+1),
+				it.Model.String(),
+				fmt.Sprintf("%d", it.ActiveVertices),
+				fmt.Sprintf("%d", it.ActiveEdges),
+				report.MB(it.IO.TotalBytes()),
+				it.IOTime.Round(time.Microsecond).String(),
+				it.ComputeModeled.Round(time.Microsecond).String(),
+				it.Runtime.Round(time.Microsecond).String(),
+			)
+		}
+		if err := t.Render(os.Stdout); err != nil {
+			return err
+		}
+		fmt.Println()
+	}
+
+	if *valuesOut != "" {
+		f, err := os.Create(*valuesOut)
+		if err != nil {
+			return err
+		}
+		w := bufio.NewWriter(f)
+		for v, val := range res.Values {
+			fmt.Fprintf(w, "%d %g\n", v, val)
+		}
+		if err := w.Flush(); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %d values to %s\n", len(res.Values), *valuesOut)
+	}
+
+	rop, cop := res.ModelCounts()
+	fmt.Printf("%s / %s on %s (%s)\n", *algoName, sysName, *dataset, prof.Name)
+	fmt.Printf("  iterations:     %d (converged: %v; %d ROP, %d COP)\n", res.NumIterations(), res.Converged, rop, cop)
+	fmt.Printf("  modeled runtime:  %v (I/O %v, compute %v)\n",
+		res.TotalRuntime().Round(time.Microsecond), res.TotalIOTime().Round(time.Microsecond), res.TotalComputeModeled().Round(time.Microsecond))
+	fmt.Printf("  I/O amount:     %s MB (%s)\n", report.MB(res.TotalIO().TotalBytes()), res.TotalIO())
+	fmt.Printf("  wall time:      %v\n", wall.Round(time.Millisecond))
+	return nil
+}

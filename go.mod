@@ -1,0 +1,3 @@
+module husgraph
+
+go 1.22

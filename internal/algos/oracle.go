@@ -1,0 +1,164 @@
+package algos
+
+import (
+	"container/heap"
+	"math"
+
+	"husgraph/internal/graph"
+)
+
+// This file holds serial in-memory reference implementations used as test
+// oracles for the out-of-core engine and the baselines.
+
+// OracleBFS returns hop distances from src (+Inf when unreachable).
+func OracleBFS(g *graph.Graph, src graph.VertexID) []float64 {
+	csr := graph.BuildOutCSR(g)
+	dist := make([]float64, g.NumVertices)
+	for i := range dist {
+		dist[i] = Unreached
+	}
+	dist[src] = 0
+	queue := make([]graph.VertexID, 0, 64)
+	queue = append(queue, src)
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, u := range csr.Neighbors(v) {
+			if math.IsInf(dist[u], 1) {
+				dist[u] = dist[v] + 1
+				queue = append(queue, u)
+			}
+		}
+	}
+	return dist
+}
+
+// distHeap is a binary heap for Dijkstra.
+type distHeap struct {
+	v []graph.VertexID
+	d []float64
+}
+
+func (h *distHeap) Len() int           { return len(h.v) }
+func (h *distHeap) Less(i, j int) bool { return h.d[i] < h.d[j] }
+func (h *distHeap) Swap(i, j int) {
+	h.v[i], h.v[j] = h.v[j], h.v[i]
+	h.d[i], h.d[j] = h.d[j], h.d[i]
+}
+func (h *distHeap) Push(x any) {
+	p := x.([2]float64)
+	h.v = append(h.v, graph.VertexID(p[0]))
+	h.d = append(h.d, p[1])
+}
+func (h *distHeap) Pop() any {
+	n := len(h.v) - 1
+	p := [2]float64{float64(h.v[n]), h.d[n]}
+	h.v, h.d = h.v[:n], h.d[:n]
+	return p
+}
+
+// OracleSSSP returns shortest-path distances from src via Dijkstra
+// (weights must be non-negative).
+func OracleSSSP(g *graph.Graph, src graph.VertexID) []float64 {
+	csr := graph.BuildOutCSR(g)
+	dist := make([]float64, g.NumVertices)
+	for i := range dist {
+		dist[i] = Unreached
+	}
+	dist[src] = 0
+	h := &distHeap{}
+	heap.Push(h, [2]float64{float64(src), 0})
+	for h.Len() > 0 {
+		p := heap.Pop(h).([2]float64)
+		v, d := graph.VertexID(p[0]), p[1]
+		if d > dist[v] {
+			continue
+		}
+		ns, ws := csr.Neighbors(v), csr.NeighborWeights(v)
+		for i, u := range ns {
+			nd := d + float64(ws[i])
+			if nd < dist[u] {
+				dist[u] = nd
+				heap.Push(h, [2]float64{float64(u), nd})
+			}
+		}
+	}
+	return dist
+}
+
+// OracleWCC returns, for each vertex, the smallest vertex ID in its weakly
+// connected component (union-find over edges, ignoring direction).
+func OracleWCC(g *graph.Graph) []float64 {
+	parent := make([]int, g.NumVertices)
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	union := func(a, b int) {
+		ra, rb := find(a), find(b)
+		if ra != rb {
+			// Keep the smaller root: labels converge to component minima.
+			if ra < rb {
+				parent[rb] = ra
+			} else {
+				parent[ra] = rb
+			}
+		}
+	}
+	for _, e := range g.Edges {
+		union(int(e.Src), int(e.Dst))
+	}
+	out := make([]float64, g.NumVertices)
+	for v := range out {
+		out[v] = float64(find(v))
+	}
+	return out
+}
+
+// OraclePageRank returns normalized PageRank values via synchronous power
+// iteration until the L∞ change falls below tol (or maxIters).
+func OraclePageRank(g *graph.Graph, tol float64, maxIters int) []float64 {
+	n := g.NumVertices
+	in := graph.BuildInCSR(g)
+	outDeg := g.OutDegrees()
+	r := make([]float64, n)
+	next := make([]float64, n)
+	for i := range r {
+		r[i] = 1 / float64(n)
+	}
+	base := (1 - PageRankDamping) / float64(n)
+	for iter := 0; iter < maxIters; iter++ {
+		maxDelta := 0.0
+		for v := 0; v < n; v++ {
+			acc := 0.0
+			for _, u := range in.Neighbors(graph.VertexID(v)) {
+				acc += r[u] / float64(outDeg[u])
+			}
+			next[v] = base + PageRankDamping*acc
+			if d := math.Abs(next[v] - r[v]); d > maxDelta {
+				maxDelta = d
+			}
+		}
+		r, next = next, r
+		if maxDelta < tol {
+			break
+		}
+	}
+	return r
+}
+
+// ComponentSizes groups WCC labels into component sizes keyed by label.
+func ComponentSizes(labels []float64) map[int]int {
+	sizes := map[int]int{}
+	for _, l := range labels {
+		sizes[int(l)]++
+	}
+	return sizes
+}

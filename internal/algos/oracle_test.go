@@ -1,0 +1,111 @@
+package algos
+
+import (
+	"math"
+	"testing"
+
+	"husgraph/internal/graph"
+)
+
+func diamond() *graph.Graph {
+	// 0→1→3, 0→2→3 with weights making the 0→2→3 path shorter.
+	g := graph.New(5) // vertex 4 isolated
+	g.AddWeightedEdge(0, 1, 1)
+	g.AddWeightedEdge(1, 3, 10)
+	g.AddWeightedEdge(0, 2, 2)
+	g.AddWeightedEdge(2, 3, 3)
+	return g
+}
+
+func TestOracleBFS(t *testing.T) {
+	g := diamond()
+	d := OracleBFS(g, 0)
+	want := []float64{0, 1, 1, 2, Unreached}
+	for v, w := range want {
+		if d[v] != w {
+			t.Fatalf("dist[%d] = %v, want %v", v, d[v], w)
+		}
+	}
+}
+
+func TestOracleSSSP(t *testing.T) {
+	g := diamond()
+	d := OracleSSSP(g, 0)
+	want := []float64{0, 1, 2, 5, Unreached}
+	for v, w := range want {
+		if d[v] != w {
+			t.Fatalf("dist[%d] = %v, want %v", v, d[v], w)
+		}
+	}
+}
+
+func TestOracleSSSPUnreachable(t *testing.T) {
+	d := OracleSSSP(diamond(), 4)
+	if d[4] != 0 || !math.IsInf(d[0], 1) {
+		t.Fatalf("dist = %v", d)
+	}
+}
+
+func TestOracleWCC(t *testing.T) {
+	g := graph.New(6)
+	g.AddEdge(0, 1)
+	g.AddEdge(2, 1) // 0,1,2 one component (direction ignored)
+	g.AddEdge(4, 5) // 4,5 another
+	labels := OracleWCC(g)
+	want := []float64{0, 0, 0, 3, 4, 4}
+	for v, w := range want {
+		if labels[v] != w {
+			t.Fatalf("label[%d] = %v, want %v", v, labels[v], w)
+		}
+	}
+	sizes := ComponentSizes(labels)
+	if sizes[0] != 3 || sizes[3] != 1 || sizes[4] != 2 {
+		t.Fatalf("sizes = %v", sizes)
+	}
+}
+
+func TestOraclePageRankUniformOnCycle(t *testing.T) {
+	// On a directed cycle every vertex has rank 1/n.
+	g := graph.New(8)
+	for i := 0; i < 8; i++ {
+		g.AddEdge(graph.VertexID(i), graph.VertexID((i+1)%8))
+	}
+	r := OraclePageRank(g, 1e-12, 1000)
+	for v, x := range r {
+		if math.Abs(x-0.125) > 1e-9 {
+			t.Fatalf("rank[%d] = %v", v, x)
+		}
+	}
+}
+
+func TestOraclePageRankSumsToOneWithoutDangling(t *testing.T) {
+	// Cycle plus chords: no dangling vertices, so total rank mass is 1.
+	g := graph.New(10)
+	for i := 0; i < 10; i++ {
+		g.AddEdge(graph.VertexID(i), graph.VertexID((i+1)%10))
+		g.AddEdge(graph.VertexID(i), graph.VertexID((i+3)%10))
+	}
+	r := OraclePageRank(g, 1e-13, 2000)
+	sum := 0.0
+	for _, x := range r {
+		sum += x
+	}
+	if math.Abs(sum-1) > 1e-6 {
+		t.Fatalf("rank sum = %v", sum)
+	}
+}
+
+func TestOraclePageRankPrefersHighInDegree(t *testing.T) {
+	// Star into 0 (with back edges so nothing dangles): 0 outranks leaves.
+	g := graph.New(5)
+	for i := 1; i < 5; i++ {
+		g.AddEdge(graph.VertexID(i), 0)
+		g.AddEdge(0, graph.VertexID(i))
+	}
+	r := OraclePageRank(g, 1e-12, 1000)
+	for i := 1; i < 5; i++ {
+		if r[0] <= r[i] {
+			t.Fatalf("rank[0]=%v not above rank[%d]=%v", r[0], i, r[i])
+		}
+	}
+}

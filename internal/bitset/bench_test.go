@@ -1,0 +1,59 @@
+package bitset
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func BenchmarkAtomicTestAndSet(b *testing.B) {
+	s := New(1 << 20)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.AtomicTestAndSet(i & (1<<20 - 1))
+	}
+}
+
+func BenchmarkBitsetRangeDense(b *testing.B) {
+	s := New(1 << 20)
+	s.SetAll()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		count := 0
+		s.Range(func(int) bool { count++; return true })
+	}
+}
+
+func BenchmarkBitsetCountRange(b *testing.B) {
+	s := New(1 << 20)
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 1<<16; i++ {
+		s.Set(rng.Intn(1 << 20))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.CountRange(1<<18, 3<<18)
+	}
+}
+
+func BenchmarkFrontierAddSparse(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		f := NewFrontier(1 << 20)
+		for v := 0; v < 64; v++ {
+			f.Add(v * 1000)
+		}
+	}
+}
+
+func BenchmarkFrontierContains(b *testing.B) {
+	f := FullFrontier(1 << 20)
+	b.ResetTimer()
+	hits := 0
+	for i := 0; i < b.N; i++ {
+		if f.Contains(i & (1<<20 - 1)) {
+			hits++
+		}
+	}
+	_ = hits
+}

@@ -1,0 +1,303 @@
+// Package bitset provides dense and sparse vertex-set representations used
+// by the HUS-Graph engine to track active vertices.
+//
+// The engine switches between a push model (ROP), which iterates a usually
+// small set of active vertices, and a pull model (COP), which tests
+// membership for every in-neighbor it scans. Frontier supports both access
+// patterns efficiently by keeping a dense bitmap and, while the set is
+// small, a sparse list of members.
+package bitset
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+	"sync/atomic"
+)
+
+const wordBits = 64
+
+// Bitset is a fixed-capacity dense bitmap over vertex IDs [0, n).
+//
+// The zero value is an empty bitset of capacity zero; use New to create one
+// with capacity. Plain methods are not safe for concurrent writers; the
+// Set/TestAndSet variants prefixed with "Atomic" may be used concurrently
+// with each other.
+type Bitset struct {
+	n     int
+	words []uint64
+}
+
+// New returns an empty bitset with capacity for n bits.
+func New(n int) *Bitset {
+	if n < 0 {
+		panic("bitset: negative capacity")
+	}
+	return &Bitset{n: n, words: make([]uint64, (n+wordBits-1)/wordBits)}
+}
+
+// Len returns the bitset capacity in bits.
+func (b *Bitset) Len() int { return b.n }
+
+func (b *Bitset) check(i int) {
+	if i < 0 || i >= b.n {
+		panic(fmt.Sprintf("bitset: index %d out of range [0,%d)", i, b.n))
+	}
+}
+
+// Set sets bit i.
+func (b *Bitset) Set(i int) {
+	b.check(i)
+	b.words[i/wordBits] |= 1 << (uint(i) % wordBits)
+}
+
+// Clear clears bit i.
+func (b *Bitset) Clear(i int) {
+	b.check(i)
+	b.words[i/wordBits] &^= 1 << (uint(i) % wordBits)
+}
+
+// Test reports whether bit i is set.
+func (b *Bitset) Test(i int) bool {
+	b.check(i)
+	return b.words[i/wordBits]&(1<<(uint(i)%wordBits)) != 0
+}
+
+// AtomicSet sets bit i; safe for concurrent use with other Atomic methods.
+func (b *Bitset) AtomicSet(i int) {
+	b.check(i)
+	w := &b.words[i/wordBits]
+	mask := uint64(1) << (uint(i) % wordBits)
+	for {
+		old := atomic.LoadUint64(w)
+		if old&mask != 0 {
+			return
+		}
+		if atomic.CompareAndSwapUint64(w, old, old|mask) {
+			return
+		}
+	}
+}
+
+// AtomicTestAndSet sets bit i and reports whether this call changed it from
+// 0 to 1. Safe for concurrent use with other Atomic methods.
+func (b *Bitset) AtomicTestAndSet(i int) bool {
+	b.check(i)
+	w := &b.words[i/wordBits]
+	mask := uint64(1) << (uint(i) % wordBits)
+	for {
+		old := atomic.LoadUint64(w)
+		if old&mask != 0 {
+			return false
+		}
+		if atomic.CompareAndSwapUint64(w, old, old|mask) {
+			return true
+		}
+	}
+}
+
+// AtomicTest reports whether bit i is set, using an atomic load.
+func (b *Bitset) AtomicTest(i int) bool {
+	b.check(i)
+	return atomic.LoadUint64(&b.words[i/wordBits])&(1<<(uint(i)%wordBits)) != 0
+}
+
+// Count returns the number of set bits.
+func (b *Bitset) Count() int {
+	c := 0
+	for _, w := range b.words {
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
+// CountRange returns the number of set bits in [lo, hi).
+func (b *Bitset) CountRange(lo, hi int) int {
+	if lo < 0 || hi > b.n || lo > hi {
+		panic(fmt.Sprintf("bitset: bad range [%d,%d) for capacity %d", lo, hi, b.n))
+	}
+	c := 0
+	for i := lo; i < hi && i%wordBits != 0; i++ {
+		if b.Test(i) {
+			c++
+		}
+	}
+	start := (lo + wordBits - 1) / wordBits * wordBits
+	if start > hi {
+		return c
+	}
+	for w := start / wordBits; (w+1)*wordBits <= hi; w++ {
+		c += bits.OnesCount64(b.words[w])
+	}
+	for i := hi / wordBits * wordBits; i < hi; i++ {
+		if i >= start && b.Test(i) {
+			c++
+		}
+	}
+	return c
+}
+
+// None reports whether no bits are set.
+func (b *Bitset) None() bool {
+	for _, w := range b.words {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Reset clears every bit.
+func (b *Bitset) Reset() {
+	for i := range b.words {
+		b.words[i] = 0
+	}
+}
+
+// SetAll sets every bit in [0, Len()).
+func (b *Bitset) SetAll() {
+	for i := range b.words {
+		b.words[i] = ^uint64(0)
+	}
+	// Clear the trailing bits beyond n in the last word.
+	if rem := b.n % wordBits; rem != 0 && len(b.words) > 0 {
+		b.words[len(b.words)-1] &= (1 << uint(rem)) - 1
+	}
+}
+
+// Clone returns a deep copy of the bitset.
+func (b *Bitset) Clone() *Bitset {
+	c := New(b.n)
+	copy(c.words, b.words)
+	return c
+}
+
+// CopyFrom overwrites the bitset with the contents of src, which must have
+// the same capacity.
+func (b *Bitset) CopyFrom(src *Bitset) {
+	if b.n != src.n {
+		panic("bitset: CopyFrom capacity mismatch")
+	}
+	copy(b.words, src.words)
+}
+
+// Or sets b to the union b ∪ other. Capacities must match.
+func (b *Bitset) Or(other *Bitset) {
+	if b.n != other.n {
+		panic("bitset: Or capacity mismatch")
+	}
+	for i := range b.words {
+		b.words[i] |= other.words[i]
+	}
+}
+
+// And sets b to the intersection b ∩ other. Capacities must match.
+func (b *Bitset) And(other *Bitset) {
+	if b.n != other.n {
+		panic("bitset: And capacity mismatch")
+	}
+	for i := range b.words {
+		b.words[i] &= other.words[i]
+	}
+}
+
+// AndNot sets b to the difference b \ other. Capacities must match.
+func (b *Bitset) AndNot(other *Bitset) {
+	if b.n != other.n {
+		panic("bitset: AndNot capacity mismatch")
+	}
+	for i := range b.words {
+		b.words[i] &^= other.words[i]
+	}
+}
+
+// Equal reports whether b and other contain exactly the same bits.
+func (b *Bitset) Equal(other *Bitset) bool {
+	if b.n != other.n {
+		return false
+	}
+	for i := range b.words {
+		if b.words[i] != other.words[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// NextSet returns the index of the first set bit at or after i, or -1 if
+// there is none.
+func (b *Bitset) NextSet(i int) int {
+	if i < 0 {
+		i = 0
+	}
+	if i >= b.n {
+		return -1
+	}
+	w := i / wordBits
+	word := b.words[w] >> (uint(i) % wordBits)
+	if word != 0 {
+		return i + bits.TrailingZeros64(word)
+	}
+	for w++; w < len(b.words); w++ {
+		if b.words[w] != 0 {
+			return w*wordBits + bits.TrailingZeros64(b.words[w])
+		}
+	}
+	return -1
+}
+
+// Range calls fn for every set bit in ascending order. If fn returns false
+// the iteration stops.
+func (b *Bitset) Range(fn func(i int) bool) {
+	for w, word := range b.words {
+		for word != 0 {
+			t := bits.TrailingZeros64(word)
+			if !fn(w*wordBits + t) {
+				return
+			}
+			word &^= 1 << uint(t)
+		}
+	}
+}
+
+// RangeIn calls fn for every set bit in [lo, hi) in ascending order.
+func (b *Bitset) RangeIn(lo, hi int, fn func(i int) bool) {
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > b.n {
+		hi = b.n
+	}
+	for i := b.NextSet(lo); i >= 0 && i < hi; i = b.NextSet(i + 1) {
+		if !fn(i) {
+			return
+		}
+	}
+}
+
+// Members returns the set bits in ascending order.
+func (b *Bitset) Members() []int {
+	out := make([]int, 0, b.Count())
+	b.Range(func(i int) bool {
+		out = append(out, i)
+		return true
+	})
+	return out
+}
+
+// String renders the set in {1, 5, 9} form; useful in tests and debugging.
+func (b *Bitset) String() string {
+	var sb strings.Builder
+	sb.WriteByte('{')
+	first := true
+	b.Range(func(i int) bool {
+		if !first {
+			sb.WriteString(", ")
+		}
+		first = false
+		fmt.Fprintf(&sb, "%d", i)
+		return true
+	})
+	sb.WriteByte('}')
+	return sb.String()
+}

@@ -1,0 +1,395 @@
+package bitset
+
+import (
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewEmpty(t *testing.T) {
+	b := New(130)
+	if b.Len() != 130 {
+		t.Fatalf("Len = %d, want 130", b.Len())
+	}
+	if got := b.Count(); got != 0 {
+		t.Fatalf("Count = %d, want 0", got)
+	}
+	if !b.None() {
+		t.Fatal("None() = false on fresh bitset")
+	}
+}
+
+func TestNewNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New(-1) did not panic")
+		}
+	}()
+	New(-1)
+}
+
+func TestSetTestClear(t *testing.T) {
+	b := New(200)
+	for _, i := range []int{0, 1, 63, 64, 65, 127, 128, 199} {
+		if b.Test(i) {
+			t.Fatalf("bit %d set before Set", i)
+		}
+		b.Set(i)
+		if !b.Test(i) {
+			t.Fatalf("bit %d not set after Set", i)
+		}
+		b.Clear(i)
+		if b.Test(i) {
+			t.Fatalf("bit %d still set after Clear", i)
+		}
+	}
+}
+
+func TestOutOfRangePanics(t *testing.T) {
+	b := New(10)
+	for name, fn := range map[string]func(){
+		"Set(10)":   func() { b.Set(10) },
+		"Test(-1)":  func() { b.Test(-1) },
+		"Clear(99)": func() { b.Clear(99) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestCount(t *testing.T) {
+	b := New(300)
+	want := 0
+	for i := 0; i < 300; i += 7 {
+		b.Set(i)
+		want++
+	}
+	if got := b.Count(); got != want {
+		t.Fatalf("Count = %d, want %d", got, want)
+	}
+}
+
+func TestCountRange(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	b := New(517)
+	ref := make([]bool, 517)
+	for i := 0; i < 200; i++ {
+		v := rng.Intn(517)
+		b.Set(v)
+		ref[v] = true
+	}
+	for trial := 0; trial < 100; trial++ {
+		lo := rng.Intn(518)
+		hi := lo + rng.Intn(518-lo)
+		want := 0
+		for i := lo; i < hi; i++ {
+			if ref[i] {
+				want++
+			}
+		}
+		if got := b.CountRange(lo, hi); got != want {
+			t.Fatalf("CountRange(%d,%d) = %d, want %d", lo, hi, got, want)
+		}
+	}
+}
+
+func TestSetAll(t *testing.T) {
+	for _, n := range []int{0, 1, 63, 64, 65, 100, 128} {
+		b := New(n)
+		b.SetAll()
+		if got := b.Count(); got != n {
+			t.Fatalf("n=%d: Count after SetAll = %d", n, got)
+		}
+	}
+}
+
+func TestResetAndNone(t *testing.T) {
+	b := New(77)
+	b.SetAll()
+	b.Reset()
+	if !b.None() {
+		t.Fatal("None() = false after Reset")
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	b := New(70)
+	b.Set(3)
+	c := b.Clone()
+	c.Set(5)
+	if b.Test(5) {
+		t.Fatal("mutating clone affected original")
+	}
+	if !c.Test(3) {
+		t.Fatal("clone lost original bit")
+	}
+}
+
+func TestCopyFrom(t *testing.T) {
+	a, b := New(64), New(64)
+	a.Set(10)
+	b.Set(20)
+	b.CopyFrom(a)
+	if !b.Test(10) || b.Test(20) {
+		t.Fatalf("CopyFrom result wrong: %v", b)
+	}
+}
+
+func TestCopyFromMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("CopyFrom with mismatched capacity did not panic")
+		}
+	}()
+	New(10).CopyFrom(New(20))
+}
+
+func TestBooleanOps(t *testing.T) {
+	a, b := New(128), New(128)
+	a.Set(1)
+	a.Set(2)
+	b.Set(2)
+	b.Set(3)
+
+	u := a.Clone()
+	u.Or(b)
+	if got := u.Members(); !reflect.DeepEqual(got, []int{1, 2, 3}) {
+		t.Fatalf("Or = %v", got)
+	}
+
+	i := a.Clone()
+	i.And(b)
+	if got := i.Members(); !reflect.DeepEqual(got, []int{2}) {
+		t.Fatalf("And = %v", got)
+	}
+
+	d := a.Clone()
+	d.AndNot(b)
+	if got := d.Members(); !reflect.DeepEqual(got, []int{1}) {
+		t.Fatalf("AndNot = %v", got)
+	}
+}
+
+func TestEqual(t *testing.T) {
+	a, b := New(99), New(99)
+	a.Set(42)
+	if a.Equal(b) {
+		t.Fatal("unequal sets reported equal")
+	}
+	b.Set(42)
+	if !a.Equal(b) {
+		t.Fatal("equal sets reported unequal")
+	}
+	if a.Equal(New(98)) {
+		t.Fatal("different capacities reported equal")
+	}
+}
+
+func TestNextSet(t *testing.T) {
+	b := New(200)
+	b.Set(5)
+	b.Set(64)
+	b.Set(199)
+	cases := []struct{ from, want int }{
+		{0, 5}, {5, 5}, {6, 64}, {64, 64}, {65, 199}, {199, 199}, {-3, 5},
+	}
+	for _, c := range cases {
+		if got := b.NextSet(c.from); got != c.want {
+			t.Errorf("NextSet(%d) = %d, want %d", c.from, got, c.want)
+		}
+	}
+	if got := b.NextSet(200); got != -1 {
+		t.Errorf("NextSet(200) = %d, want -1", got)
+	}
+	if got := New(10).NextSet(0); got != -1 {
+		t.Errorf("NextSet on empty = %d, want -1", got)
+	}
+}
+
+func TestRangeOrderAndStop(t *testing.T) {
+	b := New(300)
+	for _, v := range []int{7, 70, 170, 270} {
+		b.Set(v)
+	}
+	var seen []int
+	b.Range(func(i int) bool {
+		seen = append(seen, i)
+		return len(seen) < 3
+	})
+	if !reflect.DeepEqual(seen, []int{7, 70, 170}) {
+		t.Fatalf("Range visited %v", seen)
+	}
+}
+
+func TestRangeIn(t *testing.T) {
+	b := New(100)
+	for i := 0; i < 100; i += 10 {
+		b.Set(i)
+	}
+	var seen []int
+	b.RangeIn(15, 75, func(i int) bool {
+		seen = append(seen, i)
+		return true
+	})
+	if !reflect.DeepEqual(seen, []int{20, 30, 40, 50, 60, 70}) {
+		t.Fatalf("RangeIn = %v", seen)
+	}
+}
+
+func TestMembers(t *testing.T) {
+	b := New(128)
+	want := []int{0, 63, 64, 127}
+	for _, v := range want {
+		b.Set(v)
+	}
+	if got := b.Members(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("Members = %v, want %v", got, want)
+	}
+}
+
+func TestString(t *testing.T) {
+	b := New(16)
+	b.Set(1)
+	b.Set(5)
+	if got := b.String(); got != "{1, 5}" {
+		t.Fatalf("String = %q", got)
+	}
+	if got := New(4).String(); got != "{}" {
+		t.Fatalf("empty String = %q", got)
+	}
+}
+
+func TestAtomicSetConcurrent(t *testing.T) {
+	const n = 4096
+	b := New(n)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := g; i < n; i += 8 {
+				b.AtomicSet(i)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := b.Count(); got != n {
+		t.Fatalf("Count = %d, want %d", got, n)
+	}
+}
+
+func TestAtomicTestAndSetUniqueWinner(t *testing.T) {
+	const n = 1024
+	b := New(n)
+	wins := make([]int32, 8)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < n; i++ {
+				if b.AtomicTestAndSet(i) {
+					wins[g]++
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	total := int32(0)
+	for _, w := range wins {
+		total += w
+	}
+	if total != n {
+		t.Fatalf("total wins = %d, want %d (each bit exactly one winner)", total, n)
+	}
+}
+
+func TestAtomicTest(t *testing.T) {
+	b := New(64)
+	b.AtomicSet(13)
+	if !b.AtomicTest(13) || b.AtomicTest(14) {
+		t.Fatal("AtomicTest wrong")
+	}
+}
+
+// Property: Count equals the number of distinct values Set.
+func TestQuickCountMatchesDistinct(t *testing.T) {
+	f := func(vals []uint16) bool {
+		b := New(1 << 16)
+		distinct := map[uint16]bool{}
+		for _, v := range vals {
+			b.Set(int(v))
+			distinct[v] = true
+		}
+		return b.Count() == len(distinct)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Members is sorted ascending and round-trips through Set.
+func TestQuickMembersRoundTrip(t *testing.T) {
+	f := func(vals []uint12like) bool {
+		b := New(4096)
+		want := map[int]bool{}
+		for _, v := range vals {
+			b.Set(int(v))
+			want[int(v)] = true
+		}
+		m := b.Members()
+		if len(m) != len(want) {
+			return false
+		}
+		for i, v := range m {
+			if !want[v] {
+				return false
+			}
+			if i > 0 && m[i-1] >= v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// uint12like generates values in [0, 4096) for quick.Check.
+type uint12like int
+
+// Generate implements quick.Generator.
+func (uint12like) Generate(r *rand.Rand, _ int) reflect.Value {
+	return reflect.ValueOf(uint12like(r.Intn(4096)))
+}
+
+// Property: De Morgan-ish — (a ∪ b) \ b == a \ b.
+func TestQuickUnionMinus(t *testing.T) {
+	f := func(av, bv []uint12like) bool {
+		a, b := New(4096), New(4096)
+		for _, v := range av {
+			a.Set(int(v))
+		}
+		for _, v := range bv {
+			b.Set(int(v))
+		}
+		u := a.Clone()
+		u.Or(b)
+		u.AndNot(b)
+		d := a.Clone()
+		d.AndNot(b)
+		return u.Equal(d)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

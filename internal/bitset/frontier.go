@@ -1,0 +1,183 @@
+package bitset
+
+import (
+	"sort"
+	"sync"
+)
+
+// sparseThresholdDenom controls when a Frontier keeps a sparse member list:
+// while |members| ≤ n/sparseThresholdDenom the sparse list is maintained in
+// addition to the dense bitmap. This mirrors the dense/sparse switching used
+// by Ligra-style frameworks that inspired the paper's hybrid strategy.
+const sparseThresholdDenom = 16
+
+// Frontier is an adaptive set of active vertices.
+//
+// It always maintains a dense bitmap (so membership tests used by the pull
+// model are O(1)), and additionally maintains a sparse slice of members
+// while the set is small (so the push model can enumerate active vertices
+// without scanning the bitmap). Once the set grows past Len()/16 the sparse
+// list is dropped and enumeration falls back to a bitmap scan.
+//
+// Add and AddAtomic may be called concurrently; all other methods require
+// external synchronization with respect to writers.
+type Frontier struct {
+	dense  *Bitset
+	mu     sync.Mutex
+	sparse []int
+	// sparseOK records whether the sparse list still mirrors the dense set.
+	sparseOK bool
+	count    int64
+}
+
+// NewFrontier returns an empty frontier over vertex IDs [0, n).
+func NewFrontier(n int) *Frontier {
+	return &Frontier{
+		dense:    New(n),
+		sparse:   make([]int, 0, 64),
+		sparseOK: true,
+	}
+}
+
+// FullFrontier returns a frontier with every vertex in [0, n) active.
+func FullFrontier(n int) *Frontier {
+	f := NewFrontier(n)
+	f.dense.SetAll()
+	f.sparseOK = false
+	f.count = int64(n)
+	return f
+}
+
+// Len returns the universe size (number of vertex IDs).
+func (f *Frontier) Len() int { return f.dense.Len() }
+
+// Count returns the number of active vertices.
+func (f *Frontier) Count() int { return int(f.count) }
+
+// Empty reports whether no vertex is active.
+func (f *Frontier) Empty() bool { return f.count == 0 }
+
+// IsDense reports whether the frontier has abandoned its sparse member list.
+func (f *Frontier) IsDense() bool { return !f.sparseOK }
+
+// Contains reports whether vertex v is active.
+func (f *Frontier) Contains(v int) bool { return f.dense.Test(v) }
+
+// Add activates vertex v. It returns true if v was newly activated.
+// Not safe for concurrent use; see AddAtomic.
+func (f *Frontier) Add(v int) bool {
+	if f.dense.Test(v) {
+		return false
+	}
+	f.dense.Set(v)
+	f.count++
+	f.noteAdd(v)
+	return true
+}
+
+// AddAtomic activates vertex v and is safe for concurrent use with other
+// AddAtomic calls. It returns true if v was newly activated.
+func (f *Frontier) AddAtomic(v int) bool {
+	if !f.dense.AtomicTestAndSet(v) {
+		return false
+	}
+	f.mu.Lock()
+	f.count++
+	f.noteAdd(v)
+	f.mu.Unlock()
+	return true
+}
+
+func (f *Frontier) noteAdd(v int) {
+	if !f.sparseOK {
+		return
+	}
+	if len(f.sparse)+1 > f.sparseCap() {
+		f.sparse = f.sparse[:0]
+		f.sparseOK = false
+		return
+	}
+	f.sparse = append(f.sparse, v)
+}
+
+func (f *Frontier) sparseCap() int {
+	c := f.dense.Len() / sparseThresholdDenom
+	if c < 64 {
+		c = 64
+	}
+	return c
+}
+
+// Members returns the active vertices in ascending order. The returned slice
+// is freshly allocated.
+func (f *Frontier) Members() []int {
+	if f.sparseOK {
+		out := make([]int, len(f.sparse))
+		copy(out, f.sparse)
+		sort.Ints(out)
+		return out
+	}
+	return f.dense.Members()
+}
+
+// Range calls fn for each active vertex in ascending order; stops when fn
+// returns false.
+func (f *Frontier) Range(fn func(v int) bool) {
+	if f.sparseOK {
+		for _, v := range f.Members() {
+			if !fn(v) {
+				return
+			}
+		}
+		return
+	}
+	f.dense.Range(fn)
+}
+
+// RangeIn calls fn for each active vertex in [lo, hi) in ascending order.
+func (f *Frontier) RangeIn(lo, hi int, fn func(v int) bool) {
+	if f.sparseOK {
+		for _, v := range f.Members() {
+			if v < lo {
+				continue
+			}
+			if v >= hi {
+				return
+			}
+			if !fn(v) {
+				return
+			}
+		}
+		return
+	}
+	f.dense.RangeIn(lo, hi, fn)
+}
+
+// CountIn returns the number of active vertices in [lo, hi).
+func (f *Frontier) CountIn(lo, hi int) int {
+	if f.sparseOK {
+		c := 0
+		for _, v := range f.sparse {
+			if v >= lo && v < hi {
+				c++
+			}
+		}
+		return c
+	}
+	return f.dense.CountRange(lo, hi)
+}
+
+// Bitmap exposes the underlying dense bitmap for read-only membership tests.
+// Mutating the returned bitset corrupts the frontier.
+func (f *Frontier) Bitmap() *Bitset { return f.dense }
+
+// Clone returns an independent copy of the frontier.
+func (f *Frontier) Clone() *Frontier {
+	c := &Frontier{
+		dense:    f.dense.Clone(),
+		sparseOK: f.sparseOK,
+		count:    f.count,
+	}
+	c.sparse = append([]int(nil), f.sparse...)
+	return c
+}

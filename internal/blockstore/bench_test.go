@@ -1,0 +1,86 @@
+package blockstore
+
+import (
+	"math/rand"
+	"testing"
+
+	"husgraph/internal/gen"
+	"husgraph/internal/storage"
+)
+
+func benchGraphStore(b *testing.B, format Format, weighted bool) *DualStore {
+	b.Helper()
+	g := gen.RMAT(1<<14, 200000, gen.Graph500, rand.New(rand.NewSource(1)))
+	gen.AssignUniformWeights(g, 1, 5, rand.New(rand.NewSource(2)))
+	ds, err := BuildOpts(storage.NewMemStore(storage.NewDevice(storage.RAM)), g,
+		Options{P: 8, Format: format, Weighted: weighted})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return ds
+}
+
+func BenchmarkBuildRaw(b *testing.B) {
+	g := gen.RMAT(1<<14, 200000, gen.Graph500, rand.New(rand.NewSource(1)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Build(storage.NewMemStore(storage.NewDevice(storage.RAM)), g, 8); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkLoadInBlockScratch(b *testing.B) {
+	for _, format := range []Format{FormatRaw, FormatCompressed} {
+		b.Run(format.String(), func(b *testing.B) {
+			ds := benchGraphStore(b, format, true)
+			sc := &Scratch{}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := ds.LoadInBlockScratch(i%8, (i/8)%8, sc); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkLoadInBlockBytesScratch(b *testing.B) {
+	ds := benchGraphStore(b, FormatRaw, true)
+	sc := &Scratch{}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := ds.LoadInBlockBytesScratch(i%8, (i/8)%8, sc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDecodeVertexRecs(b *testing.B) {
+	recs := make([]Rec, 64)
+	nbr := uint32(0)
+	rng := rand.New(rand.NewSource(3))
+	for i := range recs {
+		nbr += 1 + uint32(rng.Intn(500))
+		recs[i] = Rec{Nbr: nbr, Weight: 1}
+	}
+	for _, format := range []Format{FormatRaw, FormatCompressed} {
+		b.Run(format.String(), func(b *testing.B) {
+			buf := encodeVertexRecs(nil, recs, format, true)
+			var out []Rec
+			b.SetBytes(int64(len(buf)))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				var err error
+				out, err = decodeVertexRecsInto(out[:0], buf, format, true)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

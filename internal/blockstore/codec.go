@@ -1,0 +1,161 @@
+package blockstore
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"husgraph/internal/graph"
+)
+
+// On-disk sizes. M and N follow the paper's Table 1: M is the size of an
+// edge structure inside a block (the other endpoint plus the weight) and N
+// the size of a vertex value record.
+const (
+	// EdgeBytes is M: one block edge record (neighbor uint32 + weight
+	// float32).
+	EdgeBytes = 8
+	// IndexEntryBytes is one per-vertex offset entry in a block index.
+	IndexEntryBytes = 4
+	// VertexValueBytes is N: one vertex value (float64).
+	VertexValueBytes = 8
+)
+
+// Rec is one decoded block edge record: the neighbor on the other side of
+// the block's indexed vertex, plus the edge weight.
+type Rec struct {
+	Nbr    graph.VertexID
+	Weight float32
+}
+
+// encodeIndex serializes a per-vertex offset index (edge-count prefix sums,
+// len = interval size + 1).
+func encodeIndex(idx []uint32) []byte {
+	buf := make([]byte, len(idx)*IndexEntryBytes)
+	for i, v := range idx {
+		binary.LittleEndian.PutUint32(buf[i*IndexEntryBytes:], v)
+	}
+	return buf
+}
+
+// decodeIndex parses an offset index.
+func decodeIndex(buf []byte) ([]uint32, error) {
+	return decodeIndexInto(nil, buf)
+}
+
+// decodeIndexInto parses an offset index into idx, reusing its capacity.
+func decodeIndexInto(idx []uint32, buf []byte) ([]uint32, error) {
+	if len(buf)%IndexEntryBytes != 0 {
+		return nil, fmt.Errorf("blockstore: index payload length %d not a multiple of %d", len(buf), IndexEntryBytes)
+	}
+	n := len(buf) / IndexEntryBytes
+	if cap(idx) < n {
+		idx = make([]uint32, n)
+	}
+	idx = idx[:n]
+	for i := range idx {
+		idx[i] = binary.LittleEndian.Uint32(buf[i*IndexEntryBytes:])
+	}
+	return idx, nil
+}
+
+// Blob names. Block (i,j) always means "edges from interval i to interval
+// j"; the out-block is indexed by source (resident in i's out-shard), the
+// in-block by destination (resident in j's in-shard).
+func outBlockName(i, j int) string { return fmt.Sprintf("ob/%d.%d", i, j) }
+func outIndexName(i, j int) string { return fmt.Sprintf("oi/%d.%d", i, j) }
+func inBlockName(i, j int) string  { return fmt.Sprintf("ib/%d.%d", i, j) }
+func inIndexName(i, j int) string  { return fmt.Sprintf("ii/%d.%d", i, j) }
+
+const metaName = "meta"
+
+// encodeMeta serializes the DualStore metadata: layout, format, per-vertex
+// degrees, per-block edge counts and per-block byte sizes, so a store
+// written by Build can be reopened.
+func encodeMeta(d *DualStore) []byte {
+	p := d.Layout.P
+	n := d.Layout.NumVertices
+	size := 4 + 8 + 8 + 8 + 8 + n*8 + 3*p*p*8
+	buf := make([]byte, 0, size)
+	var scratch [8]byte
+	put32 := func(v uint32) {
+		binary.LittleEndian.PutUint32(scratch[:4], v)
+		buf = append(buf, scratch[:4]...)
+	}
+	put64 := func(v uint64) {
+		binary.LittleEndian.PutUint64(scratch[:8], v)
+		buf = append(buf, scratch[:8]...)
+	}
+	buf = append(buf, "HUSB"...)
+	put64(uint64(n))
+	put64(uint64(p))
+	put64(uint64(d.Format))
+	weighted := uint64(0)
+	if d.Weighted {
+		weighted = 1
+	}
+	put64(weighted)
+	for v := 0; v < n; v++ {
+		put32(uint32(d.OutDegrees[v]))
+		put32(uint32(d.InDegrees[v]))
+	}
+	for _, m := range [][][]int64{d.BlockEdgeCount, d.OutBlockBytes, d.InBlockBytes} {
+		for i := 0; i < p; i++ {
+			for j := 0; j < p; j++ {
+				put64(uint64(m[i][j]))
+			}
+		}
+	}
+	return buf
+}
+
+// decodeMeta parses metadata written by encodeMeta into a DualStore shell
+// (no store attached yet).
+func decodeMeta(buf []byte) (*DualStore, error) {
+	fail := func(msg string) (*DualStore, error) {
+		return nil, fmt.Errorf("blockstore: bad meta: %s", msg)
+	}
+	if len(buf) < 36 || string(buf[:4]) != "HUSB" {
+		return fail("magic")
+	}
+	n := int(binary.LittleEndian.Uint64(buf[4:]))
+	p := int(binary.LittleEndian.Uint64(buf[12:]))
+	format := Format(binary.LittleEndian.Uint64(buf[20:]))
+	if format != FormatRaw && format != FormatCompressed {
+		return fail(fmt.Sprintf("unknown format %d", format))
+	}
+	if len(buf) < 36 {
+		return fail("truncated header")
+	}
+	weighted := binary.LittleEndian.Uint64(buf[28:])
+	if weighted > 1 {
+		return fail(fmt.Sprintf("bad weighted flag %d", weighted))
+	}
+	want := 36 + n*8 + 3*p*p*8
+	if len(buf) != want {
+		return fail(fmt.Sprintf("length %d, want %d", len(buf), want))
+	}
+	d := &DualStore{Layout: Layout{NumVertices: n, P: p}, Format: format, Weighted: weighted == 1}
+	d.OutDegrees = make([]int32, n)
+	d.InDegrees = make([]int32, n)
+	off := 36
+	for v := 0; v < n; v++ {
+		d.OutDegrees[v] = int32(binary.LittleEndian.Uint32(buf[off:]))
+		d.InDegrees[v] = int32(binary.LittleEndian.Uint32(buf[off+4:]))
+		off += 8
+	}
+	read2D := func() [][]int64 {
+		m := make([][]int64, p)
+		for i := 0; i < p; i++ {
+			m[i] = make([]int64, p)
+			for j := 0; j < p; j++ {
+				m[i][j] = int64(binary.LittleEndian.Uint64(buf[off:]))
+				off += 8
+			}
+		}
+		return m
+	}
+	d.BlockEdgeCount = read2D()
+	d.OutBlockBytes = read2D()
+	d.InBlockBytes = read2D()
+	return d, nil
+}

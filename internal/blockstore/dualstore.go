@@ -1,0 +1,431 @@
+package blockstore
+
+import (
+	"fmt"
+
+	"husgraph/internal/graph"
+	"husgraph/internal/storage"
+)
+
+// DualStore is a graph materialized in the dual-block representation on a
+// blob store. It is immutable once built. All loader methods are safe for
+// concurrent use, charging the underlying simulated device.
+type DualStore struct {
+	store  storage.Store
+	Layout Layout
+	// Format is the on-disk record encoding of every block.
+	Format Format
+	// Weighted records carry edge weights; unweighted drop them (decoded
+	// Weight = 1), halving raw record size — build SSSP inputs weighted
+	// and PageRank/BFS/WCC inputs unweighted, as real deployments do.
+	Weighted bool
+	// OutDegrees and InDegrees are the global degree arrays. The engine
+	// keeps them in memory: the predictor needs Σ d_v over active sets
+	// and PageRank needs out-degrees for its contribution division.
+	OutDegrees []int32
+	InDegrees  []int32
+	// BlockEdgeCount[i][j] is the number of edges from interval i to
+	// interval j (identical for the out-block and in-block views).
+	BlockEdgeCount [][]int64
+	// OutBlockBytes[i][j] and InBlockBytes[i][j] are the encoded sizes of
+	// out-block(i,j) and in-block(i,j); for FormatRaw both equal
+	// count·EdgeBytes, for FormatCompressed they differ (the two views
+	// delta-encode different neighbor sequences).
+	OutBlockBytes [][]int64
+	InBlockBytes  [][]int64
+}
+
+// Options configures Build.
+type Options struct {
+	// P is the interval count (clamped to the vertex count).
+	P int
+	// Format is the record encoding (default FormatRaw).
+	Format Format
+	// Weighted stores edge weights with each record.
+	Weighted bool
+}
+
+// Build materializes g's dual-block representation with p intervals in the
+// raw, weighted record format. Edges inside each out-block are sorted by
+// (source, destination); inside each in-block by (destination, source) —
+// the orders Algorithms 2 and 3 of the paper require.
+func Build(store storage.Store, g *graph.Graph, p int) (*DualStore, error) {
+	return BuildOpts(store, g, Options{P: p, Weighted: true})
+}
+
+// BuildWithFormat is Build with an explicit record encoding (weighted).
+func BuildWithFormat(store storage.Store, g *graph.Graph, p int, format Format) (*DualStore, error) {
+	return BuildOpts(store, g, Options{P: p, Format: format, Weighted: true})
+}
+
+// BuildOpts is Build with full control over the on-disk layout.
+func BuildOpts(store storage.Store, g *graph.Graph, opts Options) (*DualStore, error) {
+	if err := g.Validate(); err != nil {
+		return nil, fmt.Errorf("blockstore: build: %w", err)
+	}
+	format := opts.Format
+	if format != FormatRaw && format != FormatCompressed {
+		return nil, fmt.Errorf("blockstore: build: unknown format %d", format)
+	}
+	layout := NewLayout(g.NumVertices, opts.P)
+	p := layout.P
+	d := &DualStore{store: store, Layout: layout, Format: format, Weighted: opts.Weighted}
+	d.OutDegrees = make([]int32, g.NumVertices)
+	d.InDegrees = make([]int32, g.NumVertices)
+	d.BlockEdgeCount = alloc2D(p)
+	d.OutBlockBytes = alloc2D(p)
+	d.InBlockBytes = alloc2D(p)
+	for _, e := range g.Edges {
+		d.OutDegrees[e.Src]++
+		d.InDegrees[e.Dst]++
+		d.BlockEdgeCount[layout.IntervalOf(e.Src)][layout.IntervalOf(e.Dst)]++
+	}
+
+	// Bucket edges per block in the required orders.
+	outRecs := make([][][]Rec, p) // outRecs[i][j]: edges i→j as (dst, w), sorted by (src, dst)
+	inRecs := make([][][]Rec, p)  // inRecs[i][j]: edges i→j as (src, w), sorted by (dst, src)
+	outPerVertex := make([][][]uint32, p)
+	inPerVertex := make([][][]uint32, p)
+	for i := 0; i < p; i++ {
+		outRecs[i] = make([][]Rec, p)
+		inRecs[i] = make([][]Rec, p)
+		outPerVertex[i] = make([][]uint32, p)
+		inPerVertex[i] = make([][]uint32, p)
+		for j := 0; j < p; j++ {
+			n := d.BlockEdgeCount[i][j]
+			outRecs[i][j] = make([]Rec, 0, n)
+			inRecs[i][j] = make([]Rec, 0, n)
+			outPerVertex[i][j] = make([]uint32, layout.Size(i))
+			inPerVertex[i][j] = make([]uint32, layout.Size(j))
+		}
+	}
+
+	sorted := g.Clone()
+	sorted.SortBySrc()
+	for _, e := range sorted.Edges {
+		i, j := layout.IntervalOf(e.Src), layout.IntervalOf(e.Dst)
+		outRecs[i][j] = append(outRecs[i][j], Rec{Nbr: e.Dst, Weight: e.Weight})
+		outPerVertex[i][j][layout.Local(e.Src)]++
+	}
+	sorted.SortByDst()
+	for _, e := range sorted.Edges {
+		i, j := layout.IntervalOf(e.Src), layout.IntervalOf(e.Dst)
+		inRecs[i][j] = append(inRecs[i][j], Rec{Nbr: e.Src, Weight: e.Weight})
+		inPerVertex[i][j][layout.Local(e.Dst)]++
+	}
+
+	// Encode: per-vertex self-contained sections, byte-offset indices.
+	encodeBlock := func(recs []Rec, perVertex []uint32) (payload []byte, idx []uint32) {
+		idx = make([]uint32, len(perVertex)+1)
+		pos := 0
+		for k, cnt := range perVertex {
+			idx[k] = uint32(len(payload))
+			payload = encodeVertexRecs(payload, recs[pos:pos+int(cnt)], format, d.Weighted)
+			pos += int(cnt)
+		}
+		idx[len(perVertex)] = uint32(len(payload))
+		return payload, idx
+	}
+	for i := 0; i < p; i++ {
+		for j := 0; j < p; j++ {
+			payload, idx := encodeBlock(outRecs[i][j], outPerVertex[i][j])
+			d.OutBlockBytes[i][j] = int64(len(payload))
+			if err := store.Put(outBlockName(i, j), payload); err != nil {
+				return nil, err
+			}
+			if err := store.Put(outIndexName(i, j), encodeIndex(idx)); err != nil {
+				return nil, err
+			}
+			payload, idx = encodeBlock(inRecs[i][j], inPerVertex[i][j])
+			d.InBlockBytes[i][j] = int64(len(payload))
+			if err := store.Put(inBlockName(i, j), payload); err != nil {
+				return nil, err
+			}
+			if err := store.Put(inIndexName(i, j), encodeIndex(idx)); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if err := store.Put(metaName, encodeMeta(d)); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+func alloc2D(p int) [][]int64 {
+	m := make([][]int64, p)
+	for i := range m {
+		m[i] = make([]int64, p)
+	}
+	return m
+}
+
+// Open attaches to a dual-block store previously written by Build.
+func Open(store storage.Store) (*DualStore, error) {
+	buf, err := store.ReadAll(metaName)
+	if err != nil {
+		return nil, fmt.Errorf("blockstore: open: %w", err)
+	}
+	d, err := decodeMeta(buf)
+	if err != nil {
+		return nil, err
+	}
+	d.store = store
+	return d, nil
+}
+
+// Device returns the simulated device charged by this store.
+func (d *DualStore) Device() *storage.Device { return d.store.Device() }
+
+// NumEdges returns the total edge count.
+func (d *DualStore) NumEdges() int64 {
+	var t int64
+	for _, row := range d.BlockEdgeCount {
+		for _, c := range row {
+			t += c
+		}
+	}
+	return t
+}
+
+// Block is a fully-loaded, decoded edge block. Index[k]..Index[k+1]
+// delimits the *records* of the k-th vertex of the indexed interval
+// (sources for out-blocks, destinations for in-blocks), regardless of the
+// on-disk format.
+type Block struct {
+	Index []uint32
+	Recs  []Rec
+}
+
+// EdgesOf returns the records of the indexed vertex with local index k.
+func (b *Block) EdgesOf(k int) []Rec {
+	return b.Recs[b.Index[k]:b.Index[k+1]]
+}
+
+// Scratch holds reusable decode buffers for the *Scratch loader variants,
+// eliminating steady-state allocations on the engine's hot loops. A Scratch
+// must not be shared between concurrent loads; loaded views alias its
+// buffers and are invalidated by the next load into the same Scratch.
+type Scratch struct {
+	raw     []byte
+	idxRaw  []byte
+	recs    []Rec
+	recIdx  []uint32
+	idx     []uint32
+	decoded []Rec
+}
+
+// LoadOutIndex reads out-index(i,j): per-source *byte* offsets into
+// out-block(i,j) (Size(i)+1 entries). Charged as a sequential read.
+func (d *DualStore) LoadOutIndex(i, j int) ([]uint32, error) {
+	buf, err := d.store.ReadAll(outIndexName(i, j))
+	if err != nil {
+		return nil, err
+	}
+	return decodeIndex(buf)
+}
+
+// LoadOutIndexScratch is LoadOutIndex reusing sc's buffers.
+func (d *DualStore) LoadOutIndexScratch(i, j int, sc *Scratch) ([]uint32, error) {
+	buf, err := d.store.ReadAllInto(outIndexName(i, j), sc.idxRaw)
+	if err != nil {
+		return nil, err
+	}
+	sc.idxRaw = buf
+	idx, err := decodeIndexInto(sc.idx, buf)
+	if err != nil {
+		return nil, err
+	}
+	sc.idx = idx
+	return idx, nil
+}
+
+// LoadOutRun reads the raw byte range [startByte, endByte) of
+// out-block(i,j) with one random access — ROP's selective load of one or
+// more coalesced per-vertex sections (Alg. 2 line 7). Decode sections with
+// DecodeRecs.
+func (d *DualStore) LoadOutRun(i, j int, startByte, endByte uint32) ([]byte, error) {
+	if startByte >= endByte {
+		return nil, nil
+	}
+	return d.store.ReadAt(outBlockName(i, j), int64(startByte), int64(endByte-startByte))
+}
+
+// LoadOutRunScratch is LoadOutRun reusing sc's buffers.
+func (d *DualStore) LoadOutRunScratch(i, j int, startByte, endByte uint32, sc *Scratch) ([]byte, error) {
+	if startByte >= endByte {
+		return nil, nil
+	}
+	buf, err := d.store.ReadAtInto(outBlockName(i, j), int64(startByte), int64(endByte-startByte), sc.raw)
+	if err != nil {
+		return nil, err
+	}
+	sc.raw = buf
+	return buf, nil
+}
+
+// DecodeRecs decodes one vertex's self-contained record section (a slice
+// of a loaded run delimited by consecutive index entries).
+func (d *DualStore) DecodeRecs(section []byte) ([]Rec, error) {
+	return decodeVertexRecsInto(nil, section, d.Format, d.Weighted)
+}
+
+// DecodeRecsScratch is DecodeRecs reusing sc's decode buffer; the result
+// is invalidated by the next DecodeRecsScratch on the same sc.
+func (d *DualStore) DecodeRecsScratch(section []byte, sc *Scratch) ([]Rec, error) {
+	recs, err := decodeVertexRecsInto(sc.decoded[:0], section, d.Format, d.Weighted)
+	if err != nil {
+		return nil, err
+	}
+	sc.decoded = recs
+	return recs, nil
+}
+
+// loadBlock reads and fully decodes a block given its blob names.
+func (d *DualStore) loadBlock(idxName, blkName string, sc *Scratch) (Block, error) {
+	buf, err := d.store.ReadAllInto(idxName, sc.idxRaw)
+	if err != nil {
+		return Block{}, err
+	}
+	sc.idxRaw = buf
+	byteIdx, err := decodeIndexInto(sc.idx, buf)
+	if err != nil {
+		return Block{}, err
+	}
+	sc.idx = byteIdx
+	payload, err := d.store.ReadAllInto(blkName, sc.raw)
+	if err != nil {
+		return Block{}, err
+	}
+	sc.raw = payload
+
+	if cap(sc.recIdx) < len(byteIdx) {
+		sc.recIdx = make([]uint32, len(byteIdx))
+	}
+	recIdx := sc.recIdx[:len(byteIdx)]
+	recs := sc.recs[:0]
+	for k := 0; k+1 < len(byteIdx); k++ {
+		recIdx[k] = uint32(len(recs))
+		lo, hi := byteIdx[k], byteIdx[k+1]
+		if int(hi) > len(payload) || lo > hi {
+			return Block{}, fmt.Errorf("blockstore: %s: corrupt index [%d,%d) for %d payload bytes", blkName, lo, hi, len(payload))
+		}
+		recs, err = decodeVertexRecsInto(recs, payload[lo:hi], d.Format, d.Weighted)
+		if err != nil {
+			return Block{}, fmt.Errorf("blockstore: %s vertex %d: %w", blkName, k, err)
+		}
+	}
+	recIdx[len(byteIdx)-1] = uint32(len(recs))
+	sc.recs, sc.recIdx = recs, recIdx
+	return Block{Index: recIdx, Recs: recs}, nil
+}
+
+// LoadInBlockBytesScratch streams in-block(i,j) WITHOUT decoding: it
+// returns the raw payload and the per-destination byte index, both aliasing
+// sc's buffers. The engine's FormatRaw fast path iterates records in place
+// via RawRec, avoiding any per-iteration decode allocation — this is what
+// a real implementation gets by mapping packed structs.
+func (d *DualStore) LoadInBlockBytesScratch(i, j int, sc *Scratch) ([]byte, []uint32, error) {
+	buf, err := d.store.ReadAllInto(inIndexName(i, j), sc.idxRaw)
+	if err != nil {
+		return nil, nil, err
+	}
+	sc.idxRaw = buf
+	byteIdx, err := decodeIndexInto(sc.idx, buf)
+	if err != nil {
+		return nil, nil, err
+	}
+	sc.idx = byteIdx
+	payload, err := d.store.ReadAllInto(inBlockName(i, j), sc.raw)
+	if err != nil {
+		return nil, nil, err
+	}
+	sc.raw = payload
+	if n := len(byteIdx); n == 0 || byteIdx[n-1] != uint32(len(payload)) {
+		return nil, nil, fmt.Errorf("blockstore: in-block (%d,%d): index/payload mismatch", i, j)
+	}
+	return payload, byteIdx, nil
+}
+
+// LoadInBlock streams and decodes the whole in-block(i,j) with its index,
+// charged as sequential reads — COP's block scan (Alg. 3 line 5).
+func (d *DualStore) LoadInBlock(i, j int) (*Block, error) {
+	blk, err := d.loadBlock(inIndexName(i, j), inBlockName(i, j), new(Scratch))
+	if err != nil {
+		return nil, err
+	}
+	return &blk, nil
+}
+
+// LoadInBlockScratch is LoadInBlock reusing sc's buffers. The returned view
+// is invalidated by the next load into sc.
+func (d *DualStore) LoadInBlockScratch(i, j int, sc *Scratch) (Block, error) {
+	return d.loadBlock(inIndexName(i, j), inBlockName(i, j), sc)
+}
+
+// LoadOutBlock streams and decodes the whole out-block(i,j) with its
+// index, charged as sequential reads (full-push baselines and ablations).
+func (d *DualStore) LoadOutBlock(i, j int) (*Block, error) {
+	blk, err := d.loadBlock(outIndexName(i, j), outBlockName(i, j), new(Scratch))
+	if err != nil {
+		return nil, err
+	}
+	return &blk, nil
+}
+
+// OutIndexBytes returns the on-disk size of out-index(i,j).
+func (d *DualStore) OutIndexBytes(i, j int) int64 {
+	return int64(d.Layout.Size(i)+1) * IndexEntryBytes
+}
+
+// InColumnBytes returns the on-disk size of column j of the in-block grid:
+// the bytes COP streams to process interval j (edges plus indices).
+func (d *DualStore) InColumnBytes(j int) int64 {
+	var t int64
+	for i := 0; i < d.Layout.P; i++ {
+		t += d.InBlockBytes[i][j] + int64(d.Layout.Size(j)+1)*IndexEntryBytes
+	}
+	return t
+}
+
+// TotalEdgeBytes returns the on-disk size of all out-blocks, excluding
+// indices.
+func (d *DualStore) TotalEdgeBytes() int64 {
+	var t int64
+	for _, row := range d.OutBlockBytes {
+		for _, b := range row {
+			t += b
+		}
+	}
+	return t
+}
+
+// TotalInEdgeBytes returns the on-disk size of all in-blocks, excluding
+// indices.
+func (d *DualStore) TotalInEdgeBytes() int64 {
+	var t int64
+	for _, row := range d.InBlockBytes {
+		for _, b := range row {
+			t += b
+		}
+	}
+	return t
+}
+
+// Aux blob support: small named blobs (checkpoints, run metadata) stored
+// alongside the immutable graph blocks under the "aux/" namespace.
+
+// PutAux writes an auxiliary blob.
+func (d *DualStore) PutAux(name string, data []byte) error {
+	return d.store.Put("aux/"+name, data)
+}
+
+// GetAux reads an auxiliary blob; storage.ErrNotFound wraps missing names.
+func (d *DualStore) GetAux(name string) ([]byte, error) {
+	return d.store.ReadAll("aux/" + name)
+}
+
+// DeleteAux removes an auxiliary blob; deleting a missing blob is an error.
+func (d *DualStore) DeleteAux(name string) error {
+	return d.store.Delete("aux/" + name)
+}

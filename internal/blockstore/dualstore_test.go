@@ -1,0 +1,379 @@
+package blockstore
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"husgraph/internal/gen"
+	"husgraph/internal/graph"
+	"husgraph/internal/storage"
+)
+
+func memStore() *storage.MemStore {
+	return storage.NewMemStore(storage.NewDevice(storage.RAM))
+}
+
+// paperGraph reproduces the 10-vertex example of the paper's Figure 4
+// (1-indexed there; 0-indexed here by subtracting 1).
+func paperGraph() *graph.Graph {
+	g := graph.New(10)
+	edges := [][2]int{
+		// From Figure 4(b), in-blocks, converted to (src,dst) pairs:
+		{2, 1}, {4, 1}, {4, 2}, {2, 3}, {4, 3}, {1, 4}, {1, 5}, {2, 5}, {10, 5},
+		{6, 1}, {6, 2}, {9, 2}, {6, 3}, {9, 3}, {10, 3}, {6, 5}, {7, 5}, {10, 5 + 0},
+		{1, 6}, {2, 6}, {1, 7}, {5, 7}, {1, 9}, {2, 9}, {5, 10},
+		{7, 6}, {9, 6}, {9, 7}, {10, 7}, {6, 8}, {7, 8}, {9, 8},
+	}
+	seen := map[[2]int]bool{}
+	for _, e := range edges {
+		k := [2]int{e[0] - 1, e[1] - 1}
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		g.AddEdge(graph.VertexID(k[0]), graph.VertexID(k[1]))
+	}
+	return g
+}
+
+func TestBuildPaperExample(t *testing.T) {
+	g := paperGraph()
+	ds, err := Build(memStore(), g, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Layout.P != 2 {
+		t.Fatalf("P = %d", ds.Layout.P)
+	}
+	var total int64
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 2; j++ {
+			total += ds.BlockEdgeCount[i][j]
+		}
+	}
+	if total != int64(g.NumEdges()) {
+		t.Fatalf("block edge counts sum %d != %d", total, g.NumEdges())
+	}
+	// Figure 4(c): out-block (1,2) [0-indexed (0,1)] contains 1→6,7,9;
+	// 2→6,9; 5→7,10 — i.e. 0→5,6,8; 1→5,8; 4→6,9.
+	blk, err := ds.LoadOutBlock(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	edgesOf := func(local int) []graph.VertexID {
+		var out []graph.VertexID
+		for _, r := range blk.EdgesOf(local) {
+			out = append(out, r.Nbr)
+		}
+		return out
+	}
+	if got := edgesOf(0); !reflect.DeepEqual(got, []graph.VertexID{5, 6, 8}) {
+		t.Fatalf("out-edges of v0 into interval 1 = %v", got)
+	}
+	if got := edgesOf(4); !reflect.DeepEqual(got, []graph.VertexID{6, 9}) {
+		t.Fatalf("out-edges of v4 into interval 1 = %v", got)
+	}
+	if got := edgesOf(2); len(got) != 0 {
+		t.Fatalf("v2 should have no out-edges into interval 1, got %v", got)
+	}
+
+	// Figure 4(b): in-block (1,1) [(0,0)]: 2,4→1; 4→2; 2,4→3; 1→4; 1,2→5
+	// (plus 10→5 belongs to in-block (2,1)). 0-indexed: dst0←{1,3},
+	// dst1←{3}, dst2←{1,3}, dst3←{0}, dst4←{0,1}.
+	in, err := ds.LoadInBlock(0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inOf := func(local int) []graph.VertexID {
+		var out []graph.VertexID
+		for _, r := range in.EdgesOf(local) {
+			out = append(out, r.Nbr)
+		}
+		return out
+	}
+	if got := inOf(0); !reflect.DeepEqual(got, []graph.VertexID{1, 3}) {
+		t.Fatalf("in-edges of v0 from interval 0 = %v", got)
+	}
+	if got := inOf(4); !reflect.DeepEqual(got, []graph.VertexID{0, 1}) {
+		t.Fatalf("in-edges of v4 from interval 0 = %v", got)
+	}
+}
+
+func TestSelectiveRangeMatchesFullBlock(t *testing.T) {
+	for _, format := range []Format{FormatRaw, FormatCompressed} {
+		g := gen.RMAT(256, 2000, gen.Graph500, rand.New(rand.NewSource(3)))
+		ds, err := BuildWithFormat(memStore(), g, 4, format)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 4; i++ {
+			for j := 0; j < 4; j++ {
+				full, err := ds.LoadOutBlock(i, j)
+				if err != nil {
+					t.Fatal(err)
+				}
+				idx, err := ds.LoadOutIndex(i, j) // byte offsets
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(idx) != len(full.Index) {
+					t.Fatalf("index length mismatch block (%d,%d)", i, j)
+				}
+				for k := 0; k+1 < len(idx); k++ {
+					want := full.EdgesOf(k)
+					raw, err := ds.LoadOutRun(i, j, idx[k], idx[k+1])
+					if err != nil {
+						t.Fatal(err)
+					}
+					got, err := ds.DecodeRecs(raw)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if len(want) == 0 && len(got) == 0 {
+						continue
+					}
+					if !reflect.DeepEqual(got, want) {
+						t.Fatalf("%v block (%d,%d) vertex %d: selective %v != full %v", format, i, j, k, got, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestDegreesMatchGraph(t *testing.T) {
+	g := gen.RMAT(128, 1000, gen.Graph500, rand.New(rand.NewSource(4)))
+	ds, err := Build(memStore(), g, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantOut, wantIn := g.OutDegrees(), g.InDegrees()
+	for v := 0; v < g.NumVertices; v++ {
+		if int(ds.OutDegrees[v]) != wantOut[v] || int(ds.InDegrees[v]) != wantIn[v] {
+			t.Fatalf("degrees of %d: out %d/%d in %d/%d", v, ds.OutDegrees[v], wantOut[v], ds.InDegrees[v], wantIn[v])
+		}
+	}
+}
+
+func TestOpenRoundTrip(t *testing.T) {
+	g := gen.RMAT(128, 800, gen.Graph500, rand.New(rand.NewSource(5)))
+	st := memStore()
+	built, err := Build(st, g, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opened, err := Open(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opened.Layout != built.Layout || opened.Format != built.Format {
+		t.Fatalf("layout/format %+v/%v != %+v/%v", opened.Layout, opened.Format, built.Layout, built.Format)
+	}
+	if !reflect.DeepEqual(opened.OutDegrees, built.OutDegrees) ||
+		!reflect.DeepEqual(opened.InDegrees, built.InDegrees) ||
+		!reflect.DeepEqual(opened.BlockEdgeCount, built.BlockEdgeCount) ||
+		!reflect.DeepEqual(opened.OutBlockBytes, built.OutBlockBytes) ||
+		!reflect.DeepEqual(opened.InBlockBytes, built.InBlockBytes) {
+		t.Fatal("metadata round trip mismatch")
+	}
+}
+
+func TestOpenMissingMeta(t *testing.T) {
+	if _, err := Open(memStore()); err == nil {
+		t.Fatal("Open on empty store succeeded")
+	}
+}
+
+func TestBuildOnFileStore(t *testing.T) {
+	g := gen.RMAT(64, 300, gen.Graph500, rand.New(rand.NewSource(6)))
+	fs, err := storage.NewFileStore(storage.NewDevice(storage.RAM), t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	built, err := Build(fs, g, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opened, err := Open(fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opened.NumEdges() != built.NumEdges() {
+		t.Fatalf("edges %d != %d", opened.NumEdges(), built.NumEdges())
+	}
+	blk, err := opened.LoadInBlock(1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(blk.Index) != opened.Layout.Size(0)+1 {
+		t.Fatalf("in-block index len = %d", len(blk.Index))
+	}
+}
+
+func TestSizeAccounting(t *testing.T) {
+	g := gen.RMAT(100, 600, gen.Graph500, rand.New(rand.NewSource(7)))
+	ds, err := Build(memStore(), g, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := ds.TotalEdgeBytes(), int64(g.NumEdges()*EdgeBytes); got != want {
+		t.Fatalf("TotalEdgeBytes = %d, want %d", got, want)
+	}
+	var colSum int64
+	for j := 0; j < ds.Layout.P; j++ {
+		colSum += ds.InColumnBytes(j)
+	}
+	wantIdx := int64(0)
+	for j := 0; j < ds.Layout.P; j++ {
+		wantIdx += int64(ds.Layout.P) * int64(ds.Layout.Size(j)+1) * IndexEntryBytes
+	}
+	if colSum != ds.TotalEdgeBytes()+wantIdx {
+		t.Fatalf("column bytes %d != edges %d + indices %d", colSum, ds.TotalEdgeBytes(), wantIdx)
+	}
+	if got := ds.OutIndexBytes(0, 1); got != int64(ds.Layout.Size(0)+1)*IndexEntryBytes {
+		t.Fatalf("OutIndexBytes = %d", got)
+	}
+}
+
+func TestRandomAccessCharged(t *testing.T) {
+	g := gen.RMAT(64, 400, gen.Graph500, rand.New(rand.NewSource(8)))
+	st := memStore()
+	ds, err := Build(st, g, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev := st.Device()
+	dev.Reset()
+	idx, _ := ds.LoadOutIndex(0, 0)
+	// Find a vertex with edges.
+	for k := 0; k+1 < len(idx); k++ {
+		if idx[k+1] > idx[k] {
+			if _, err := ds.LoadOutRun(0, 0, idx[k], idx[k+1]); err != nil {
+				t.Fatal(err)
+			}
+			break
+		}
+	}
+	s := dev.Stats()
+	if s.RandAccesses != 1 {
+		t.Fatalf("RandAccesses = %d, want 1", s.RandAccesses)
+	}
+	if s.SeqReadBytes == 0 {
+		t.Fatal("index load not charged sequentially")
+	}
+}
+
+func TestBuildRejectsInvalidGraph(t *testing.T) {
+	g := graph.New(2)
+	g.AddEdge(0, 5)
+	if _, err := Build(memStore(), g, 2); err == nil {
+		t.Fatal("invalid graph accepted")
+	}
+}
+
+func TestEmptyGraphBuild(t *testing.T) {
+	g := graph.New(10)
+	ds, err := Build(memStore(), g, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.NumEdges() != 0 {
+		t.Fatalf("NumEdges = %d", ds.NumEdges())
+	}
+	blk, err := ds.LoadInBlock(0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(blk.Recs) != 0 {
+		t.Fatal("empty block has records")
+	}
+}
+
+func TestCodecRejectsCorruptPayloads(t *testing.T) {
+	if _, err := decodeVertexRecsInto(nil, make([]byte, 7), FormatRaw, true); err == nil {
+		t.Fatal("bad raw payload accepted")
+	}
+	// A compressed payload whose varint is fine but whose weight is cut off.
+	if _, err := decodeVertexRecsInto(nil, []byte{0x01, 0xAA}, FormatCompressed, true); err == nil {
+		t.Fatal("truncated compressed payload accepted")
+	}
+	// An unterminated varint.
+	if _, err := decodeVertexRecsInto(nil, []byte{0xFF}, FormatCompressed, true); err == nil {
+		t.Fatal("corrupt varint accepted")
+	}
+	if _, err := decodeIndex(make([]byte, 6)); err == nil {
+		t.Fatal("bad index payload accepted")
+	}
+	if _, err := decodeMeta([]byte("JUNK")); err == nil {
+		t.Fatal("bad meta accepted")
+	}
+	if _, err := decodeMeta([]byte("HUSBxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxx")); err == nil {
+		t.Fatal("truncated meta accepted")
+	}
+}
+
+// Property: every graph edge appears exactly once in the out-block grid and
+// exactly once in the in-block grid, in the right block, with weights
+// preserved.
+func TestQuickDualBlockPartition(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(60)
+		p := 1 + rng.Intn(6)
+		g := graph.New(n)
+		for k := 0; k < rng.Intn(300); k++ {
+			g.AddWeightedEdge(graph.VertexID(rng.Intn(n)), graph.VertexID(rng.Intn(n)), rng.Float32())
+		}
+		ds, err := Build(memStore(), g, p)
+		if err != nil {
+			return false
+		}
+		l := ds.Layout
+		count := func(edges []graph.Edge) map[graph.Edge]int {
+			m := map[graph.Edge]int{}
+			for _, e := range edges {
+				m[e]++
+			}
+			return m
+		}
+		want := count(g.Edges)
+		fromOut := map[graph.Edge]int{}
+		fromIn := map[graph.Edge]int{}
+		for i := 0; i < l.P; i++ {
+			for j := 0; j < l.P; j++ {
+				ob, err := ds.LoadOutBlock(i, j)
+				if err != nil {
+					return false
+				}
+				loI, _ := l.Bounds(i)
+				for k := 0; k+1 < len(ob.Index); k++ {
+					for _, r := range ob.EdgesOf(k) {
+						if l.IntervalOf(r.Nbr) != j {
+							return false
+						}
+						fromOut[graph.Edge{Src: graph.VertexID(loI + k), Dst: r.Nbr, Weight: r.Weight}]++
+					}
+				}
+				ib, err := ds.LoadInBlock(i, j)
+				if err != nil {
+					return false
+				}
+				loJ, _ := l.Bounds(j)
+				for k := 0; k+1 < len(ib.Index); k++ {
+					for _, r := range ib.EdgesOf(k) {
+						if l.IntervalOf(r.Nbr) != i {
+							return false
+						}
+						fromIn[graph.Edge{Src: r.Nbr, Dst: graph.VertexID(loJ + k), Weight: r.Weight}]++
+					}
+				}
+			}
+		}
+		return reflect.DeepEqual(want, fromOut) && reflect.DeepEqual(want, fromIn)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,249 @@
+package blockstore
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"husgraph/internal/gen"
+	"husgraph/internal/graph"
+)
+
+func TestFormatString(t *testing.T) {
+	if FormatRaw.String() != "raw" || FormatCompressed.String() != "compressed" {
+		t.Fatal("format names")
+	}
+	if Format(9).String() == "" {
+		t.Fatal("unknown format String empty")
+	}
+}
+
+func TestParseFormat(t *testing.T) {
+	for in, want := range map[string]Format{"raw": FormatRaw, "compressed": FormatCompressed} {
+		got, err := ParseFormat(in)
+		if err != nil || got != want {
+			t.Fatalf("ParseFormat(%q) = %v, %v", in, got, err)
+		}
+	}
+	if _, err := ParseFormat("zip"); err == nil {
+		t.Fatal("bad format accepted")
+	}
+}
+
+func TestVertexRecsRoundTripBothFormats(t *testing.T) {
+	recs := []Rec{{Nbr: 3, Weight: 1.5}, {Nbr: 4, Weight: 0}, {Nbr: 1000000, Weight: -2.25}}
+	for _, f := range []Format{FormatRaw, FormatCompressed} {
+		buf := encodeVertexRecs(nil, recs, f, true)
+		got, err := decodeVertexRecsInto(nil, buf, f, true)
+		if err != nil {
+			t.Fatalf("%v: %v", f, err)
+		}
+		if !reflect.DeepEqual(got, recs) {
+			t.Fatalf("%v: round trip %v != %v", f, got, recs)
+		}
+	}
+}
+
+func TestCompressedEncodingRejectsUnsorted(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unsorted records accepted")
+		}
+	}()
+	encodeVertexRecs(nil, []Rec{{Nbr: 5}, {Nbr: 3}}, FormatCompressed, true)
+}
+
+func TestCompressedSmallerOnRealBlocks(t *testing.T) {
+	g := gen.Web(4096, 40000, gen.DefaultWeb, rand.New(rand.NewSource(11)))
+	raw, err := BuildWithFormat(memStore(), g, 4, FormatRaw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	comp, err := BuildWithFormat(memStore(), g, 4, FormatCompressed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if comp.TotalEdgeBytes() >= raw.TotalEdgeBytes() {
+		t.Fatalf("compressed %d not below raw %d", comp.TotalEdgeBytes(), raw.TotalEdgeBytes())
+	}
+	ratio := float64(comp.TotalEdgeBytes()) / float64(raw.TotalEdgeBytes())
+	if ratio > 0.95 {
+		t.Fatalf("compression ratio %.2f too weak", ratio)
+	}
+	t.Logf("compression ratio: %.2f (out), %.2f (in)",
+		ratio, float64(comp.TotalInEdgeBytes())/float64(raw.TotalInEdgeBytes()))
+}
+
+func TestCompressedBlocksDecodeIdentically(t *testing.T) {
+	g := gen.RMAT(128, 1200, gen.Graph500, rand.New(rand.NewSource(12)))
+	gen.AssignUniformWeights(g, 1, 5, rand.New(rand.NewSource(13)))
+	raw, err := BuildWithFormat(memStore(), g, 3, FormatRaw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	comp, err := BuildWithFormat(memStore(), g, 3, FormatCompressed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			a, err := raw.LoadInBlock(i, j)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := comp.LoadInBlock(i, j)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(a, b) {
+				t.Fatalf("in-block (%d,%d) differs across formats", i, j)
+			}
+			ao, err := raw.LoadOutBlock(i, j)
+			if err != nil {
+				t.Fatal(err)
+			}
+			bo, err := comp.LoadOutBlock(i, j)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(ao, bo) {
+				t.Fatalf("out-block (%d,%d) differs across formats", i, j)
+			}
+		}
+	}
+}
+
+func TestCompressedOpenRoundTrip(t *testing.T) {
+	g := gen.RMAT(64, 300, gen.Graph500, rand.New(rand.NewSource(14)))
+	st := memStore()
+	built, err := BuildWithFormat(st, g, 2, FormatCompressed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opened, err := Open(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opened.Format != FormatCompressed {
+		t.Fatalf("format = %v", opened.Format)
+	}
+	if !reflect.DeepEqual(opened.OutBlockBytes, built.OutBlockBytes) {
+		t.Fatal("byte sizes lost")
+	}
+}
+
+func TestBuildRejectsUnknownFormat(t *testing.T) {
+	g := graph.New(2)
+	if _, err := BuildWithFormat(memStore(), g, 1, Format(7)); err == nil {
+		t.Fatal("unknown format accepted")
+	}
+}
+
+// Property: per-vertex sections round-trip under both formats for sorted
+// random neighbor sets.
+func TestQuickVertexRecsRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(50)
+		recs := make([]Rec, 0, n)
+		nbr := uint32(0)
+		for k := 0; k < n; k++ {
+			nbr += 1 + uint32(rng.Intn(1000))
+			recs = append(recs, Rec{Nbr: nbr, Weight: rng.Float32()})
+		}
+		for _, f := range []Format{FormatRaw, FormatCompressed} {
+			buf := encodeVertexRecs(nil, recs, f, true)
+			got, err := decodeVertexRecsInto(nil, buf, f, true)
+			if err != nil {
+				return false
+			}
+			if len(got) != len(recs) {
+				return false
+			}
+			for i := range recs {
+				if got[i] != recs[i] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUnweightedStoresSmallerAndDecodeWeightOne(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	g := gen.RMAT(256, 2000, gen.Graph500, rng)
+	gen.AssignUniformWeights(g, 2, 9, rng)
+	weighted, err := BuildOpts(memStore(), g, Options{P: 4, Weighted: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	unweighted, err := BuildOpts(memStore(), g, Options{P: 4, Weighted: false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := unweighted.TotalEdgeBytes(), weighted.TotalEdgeBytes()/2; got != want {
+		t.Fatalf("unweighted bytes %d, want half of %d", got, weighted.TotalEdgeBytes())
+	}
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			w, err := weighted.LoadInBlock(i, j)
+			if err != nil {
+				t.Fatal(err)
+			}
+			u, err := unweighted.LoadInBlock(i, j)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(w.Recs) != len(u.Recs) {
+				t.Fatalf("record counts differ in block (%d,%d)", i, j)
+			}
+			for k := range u.Recs {
+				if u.Recs[k].Nbr != w.Recs[k].Nbr {
+					t.Fatalf("neighbor mismatch block (%d,%d) rec %d", i, j, k)
+				}
+				if u.Recs[k].Weight != 1 {
+					t.Fatalf("unweighted weight = %v", u.Recs[k].Weight)
+				}
+			}
+		}
+	}
+}
+
+func TestRawRecAccessor(t *testing.T) {
+	recs := []Rec{{Nbr: 42, Weight: 2.5}, {Nbr: 99, Weight: 0.5}}
+	wbuf := encodeVertexRecs(nil, recs, FormatRaw, true)
+	if nbr, w := RawRec(wbuf, EdgeBytes, true); nbr != 99 || w != 0.5 {
+		t.Fatalf("weighted RawRec = %d, %v", nbr, w)
+	}
+	ubuf := encodeVertexRecs(nil, recs, FormatRaw, false)
+	if len(ubuf) != 2*RawRecordBytes(false) {
+		t.Fatalf("unweighted payload %d bytes", len(ubuf))
+	}
+	if nbr, w := RawRec(ubuf, 4, false); nbr != 99 || w != 1 {
+		t.Fatalf("unweighted RawRec = %d, %v", nbr, w)
+	}
+}
+
+func TestStreamingUnweightedMatchesDirect(t *testing.T) {
+	rng := rand.New(rand.NewSource(32))
+	g := gen.RMAT(120, 900, gen.Graph500, rng)
+	want, err := BuildOpts(memStore(), g, Options{P: 3, Format: FormatCompressed, Weighted: false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := graph.WriteBinary(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	got, err := BuildStreamingOpts(memStore(), &buf, Options{P: 3, Format: FormatCompressed, Weighted: false}, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	storesEquivalent(t, want, got)
+}

@@ -1,0 +1,107 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+)
+
+// Model identifies an update model.
+type Model int
+
+const (
+	// ModelHybrid selects between ROP and COP each iteration using the
+	// I/O-based performance prediction method (§3.4) — the paper's
+	// default.
+	ModelHybrid Model = iota
+	// ModelROP forces Row-oriented Push in every iteration.
+	ModelROP
+	// ModelCOP forces Column-oriented Pull in every iteration.
+	ModelCOP
+)
+
+// String names the model as in the paper's figures.
+func (m Model) String() string {
+	switch m {
+	case ModelHybrid:
+		return "Hybrid"
+	case ModelROP:
+		return "ROP"
+	case ModelCOP:
+		return "COP"
+	default:
+		return fmt.Sprintf("Model(%d)", int(m))
+	}
+}
+
+// ParseModel parses "hybrid", "rop" or "cop" (case-insensitive enough for
+// CLI use).
+func ParseModel(s string) (Model, error) {
+	switch s {
+	case "hybrid", "Hybrid", "auto":
+		return ModelHybrid, nil
+	case "rop", "ROP", "push":
+		return ModelROP, nil
+	case "cop", "COP", "pull":
+		return ModelCOP, nil
+	default:
+		return ModelHybrid, fmt.Errorf("core: unknown model %q (want hybrid|rop|cop)", s)
+	}
+}
+
+// DefaultAlpha is the paper's empirical threshold: the ROP/COP cost
+// comparison is only evaluated while active vertices are below 5% of |V|
+// (§3.4); above it COP is selected unconditionally.
+const DefaultAlpha = 0.05
+
+// Config controls an engine run.
+type Config struct {
+	// Threads is the worker-thread count (§3.5); 0 means GOMAXPROCS.
+	Threads int
+	// Model forces an update model; ModelHybrid enables prediction.
+	Model Model
+	// Alpha overrides the active-fraction threshold; 0 means DefaultAlpha.
+	// Negative values disable the shortcut (always compare costs).
+	Alpha float64
+	// MaxIters bounds the iteration count; 0 means run to convergence
+	// (with a safety cap).
+	MaxIters int
+	// Tolerance, if positive, stops Additive programs once the largest
+	// per-vertex value change in an iteration falls below it.
+	Tolerance float64
+	// SemiExternal caches all vertex values in memory, charging only edge
+	// and index I/O — the FlashGraph/Graphene configuration the paper's
+	// §5 discusses ("stores the vertex values in memory and adjacency
+	// lists on SSDs"). An extension beyond the paper's evaluated system.
+	SemiExternal bool
+	// CheckpointEvery persists a resumable checkpoint (vertex values,
+	// frontier, program state) to the store every N iterations; 0
+	// disables. Use with Resume for long out-of-core jobs.
+	CheckpointEvery int
+	// Resume restarts from the program's persisted checkpoint when one
+	// exists (otherwise the run starts fresh).
+	Resume bool
+	// OnIteration, if set, is called after each iteration completes with
+	// that iteration's statistics — for live progress reporting. It runs
+	// on the engine goroutine; keep it fast.
+	OnIteration func(IterStats)
+	// COPBlockSkip skips streaming in-block(j,i) when source interval j
+	// holds no active vertices — GridGraph's block-level selective
+	// scheduling grafted onto COP. The paper's Alg. 3 streams every
+	// block (off by default); enable to ablate the design gap between
+	// block-level and vertex-level selectivity.
+	COPBlockSkip bool
+}
+
+// withDefaults resolves zero fields.
+func (c Config) withDefaults() Config {
+	if c.Threads <= 0 {
+		c.Threads = runtime.GOMAXPROCS(0)
+	}
+	if c.Alpha == 0 {
+		c.Alpha = DefaultAlpha
+	}
+	if c.MaxIters <= 0 {
+		c.MaxIters = 100000
+	}
+	return c
+}

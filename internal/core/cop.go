@@ -1,0 +1,171 @@
+package core
+
+import (
+	"math"
+
+	"husgraph/internal/bitset"
+	"husgraph/internal/blockstore"
+	"husgraph/internal/graph"
+)
+
+// runCOP executes one Column-oriented Pull iteration (paper Alg. 3).
+//
+// For every interval i, the column of in-blocks (0, i)..(P-1, i) is
+// streamed sequentially; within each in-block, destination vertices are
+// partitioned across workers (each owns its destinations, so there are no
+// write conflicts, §3.5) and pull messages from their active in-neighbors.
+// After a column completes, S_i ← D_i (Alg. 3 line 20), so later columns
+// pull already-updated values: monotone programs converge faster, additive
+// programs become a Gauss–Seidel sweep (same fixed point). Incremental
+// programs defer synchronization to iteration end (a delta must be
+// consumed exactly once).
+//
+// Returns the largest per-vertex value change (non-Monotone only).
+func (e *Engine) runCOP(prog Program, s, d []float64, frontier, next *bitset.Frontier) (float64, error) {
+	l := e.ds.Layout
+	dev := e.ds.Device()
+	monotone := prog.Kind() == Monotone
+	nv := int64(blockstore.VertexValueBytes)
+
+	if monotone {
+		copy(d, s)
+	} else {
+		for i := range d {
+			d[i] = 0
+		}
+	}
+
+	sc := e.scratch.Get().(*blockstore.Scratch)
+	defer e.scratch.Put(sc)
+
+	var maxDelta float64
+	for i := 0; i < l.P; i++ { // column i updates interval i
+		lo, hi := l.Bounds(i)
+		if !e.cfg.SemiExternal {
+			dev.ReadSeq(int64(l.Size(i)) * nv) // load D_i (Alg. 3 line 1)
+		}
+
+		for j := 0; j < l.P; j++ { // stream in-blocks top to bottom
+			if e.cfg.COPBlockSkip {
+				jlo, jhi := l.Bounds(j)
+				if frontier.CountIn(jlo, jhi) == 0 {
+					continue // block-level selective scheduling (ablation)
+				}
+			}
+			if !e.cfg.SemiExternal {
+				dev.ReadSeq(int64(l.Size(j)) * nv) // load S_j (Alg. 3 line 3)
+			}
+			if e.ds.Format == blockstore.FormatRaw {
+				// Raw fast path: iterate the packed records in place —
+				// no decode pass, and the per-destination parallelism
+				// covers all of the block's work.
+				payload, byteIdx, err := e.ds.LoadInBlockBytesScratch(j, i, sc)
+				if err != nil {
+					return 0, err
+				}
+				if len(payload) == 0 {
+					continue
+				}
+				step := blockstore.RawRecordBytes(e.ds.Weighted)
+				weighted := e.ds.Weighted
+				parallelWeightedChunks(byteIdx, e.cfg.Threads, func(cl, ch int) {
+					for local := cl; local < ch; local++ {
+						lo8, hi8 := int(byteIdx[local]), int(byteIdx[local+1])
+						if lo8 == hi8 {
+							continue
+						}
+						acc := d[lo+local]
+						dirty := false
+						for off := lo8; off < hi8; off += step {
+							nbr, w := blockstore.RawRec(payload, off, weighted)
+							if !frontier.Contains(int(nbr)) {
+								continue // IsActive check (Alg. 3 line 11)
+							}
+							msg := prog.Message(nbr, s[nbr], w)
+							if a, changed := prog.Combine(acc, msg); changed {
+								acc = a
+								dirty = true
+							}
+						}
+						if dirty {
+							d[lo+local] = acc
+						}
+					}
+				})
+				continue
+			}
+			blk, err := e.ds.LoadInBlockScratch(j, i, sc)
+			if err != nil {
+				return 0, err
+			}
+			if len(blk.Recs) == 0 {
+				continue
+			}
+			parallelWeightedChunks(blk.Index, e.cfg.Threads, func(cl, ch int) {
+				for local := cl; local < ch; local++ {
+					recs := blk.EdgesOf(local)
+					if len(recs) == 0 {
+						continue
+					}
+					acc := d[lo+local]
+					dirty := false
+					for _, r := range recs {
+						if !frontier.Contains(int(r.Nbr)) {
+							continue // IsActive check (Alg. 3 line 11)
+						}
+						msg := prog.Message(r.Nbr, s[r.Nbr], r.Weight)
+						if a, changed := prog.Combine(acc, msg); changed {
+							acc = a
+							dirty = true
+						}
+					}
+					if dirty {
+						d[lo+local] = acc
+					}
+				}
+			})
+		}
+
+		// Column finalization: activate changed vertices, synchronize
+		// S_i ← D_i (Alg. 3 line 20). Incremental programs defer both to
+		// iteration end.
+		switch prog.Kind() {
+		case Monotone:
+			for v := lo; v < hi; v++ {
+				if d[v] != s[v] {
+					next.Add(v)
+					s[v] = d[v]
+				}
+			}
+		case Additive:
+			for v := lo; v < hi; v++ {
+				newVal, activate := prog.Apply(graph.VertexID(v), s[v], d[v])
+				if delta := math.Abs(newVal - s[v]); delta > maxDelta {
+					maxDelta = delta
+				}
+				s[v] = newVal
+				if activate {
+					next.Add(v)
+				}
+			}
+		case Incremental:
+			// Values synchronized after all columns.
+		}
+		if !e.cfg.SemiExternal {
+			dev.WriteSeq(int64(l.Size(i)) * nv) // write back D_i
+		}
+	}
+	if prog.Kind() == Incremental {
+		for v := 0; v < l.NumVertices; v++ {
+			newVal, activate := prog.Apply(graph.VertexID(v), s[v], d[v])
+			if delta := math.Abs(newVal - s[v]); delta > maxDelta {
+				maxDelta = delta
+			}
+			s[v] = newVal
+			if activate {
+				next.Add(v)
+			}
+		}
+	}
+	return maxDelta, nil
+}

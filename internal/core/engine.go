@@ -1,0 +1,257 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"husgraph/internal/bitset"
+	"husgraph/internal/blockstore"
+	"husgraph/internal/storage"
+)
+
+// Engine runs vertex programs over a dual-block store with the hybrid
+// update strategy.
+type Engine struct {
+	ds  *blockstore.DualStore
+	cfg Config
+	ctx *Context
+
+	// scratch pools decode buffers across block loads; spans/runs hold
+	// ROP's per-destination-block range buffers (worker j owns index j
+	// during a row, so no locking is needed).
+	scratch sync.Pool
+	spans   [][]span
+	runs    [][]run
+}
+
+// New creates an engine over the given store.
+func New(ds *blockstore.DualStore, cfg Config) *Engine {
+	e := &Engine{
+		ds:  ds,
+		cfg: cfg.withDefaults(),
+		ctx: &Context{
+			NumVertices: ds.Layout.NumVertices,
+			OutDegrees:  ds.OutDegrees,
+			InDegrees:   ds.InDegrees,
+		},
+		spans: make([][]span, ds.Layout.P),
+		runs:  make([][]run, ds.Layout.P),
+	}
+	e.scratch.New = func() any { return new(blockstore.Scratch) }
+	return e
+}
+
+// Context returns the graph context handed to programs.
+func (e *Engine) Context() *Context { return e.ctx }
+
+// Device returns the simulated device charged by this engine's store.
+func (e *Engine) Device() *storage.Device { return e.ds.Device() }
+
+// Run executes prog to convergence (or the configured iteration bound) and
+// returns the final values with per-iteration statistics.
+func (e *Engine) Run(prog Program) (*Result, error) {
+	return e.RunContext(context.Background(), prog)
+}
+
+// RunContext is Run with cancellation: the engine checks ctx between
+// iterations and returns ctx.Err() wrapped once it is done. Combine with
+// Config.CheckpointEvery to make cancelled long jobs resumable.
+func (e *Engine) RunContext(ctx context.Context, prog Program) (*Result, error) {
+	n := e.ds.Layout.NumVertices
+	values, frontier := prog.Init(e.ctx)
+	if len(values) != n {
+		return nil, fmt.Errorf("core: program %s returned %d values for %d vertices", prog.Name(), len(values), n)
+	}
+	if frontier.Len() != n {
+		return nil, fmt.Errorf("core: program %s returned frontier over %d vertices, want %d", prog.Name(), frontier.Len(), n)
+	}
+
+	s := values             // S: previous-iteration values (paper §3.3)
+	d := make([]float64, n) // D: current-iteration values / accumulators
+	startIter := 0
+	if e.cfg.Resume {
+		ck, err := e.loadCheckpoint(prog)
+		if err != nil {
+			return nil, err
+		}
+		if ck != nil {
+			copy(s, ck.values)
+			frontier = ck.frontier
+			startIter = ck.iter
+		}
+	}
+	res := &Result{Values: s} // s is kept current; assigned again before return
+
+	dev := e.ds.Device()
+	for iter := startIter; iter < e.cfg.MaxIters; iter++ {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("core: %s cancelled before iteration %d: %w", prog.Name(), iter, err)
+		}
+		if frontier.Empty() {
+			res.Converged = true
+			break
+		}
+		ioBefore := dev.Stats()
+		start := time.Now()
+
+		st := IterStats{Iter: iter, ActiveVertices: frontier.Count()}
+		st.ActiveEdges = e.activeOutEdges(frontier)
+		st.Model = e.chooseModel(frontier, &st)
+
+		next := bitset.NewFrontier(n)
+		var maxDelta float64
+		var err error
+		if st.Model == ModelROP {
+			maxDelta, err = e.runROP(prog, s, d, frontier, next)
+		} else {
+			maxDelta, err = e.runCOP(prog, s, d, frontier, next)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("core: %s iteration %d (%v): %w", prog.Name(), iter, st.Model, err)
+		}
+
+		st.ComputeTime = time.Since(start)
+		edgeWork, blockWork := e.iterationWork(st.Model, frontier, st.ActiveEdges)
+		st.ComputeModeled = ModeledComputeTime(edgeWork, int64(n), blockWork, e.cfg.Threads)
+		st.IO = dev.Stats().Sub(ioBefore)
+		st.IOTime = st.IO.SimIO
+		st.Runtime = st.IOTime
+		if st.ComputeModeled > st.Runtime {
+			st.Runtime = st.ComputeModeled
+		}
+		st.MaxDelta = maxDelta
+		res.Iterations = append(res.Iterations, st)
+		if e.cfg.OnIteration != nil {
+			e.cfg.OnIteration(st)
+		}
+		frontier = next
+
+		if e.cfg.CheckpointEvery > 0 && (iter+1)%e.cfg.CheckpointEvery == 0 {
+			if err := e.writeCheckpoint(prog, iter+1, s, frontier); err != nil {
+				return nil, fmt.Errorf("core: checkpoint at iteration %d: %w", iter+1, err)
+			}
+		}
+
+		if prog.Kind() != Monotone && e.cfg.Tolerance > 0 && maxDelta < e.cfg.Tolerance {
+			res.Converged = true
+			break
+		}
+	}
+	if frontier != nil && frontier.Empty() {
+		res.Converged = true
+	}
+	res.Values = s
+	return res, nil
+}
+
+// activeOutEdges sums the out-degrees of the frontier: the paper's
+// "active edges" metric (Fig. 1) and the Σ d_v term of C_rop.
+func (e *Engine) activeOutEdges(f *bitset.Frontier) int64 {
+	var t int64
+	deg := e.ds.OutDegrees
+	f.Range(func(v int) bool {
+		t += int64(deg[v])
+		return true
+	})
+	return t
+}
+
+// chooseModel implements the I/O-based performance prediction (§3.4) at
+// iteration granularity. It fills the prediction fields of st.
+func (e *Engine) chooseModel(f *bitset.Frontier, st *IterStats) Model {
+	if e.cfg.Model != ModelHybrid {
+		return e.cfg.Model
+	}
+	n := e.ds.Layout.NumVertices
+	if float64(f.Count()) > e.cfg.Alpha*float64(n) {
+		// α shortcut: dense frontiers choose COP without predicting.
+		return ModelCOP
+	}
+	crop, ccop := e.predict(f)
+	st.PredictedROP, st.PredictedCOP = crop, ccop
+	if crop <= ccop {
+		return ModelROP
+	}
+	return ModelCOP
+}
+
+// predict estimates C_rop and C_cop for the current frontier using the
+// device profile's two parameters. It is the paper's §3.4 model with the
+// single T_random divisor expanded into the device's per-access latency
+// plus transfer bandwidth (the quantity fio would have measured), and with
+// the executor's access coalescing mirrored: when a block's active ranges
+// sit closer together than the device's coalesce gap, loading it
+// degenerates into one scan instead of per-vertex seeks.
+func (e *Engine) predict(f *bitset.Frontier) (crop, ccop time.Duration) {
+	l := e.ds.Layout
+	prof := e.ds.Device().Profile()
+	n := int64(l.NumVertices)
+	nv := int64(blockstore.VertexValueBytes)
+	coalesce := prof.CoalesceBytes()
+	deg := e.ds.OutDegrees
+
+	var seqBytes int64
+	for i := 0; i < l.P; i++ {
+		lo, hi := l.Bounds(i)
+		k := int64(f.CountIn(lo, hi))
+		if k == 0 {
+			continue
+		}
+		// Active out-edge bytes of this row (exact).
+		var rowActive int64
+		f.RangeIn(lo, hi, func(v int) bool {
+			rowActive += int64(deg[v])
+			return true
+		})
+		var rowEdges int64
+		for j := 0; j < l.P; j++ {
+			rowEdges += e.ds.BlockEdgeCount[i][j]
+		}
+		for j := 0; j < l.P; j++ {
+			cnt := e.ds.BlockEdgeCount[i][j]
+			if cnt == 0 {
+				continue
+			}
+			b := e.ds.OutBlockBytes[i][j]
+			// Useful bytes in this block, assuming the row's active
+			// edges spread proportionally to block sizes.
+			useful := float64(rowActive) * float64(b) / float64(rowEdges)
+			kEff := k
+			if kEff > cnt {
+				kEff = cnt
+			}
+			gap := (float64(b) - useful) / float64(kEff)
+			if gap <= float64(coalesce) {
+				// Dense regime: ranges merge into (nearly) one scan.
+				crop += prof.RandTime(b, 1)
+			} else {
+				// Sparse regime: one positioning per active vertex.
+				crop += prof.RandTime(int64(useful), kEff)
+			}
+		}
+		// Indices of the row's P out-blocks and the vertex working set
+		// (S_i read, all D_j read, D_i written — the paper's
+		// (2|V|/P + |V|)·N term).
+		for j := 0; j < l.P; j++ {
+			seqBytes += e.ds.OutIndexBytes(i, j)
+		}
+		if !e.cfg.SemiExternal {
+			seqBytes += (2*int64(l.Size(i)) + n) * nv
+		}
+	}
+	crop += prof.SeqTime(seqBytes)
+
+	// COP: stream every column's in-blocks and indices plus the same
+	// per-interval vertex working set.
+	var copBytes int64
+	for j := 0; j < l.P; j++ {
+		copBytes += e.ds.InColumnBytes(j)
+		if !e.cfg.SemiExternal {
+			copBytes += (2*int64(l.Size(j)) + n) * nv
+		}
+	}
+	ccop = prof.SeqTime(copBytes)
+	return crop, ccop
+}

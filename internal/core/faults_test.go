@@ -1,0 +1,123 @@
+package core
+
+import (
+	"errors"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"husgraph/internal/blockstore"
+	"husgraph/internal/storage"
+)
+
+// flakyStore wraps a Store and fails every read once the countdown
+// reaches zero — failure injection for the engine's error paths.
+type flakyStore struct {
+	storage.Store
+	remaining atomic.Int64
+}
+
+var errInjected = errors.New("injected storage fault")
+
+func (f *flakyStore) tick() error {
+	if f.remaining.Add(-1) < 0 {
+		return errInjected
+	}
+	return nil
+}
+
+func (f *flakyStore) ReadAll(name string) ([]byte, error) {
+	if err := f.tick(); err != nil {
+		return nil, err
+	}
+	return f.Store.ReadAll(name)
+}
+
+func (f *flakyStore) ReadAllInto(name string, buf []byte) ([]byte, error) {
+	if err := f.tick(); err != nil {
+		return nil, err
+	}
+	return f.Store.ReadAllInto(name, buf)
+}
+
+func (f *flakyStore) ReadAt(name string, off, n int64) ([]byte, error) {
+	if err := f.tick(); err != nil {
+		return nil, err
+	}
+	return f.Store.ReadAt(name, off, n)
+}
+
+func (f *flakyStore) ReadAtInto(name string, off, n int64, buf []byte) ([]byte, error) {
+	if err := f.tick(); err != nil {
+		return nil, err
+	}
+	return f.Store.ReadAtInto(name, off, n, buf)
+}
+
+// flakyAfter builds a store over g whose reads start failing after `ok`
+// successful reads.
+func flakyAfter(t *testing.T, ok int64, p int) *blockstore.DualStore {
+	t.Helper()
+	g := pathGraph(300)
+	mem := storage.NewMemStore(storage.NewDevice(storage.HDD))
+	if _, err := blockstore.Build(mem, g, p); err != nil {
+		t.Fatal(err)
+	}
+	fs := &flakyStore{Store: mem}
+	fs.remaining.Store(1 << 30) // healthy during Open
+	ds, err := blockstore.Open(fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs.remaining.Store(ok)
+	return ds
+}
+
+func TestEngineSurfacesReadFaultsCOP(t *testing.T) {
+	for _, ok := range []int64{0, 1, 3, 7} {
+		ds := flakyAfter(t, ok, 4)
+		_, err := New(ds, Config{Model: ModelCOP, Threads: 2}).Run(testBFS{})
+		if err == nil {
+			t.Fatalf("ok=%d: injected fault not surfaced", ok)
+		}
+		if !errors.Is(err, errInjected) {
+			t.Fatalf("ok=%d: error chain lost the cause: %v", ok, err)
+		}
+		if !strings.Contains(err.Error(), "COP") {
+			t.Fatalf("ok=%d: error lacks context: %v", ok, err)
+		}
+	}
+}
+
+func TestEngineSurfacesReadFaultsROP(t *testing.T) {
+	for _, ok := range []int64{0, 1, 2} {
+		ds := flakyAfter(t, ok, 4)
+		_, err := New(ds, Config{Model: ModelROP, Threads: 4}).Run(testBFS{})
+		if err == nil {
+			t.Fatalf("ok=%d: injected fault not surfaced", ok)
+		}
+		if !errors.Is(err, errInjected) {
+			t.Fatalf("ok=%d: error chain lost the cause: %v", ok, err)
+		}
+	}
+}
+
+func TestEngineFaultAfterPartialRunStillErrors(t *testing.T) {
+	// Enough healthy reads for a couple of iterations, then fail: the
+	// engine must stop with an error rather than return wrong results.
+	ds := flakyAfter(t, 40, 2)
+	_, err := New(ds, Config{Model: ModelCOP, Threads: 1}).Run(testBFS{})
+	if err == nil {
+		t.Fatal("late fault not surfaced")
+	}
+}
+
+func TestOpenSurfacesCorruptMeta(t *testing.T) {
+	mem := storage.NewMemStore(storage.NewDevice(storage.RAM))
+	if err := mem.Put("meta", []byte("garbage")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := blockstore.Open(mem); err == nil {
+		t.Fatal("corrupt meta accepted")
+	}
+}

@@ -1,0 +1,199 @@
+package core
+
+import (
+	"math"
+	"sync"
+
+	"husgraph/internal/bitset"
+	"husgraph/internal/blockstore"
+	"husgraph/internal/graph"
+)
+
+// runROP executes one Row-oriented Push iteration (paper Alg. 2).
+//
+// For every interval i containing active vertices, the row of out-blocks
+// (i, 0)..(i, P-1) is processed by overlapping workers — their destination
+// intervals are disjoint, so no write synchronization is needed. Each
+// active vertex's out-edges are located through the out-index and loaded
+// selectively; ranges whose gap is cheaper to read through than to seek
+// over are coalesced into one access (per-vertex loads are issued in
+// ascending source order, Alg. 2 lines 5–7, so on real hardware the disk
+// scheduler and readahead merge them exactly like this).
+//
+// Monotone programs eagerly synchronize vertex values after each row
+// (Alg. 2 lines 17–19), so later rows push already-improved values.
+// Additive and Incremental programs accumulate into D across all rows and
+// are applied and synchronized once at the end of the iteration (see the
+// package comment for why). Returns the largest per-vertex value change
+// (non-Monotone only).
+func (e *Engine) runROP(prog Program, s, d []float64, frontier, next *bitset.Frontier) (float64, error) {
+	l := e.ds.Layout
+	dev := e.ds.Device()
+	monotone := prog.Kind() == Monotone
+	nv := int64(blockstore.VertexValueBytes)
+
+	if monotone {
+		copy(d, s)
+	} else {
+		for i := range d {
+			d[i] = 0
+		}
+	}
+
+	var errMu sync.Mutex
+	var firstErr error
+	setErr := func(err error) {
+		errMu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		errMu.Unlock()
+	}
+
+	coalesce := dev.Profile().CoalesceBytes()
+	for i := 0; i < l.P; i++ {
+		lo, hi := l.Bounds(i)
+		if frontier.CountIn(lo, hi) == 0 {
+			continue // selective scheduling: no active sources in this row
+		}
+		if !e.cfg.SemiExternal {
+			dev.ReadSeq(int64(l.Size(i)) * nv) // load S_i (Alg. 2 line 1)
+		}
+
+		parallelFor(l.P, e.cfg.Threads, func(j int) {
+			if e.ds.BlockEdgeCount[i][j] == 0 {
+				return
+			}
+			if !e.cfg.SemiExternal {
+				dev.ReadSeq(int64(l.Size(j)) * nv) // load D_j (Alg. 2 line 3)
+			}
+			sc := e.scratch.Get().(*blockstore.Scratch)
+			defer e.scratch.Put(sc)
+			idx, err := e.ds.LoadOutIndexScratch(i, j, sc)
+			if err != nil {
+				setErr(err)
+				return
+			}
+
+			// Collect each active vertex's record range; coalesce close
+			// ranges into runs.
+			spans := e.spanBuf(j)
+			runs := e.runBuf(j)
+			frontier.RangeIn(lo, hi, func(v int) bool {
+				local := v - lo
+				rs, re := idx[local], idx[local+1]
+				if rs == re {
+					return true
+				}
+				spans = append(spans, span{v: int32(v), s: rs, e: re})
+				if n := len(runs); n > 0 && int64(rs-runs[n-1].e) <= coalesce {
+					if re > runs[n-1].e {
+						runs[n-1].e = re
+					}
+				} else {
+					runs = append(runs, run{s: rs, e: re})
+				}
+				return true
+			})
+			e.spans[j], e.runs[j] = spans, runs // retain grown capacity
+
+			ri := 0
+			var runBytes []byte
+			loaded := false
+			var runStart uint32
+			for _, sp := range spans {
+				for sp.s >= runs[ri].e {
+					ri++
+					loaded = false
+				}
+				if !loaded {
+					runBytes, err = e.ds.LoadOutRunScratch(i, j, runs[ri].s, runs[ri].e, sc) // one random access per run
+					if err != nil {
+						setErr(err)
+						return
+					}
+					runStart = runs[ri].s
+					loaded = true
+				}
+				srcVal := s[sp.v]
+				if e.ds.Format == blockstore.FormatRaw {
+					// Raw fast path: iterate packed records in place.
+					step := blockstore.RawRecordBytes(e.ds.Weighted)
+					for off := int(sp.s - runStart); off < int(sp.e-runStart); off += step {
+						nbr, w := blockstore.RawRec(runBytes, off, e.ds.Weighted)
+						msg := prog.Message(graph.VertexID(sp.v), srcVal, w)
+						if acc, changed := prog.Combine(d[nbr], msg); changed {
+							d[nbr] = acc
+							if monotone {
+								next.AddAtomic(int(nbr))
+							}
+						}
+					}
+					continue
+				}
+				recs, err := e.ds.DecodeRecsScratch(runBytes[sp.s-runStart:sp.e-runStart], sc)
+				if err != nil {
+					setErr(err)
+					return
+				}
+				for _, r := range recs {
+					msg := prog.Message(graph.VertexID(sp.v), srcVal, r.Weight)
+					if acc, changed := prog.Combine(d[r.Nbr], msg); changed {
+						d[r.Nbr] = acc
+						if monotone {
+							next.AddAtomic(int(r.Nbr))
+						}
+					}
+				}
+			}
+		})
+		if firstErr != nil {
+			return 0, firstErr
+		}
+
+		if monotone {
+			// Eager synchronization: S_j ← D_j for all intervals.
+			copy(s, d)
+			if !e.cfg.SemiExternal {
+				dev.WriteSeq(int64(l.Size(i)) * nv) // write back D_i (paper's per-interval write term)
+			}
+		}
+	}
+
+	if monotone {
+		return 0, nil
+	}
+	// Additive/Incremental finalization: apply and synchronize once,
+	// synchronously.
+	var maxDelta float64
+	for v := 0; v < l.NumVertices; v++ {
+		newVal, activate := prog.Apply(graph.VertexID(v), s[v], d[v])
+		if delta := math.Abs(newVal - s[v]); delta > maxDelta {
+			maxDelta = delta
+		}
+		s[v] = newVal
+		if activate {
+			next.Add(v)
+		}
+	}
+	if !e.cfg.SemiExternal {
+		for i := 0; i < l.P; i++ {
+			dev.WriteSeq(int64(l.Size(i)) * nv)
+		}
+	}
+	return maxDelta, nil
+}
+
+// span is one active vertex's byte range within a block; run is a
+// coalesced byte range loaded with one access.
+type span struct {
+	v    int32
+	s, e uint32
+}
+
+type run struct{ s, e uint32 }
+
+// spanBuf and runBuf return per-destination-block reusable buffers (worker
+// j exclusively owns index j during a row).
+func (e *Engine) spanBuf(j int) []span { return e.spans[j][:0] }
+func (e *Engine) runBuf(j int) []run   { return e.runs[j][:0] }

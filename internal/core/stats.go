@@ -1,0 +1,117 @@
+package core
+
+import (
+	"time"
+
+	"husgraph/internal/storage"
+)
+
+// IterStats records one iteration of an engine run: what the predictor saw,
+// which model ran, and what it cost.
+type IterStats struct {
+	// Iter is the zero-based iteration number.
+	Iter int
+	// ActiveVertices and ActiveEdges describe the frontier entering the
+	// iteration (active edges = out-edges of active vertices, as in
+	// Fig. 1).
+	ActiveVertices int
+	ActiveEdges    int64
+	// Model is the update model executed.
+	Model Model
+	// PredictedROP and PredictedCOP are the predictor's cost estimates
+	// (§3.4); zero when the α shortcut or a forced model skipped
+	// prediction.
+	PredictedROP time.Duration
+	PredictedCOP time.Duration
+	// IO is the device traffic of this iteration.
+	IO storage.Stats
+	// IOTime is the simulated device time of this iteration.
+	IOTime time.Duration
+	// ComputeTime is the measured wall-clock processing time on the host
+	// (diagnostic only; the host's core count and GC do not affect
+	// Runtime).
+	ComputeTime time.Duration
+	// ComputeModeled prices the iteration's computation for the paper's
+	// 16-core testbed (see ModeledComputeTime).
+	ComputeModeled time.Duration
+	// Runtime is the modeled iteration time: max(IOTime, ComputeModeled),
+	// since the engine overlaps CPU processing and disk I/O (§3.5).
+	Runtime time.Duration
+	// MaxDelta is the largest per-vertex value change (Additive programs
+	// only; used for Tolerance convergence).
+	MaxDelta float64
+}
+
+// Result summarizes a completed run.
+type Result struct {
+	// Values holds the final vertex values.
+	Values []float64
+	// Iterations holds per-iteration statistics in order.
+	Iterations []IterStats
+	// Converged reports whether the run stopped because the frontier
+	// drained (Monotone) or the tolerance was met (Additive), rather than
+	// hitting MaxIters.
+	Converged bool
+}
+
+// NumIterations returns the number of iterations executed.
+func (r *Result) NumIterations() int { return len(r.Iterations) }
+
+// TotalIO returns the summed device traffic across iterations.
+func (r *Result) TotalIO() storage.Stats {
+	var t storage.Stats
+	for _, it := range r.Iterations {
+		t = t.Add(it.IO)
+	}
+	return t
+}
+
+// TotalRuntime returns the summed modeled runtime across iterations.
+func (r *Result) TotalRuntime() time.Duration {
+	var t time.Duration
+	for _, it := range r.Iterations {
+		t += it.Runtime
+	}
+	return t
+}
+
+// TotalIOTime returns the summed simulated I/O time.
+func (r *Result) TotalIOTime() time.Duration {
+	var t time.Duration
+	for _, it := range r.Iterations {
+		t += it.IOTime
+	}
+	return t
+}
+
+// TotalComputeTime returns the summed measured (host wall-clock) compute
+// time.
+func (r *Result) TotalComputeTime() time.Duration {
+	var t time.Duration
+	for _, it := range r.Iterations {
+		t += it.ComputeTime
+	}
+	return t
+}
+
+// TotalComputeModeled returns the summed modeled compute time (the
+// quantity Runtime uses).
+func (r *Result) TotalComputeModeled() time.Duration {
+	var t time.Duration
+	for _, it := range r.Iterations {
+		t += it.ComputeModeled
+	}
+	return t
+}
+
+// ModelCounts returns how many iterations ran each model.
+func (r *Result) ModelCounts() (rop, cop int) {
+	for _, it := range r.Iterations {
+		if it.Model == ModelROP {
+			rop++
+		} else {
+			cop++
+		}
+	}
+	return rop, cop
+}

@@ -1,0 +1,317 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"husgraph/internal/core"
+	"husgraph/internal/report"
+	"husgraph/internal/storage"
+)
+
+// Fig1 reproduces Figure 1: the percentage of active edges per iteration
+// for PageRank, BFS and WCC on LiveJournal. PageRank keeps all edges
+// active; BFS and WCC show the rise-and-fall the hybrid strategy exploits.
+func (r *Runner) Fig1() ([]*report.Table, error) {
+	d, err := r.Dataset("livejournal-sim")
+	if err != nil {
+		return nil, err
+	}
+	type trace struct {
+		name string
+		pct  []float64
+	}
+	var traces []trace
+	maxLen := 0
+	for _, name := range []string{"PageRank", "BFS", "WCC"} {
+		a, err := AlgoByName(name)
+		if err != nil {
+			return nil, err
+		}
+		if name == "PageRank" {
+			a.MaxIters = 20 // show a longer flat line than the 5-iteration benchmark run
+		}
+		res, err := r.RunHUS(d, a, core.ModelHybrid, storage.HDD, 0)
+		if err != nil {
+			return nil, err
+		}
+		totalEdges := r.Graph(d, a.Symmetric).NumEdges()
+		tr := trace{name: name}
+		for _, it := range res.Iterations {
+			tr.pct = append(tr.pct, float64(it.ActiveEdges)/float64(totalEdges))
+		}
+		if len(tr.pct) > maxLen {
+			maxLen = len(tr.pct)
+		}
+		traces = append(traces, tr)
+	}
+	t := report.NewTable("Figure 1: active edges per iteration (% of |E|), livejournal-sim",
+		"iteration", "PageRank", "BFS", "WCC")
+	for i := 0; i < maxLen; i++ {
+		row := []string{fmt.Sprintf("%d", i+1)}
+		for _, tr := range traces {
+			if i < len(tr.pct) {
+				row = append(row, report.Percent(tr.pct[i]))
+			} else {
+				row = append(row, "-")
+			}
+		}
+		t.AddRow(row...)
+	}
+	return []*report.Table{t}, nil
+}
+
+// Fig7 reproduces Figure 7: execution time and I/O amount of the forced
+// ROP and COP models against the Hybrid model for BFS, WCC and SSSP on
+// Twitter2010 and SK2005.
+func (r *Runner) Fig7() ([]*report.Table, error) {
+	var out []*report.Table
+	for _, dsName := range []string{"twitter-sim", "sk-sim"} {
+		d, err := r.Dataset(dsName)
+		if err != nil {
+			return nil, err
+		}
+		rt := report.NewTable(fmt.Sprintf("Figure 7: execution time (s), %s", dsName),
+			"algorithm", "ROP", "COP", "Hybrid")
+		iot := report.NewTable(fmt.Sprintf("Figure 7: I/O amount (GB), %s", dsName),
+			"algorithm", "ROP", "COP", "Hybrid")
+		for _, algoName := range []string{"BFS", "WCC", "SSSP"} {
+			a, err := AlgoByName(algoName)
+			if err != nil {
+				return nil, err
+			}
+			rtRow := []string{algoName}
+			ioRow := []string{algoName}
+			for _, model := range []core.Model{core.ModelROP, core.ModelCOP, core.ModelHybrid} {
+				res, err := r.RunHUS(d, a, model, storage.HDD, 0)
+				if err != nil {
+					return nil, err
+				}
+				rtRow = append(rtRow, report.Seconds(res.TotalRuntime()))
+				ioRow = append(ioRow, report.GB(res.TotalIO().TotalBytes()))
+			}
+			rt.AddRow(rtRow...)
+			iot.AddRow(ioRow...)
+		}
+		out = append(out, rt, iot)
+	}
+	return out, nil
+}
+
+// Fig8 reproduces Figure 8: per-iteration runtime of ROP, COP and Hybrid
+// for BFS and WCC on UKunion over the first 30 iterations, showing the
+// I/O-based prediction tracking the lower envelope.
+func (r *Runner) Fig8() ([]*report.Table, error) {
+	d, err := r.Dataset("ukunion-sim")
+	if err != nil {
+		return nil, err
+	}
+	const iters = 30
+	var out []*report.Table
+	for _, algoName := range []string{"BFS", "WCC"} {
+		a, err := AlgoByName(algoName)
+		if err != nil {
+			return nil, err
+		}
+		a.MaxIters = iters
+		t := report.NewTable(fmt.Sprintf("Figure 8: per-iteration runtime (ms), %s on ukunion-sim", algoName),
+			"iteration", "ROP", "COP", "Hybrid", "Hybrid model")
+		perModel := map[core.Model][]core.IterStats{}
+		for _, model := range []core.Model{core.ModelROP, core.ModelCOP, core.ModelHybrid} {
+			res, err := r.RunHUS(d, a, model, storage.HDD, 0)
+			if err != nil {
+				return nil, err
+			}
+			perModel[model] = res.Iterations
+		}
+		ms := func(its []core.IterStats, i int) string {
+			if i >= len(its) {
+				return "-"
+			}
+			return fmt.Sprintf("%.2f", float64(its[i].Runtime)/float64(time.Millisecond))
+		}
+		for i := 0; i < iters; i++ {
+			chosen := "-"
+			if hy := perModel[core.ModelHybrid]; i < len(hy) {
+				chosen = hy[i].Model.String()
+			}
+			t.AddRow(fmt.Sprintf("%d", i+1),
+				ms(perModel[core.ModelROP], i),
+				ms(perModel[core.ModelCOP], i),
+				ms(perModel[core.ModelHybrid], i),
+				chosen)
+		}
+		out = append(out, t)
+	}
+	return out, nil
+}
+
+// Fig9 reproduces Figure 9: I/O amount of GraphChi, GridGraph and
+// HUS-Graph for PageRank, BFS and SSSP on Twitter2010, SK2005 and UK2007.
+func (r *Runner) Fig9() ([]*report.Table, error) {
+	var out []*report.Table
+	for _, dsName := range []string{"twitter-sim", "sk-sim", "uk-sim"} {
+		d, err := r.Dataset(dsName)
+		if err != nil {
+			return nil, err
+		}
+		t := report.NewTable(fmt.Sprintf("Figure 9: I/O amount (GB), %s", dsName),
+			"algorithm", "GraphChi", "GridGraph", "HUS-Graph")
+		for _, algoName := range []string{"PageRank", "BFS", "SSSP"} {
+			a, err := AlgoByName(algoName)
+			if err != nil {
+				return nil, err
+			}
+			row := []string{algoName}
+			for _, system := range []string{"GraphChi", "GridGraph"} {
+				res, err := r.RunBaseline(system, d, a, storage.HDD, 0)
+				if err != nil {
+					return nil, err
+				}
+				row = append(row, report.GB(res.TotalIO().TotalBytes()))
+			}
+			res, err := r.RunHUS(d, a, core.ModelHybrid, storage.HDD, 0)
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, report.GB(res.TotalIO().TotalBytes()))
+			t.AddRow(row...)
+		}
+		out = append(out, t)
+	}
+	return out, nil
+}
+
+// Fig10 reproduces Figure 10: runtime as the thread count grows, for
+// (a) PageRank on the in-memory graph (RAM profile — computation-bound,
+// so parallelism matters; GraphChi stays flat) and (b) BFS on UK2007 on
+// HDD (I/O-bound, so threads barely help anyone).
+func (r *Runner) Fig10() ([]*report.Table, error) {
+	threadCounts := []int{1, 2, 4, 8, 16}
+	var out []*report.Table
+	cases := []struct {
+		title   string
+		dataset string
+		algo    string
+		prof    storage.Profile
+	}{
+		// The paper's Fig. 10(a) caption runs PageRank on Twitter; the RAM
+		// profile makes it the in-memory, computation-bound case.
+		{"Figure 10(a): PageRank on twitter-sim (in memory), runtime (s) vs threads", "twitter-sim", "PageRank", storage.RAM},
+		{"Figure 10(b): BFS on uk-sim (HDD), runtime (s) vs threads", "uk-sim", "BFS", storage.HDD},
+	}
+	for _, c := range cases {
+		d, err := r.Dataset(c.dataset)
+		if err != nil {
+			return nil, err
+		}
+		a, err := AlgoByName(c.algo)
+		if err != nil {
+			return nil, err
+		}
+		t := report.NewTable(c.title, "threads", "GraphChi", "GridGraph", "HUS-Graph")
+		for _, threads := range threadCounts {
+			row := []string{fmt.Sprintf("%d", threads)}
+			for _, system := range []string{"GraphChi", "GridGraph"} {
+				res, err := r.RunBaseline(system, d, a, c.prof, threads)
+				if err != nil {
+					return nil, err
+				}
+				row = append(row, fmt.Sprintf("%.4f", res.TotalRuntime().Seconds()))
+			}
+			res, err := r.RunHUS(d, a, core.ModelHybrid, c.prof, threads)
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, fmt.Sprintf("%.4f", res.TotalRuntime().Seconds()))
+			t.AddRow(row...)
+		}
+		out = append(out, t)
+	}
+	return out, nil
+}
+
+// Fig11 reproduces Figure 11: runtime of WCC and SSSP on SK2005 on HDD vs
+// SSD for GraphChi, X-Stream, GridGraph and HUS-Graph, with the SSD
+// speedup factor — HUS-Graph benefits most because its selective (random)
+// accesses profit from the cheaper positioning.
+func (r *Runner) Fig11() ([]*report.Table, error) {
+	d, err := r.Dataset("sk-sim")
+	if err != nil {
+		return nil, err
+	}
+	var out []*report.Table
+	for _, algoName := range []string{"WCC", "SSSP"} {
+		a, err := AlgoByName(algoName)
+		if err != nil {
+			return nil, err
+		}
+		t := report.NewTable(fmt.Sprintf("Figure 11: %s on sk-sim, HDD vs SSD runtime (s)", algoName),
+			"system", "HDD", "SSD", "speedup")
+		for _, system := range []string{"GraphChi", "X-Stream", "GridGraph"} {
+			hdd, err := r.RunBaseline(system, d, a, storage.HDD, 0)
+			if err != nil {
+				return nil, err
+			}
+			ssd, err := r.RunBaseline(system, d, a, storage.SSD, 0)
+			if err != nil {
+				return nil, err
+			}
+			t.AddRow(system, report.Seconds(hdd.TotalRuntime()), report.Seconds(ssd.TotalRuntime()),
+				report.Ratio(hdd.TotalRuntime().Seconds(), ssd.TotalRuntime().Seconds()))
+		}
+		hdd, err := r.RunHUS(d, a, core.ModelHybrid, storage.HDD, 0)
+		if err != nil {
+			return nil, err
+		}
+		ssd, err := r.RunHUS(d, a, core.ModelHybrid, storage.SSD, 0)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow("HUS-Graph", report.Seconds(hdd.TotalRuntime()), report.Seconds(ssd.TotalRuntime()),
+			report.Ratio(hdd.TotalRuntime().Seconds(), ssd.TotalRuntime().Seconds()))
+		out = append(out, t)
+	}
+	return out, nil
+}
+
+// Devices is an extension experiment beyond the paper: Fig. 11 extrapolated
+// to a modern NVMe profile. The cheaper random access gets, the more of
+// HUS-Graph's selective (ROP) iterations pay off — its speedup over
+// streaming systems should widen monotonically from HDD to SSD to NVMe.
+func (r *Runner) Devices() ([]*report.Table, error) {
+	d, err := r.Dataset("sk-sim")
+	if err != nil {
+		return nil, err
+	}
+	a, err := AlgoByName("SSSP")
+	if err != nil {
+		return nil, err
+	}
+	profiles := []storage.Profile{storage.HDD, storage.SSD, storage.NVMe}
+	t := report.NewTable("Extension: SSSP on sk-sim across device classes, runtime (s) and HUS speedup",
+		"device", "GraphChi", "GridGraph", "HUS-Graph", "HUS vs GridGraph")
+	for _, prof := range profiles {
+		row := []string{prof.Name}
+		var gg float64
+		for _, system := range []string{"GraphChi", "GridGraph"} {
+			res, err := r.RunBaseline(system, d, a, prof, 0)
+			if err != nil {
+				return nil, err
+			}
+			s := res.TotalRuntime().Seconds()
+			if system == "GridGraph" {
+				gg = s
+			}
+			row = append(row, fmt.Sprintf("%.4f", s))
+		}
+		res, err := r.RunHUS(d, a, core.ModelHybrid, prof, 0)
+		if err != nil {
+			return nil, err
+		}
+		hus := res.TotalRuntime().Seconds()
+		row = append(row, fmt.Sprintf("%.4f", hus), report.Ratio(gg, hus))
+		t.AddRow(row...)
+	}
+	return []*report.Table{t}, nil
+}

@@ -1,0 +1,109 @@
+package experiments
+
+import (
+	"fmt"
+
+	"husgraph/internal/core"
+	"husgraph/internal/gen"
+	"husgraph/internal/report"
+	"husgraph/internal/storage"
+)
+
+// Table2 reproduces Table 2: the dataset inventory, showing the paper's
+// graphs alongside the synthetic analogues actually generated.
+func (r *Runner) Table2() ([]*report.Table, error) {
+	t := report.NewTable("Table 2: datasets (paper graphs and synthetic analogues)",
+		"dataset", "paper graph", "paper |V|", "paper |E|", "sim |V|", "sim |E|", "type")
+	for _, base := range gen.Registry() {
+		d, err := r.Dataset(base.Name)
+		if err != nil {
+			return nil, err
+		}
+		g := r.Graph(d, false)
+		t.AddRow(d.Name, d.PaperName, d.PaperVertices, d.PaperEdges,
+			fmt.Sprintf("%d", g.NumVertices), fmt.Sprintf("%d", g.NumEdges()), d.Kind)
+	}
+	return []*report.Table{t}, nil
+}
+
+// Table3 reproduces Table 3: execution time of PageRank, BFS, WCC and SSSP
+// on every dataset for GraphChi, GridGraph and HUS-Graph (HDD, paper
+// defaults), plus HUS-Graph's speedup factors.
+func (r *Runner) Table3() ([]*report.Table, error) {
+	t := report.NewTable("Table 3: execution time (s), HDD",
+		"dataset", "algorithm", "GraphChi", "GridGraph", "HUS-Graph", "vs GraphChi", "vs GridGraph")
+	for _, name := range gen.Names() {
+		d, err := r.Dataset(name)
+		if err != nil {
+			return nil, err
+		}
+		for _, a := range StandardAlgos() {
+			var times []float64
+			for _, system := range []string{"GraphChi", "GridGraph"} {
+				res, err := r.RunBaseline(system, d, a, storage.HDD, 0)
+				if err != nil {
+					return nil, err
+				}
+				times = append(times, res.TotalRuntime().Seconds())
+			}
+			res, err := r.RunHUS(d, a, core.ModelHybrid, storage.HDD, 0)
+			if err != nil {
+				return nil, err
+			}
+			hus := res.TotalRuntime().Seconds()
+			t.AddRow(d.Name, a.Name,
+				fmt.Sprintf("%.3f", times[0]), fmt.Sprintf("%.3f", times[1]), fmt.Sprintf("%.3f", hus),
+				report.Ratio(times[0], hus), report.Ratio(times[1], hus))
+		}
+	}
+	return []*report.Table{t}, nil
+}
+
+// All runs every experiment in paper order.
+func (r *Runner) All() ([]*report.Table, error) {
+	var out []*report.Table
+	for _, f := range []func() ([]*report.Table, error){
+		r.Table2, r.Fig1, r.Fig7, r.Fig8, r.Table3, r.Fig9, r.Fig10, r.Fig11,
+	} {
+		ts, err := f()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, ts...)
+	}
+	return out, nil
+}
+
+// ByName dispatches an experiment by its identifier ("table2", "fig1",
+// "fig7", "fig8", "table3", "fig9", "fig10", "fig11" or "all").
+func (r *Runner) ByName(name string) ([]*report.Table, error) {
+	switch name {
+	case "table2":
+		return r.Table2()
+	case "fig1":
+		return r.Fig1()
+	case "fig7":
+		return r.Fig7()
+	case "fig8":
+		return r.Fig8()
+	case "table3":
+		return r.Table3()
+	case "fig9":
+		return r.Fig9()
+	case "fig10":
+		return r.Fig10()
+	case "fig11":
+		return r.Fig11()
+	case "devices":
+		return r.Devices()
+	case "all":
+		return r.All()
+	default:
+		return nil, fmt.Errorf("experiments: unknown experiment %q (want table2|fig1|fig7|fig8|table3|fig9|fig10|fig11|devices|all)", name)
+	}
+}
+
+// ExperimentNames lists the valid ByName identifiers in paper order.
+func ExperimentNames() []string {
+	return []string{"table2", "fig1", "fig7", "fig8", "table3", "fig9", "fig10", "fig11", "devices"}
+}

@@ -1,0 +1,41 @@
+package gen_test
+
+import (
+	"fmt"
+	"math/rand"
+
+	"husgraph/internal/gen"
+)
+
+// ExampleRMAT generates a deterministic power-law social graph.
+func ExampleRMAT() {
+	g := gen.RMAT(1024, 8000, gen.Graph500, rand.New(rand.NewSource(42)))
+	fmt.Println("vertices:", g.NumVertices)
+	fmt.Println("edges within 1% of target:", g.NumEdges() >= 7920 && g.NumEdges() <= 8000)
+	fmt.Println("valid:", g.Validate() == nil)
+	// Output:
+	// vertices: 1024
+	// edges within 1% of target: true
+	// valid: true
+}
+
+// ExampleByName resolves a Table 2 dataset analogue from the registry.
+func ExampleByName() {
+	d, err := gen.ByName("ukunion-sim")
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("%s stands in for %s (%s edges), kind %s\n", d.Name, d.PaperName, d.PaperEdges, d.Kind)
+	// Output:
+	// ukunion-sim stands in for UKunion (5.5 billion edges), kind web
+}
+
+// ExampleAnalyze summarizes a graph's structure.
+func ExampleAnalyze() {
+	s := gen.Analyze(gen.Star(100))
+	fmt.Println("max out degree:", s.MaxOutDegree)
+	fmt.Println("effective diameter:", s.EffectiveDiameter)
+	// Output:
+	// max out degree: 99
+	// effective diameter: 1
+}

@@ -1,0 +1,322 @@
+// Package gen produces deterministic synthetic graphs.
+//
+// The paper evaluates on five real-world graphs (Table 2): three social
+// graphs (LiveJournal, Twitter2010, SK2005) and two web graphs (UK2007,
+// UKunion) with power-law degree distributions, web graphs having larger
+// diameters. Those crawls are not redistributable, so this package builds
+// scaled-down synthetic analogues with the properties the experiments
+// depend on: R-MAT graphs reproduce the social graphs' heavy skew and small
+// diameter, and a locality-biased power-law generator reproduces the web
+// graphs' larger diameter (so BFS/WCC run for many iterations, as in
+// Fig. 8). All generators are seeded and fully deterministic.
+package gen
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"husgraph/internal/graph"
+)
+
+// RMATParams configures the recursive-matrix generator.
+type RMATParams struct {
+	// A, B, C, D are the quadrant probabilities; they must sum to 1.
+	// Graph500 uses 0.57/0.19/0.19/0.05.
+	A, B, C, D float64
+	// Noise perturbs the probabilities per recursion level to avoid the
+	// grid artifacts of pure R-MAT.
+	Noise float64
+}
+
+// Graph500 is the standard R-MAT parameterization for social-style graphs.
+var Graph500 = RMATParams{A: 0.57, B: 0.19, C: 0.19, D: 0.05, Noise: 0.05}
+
+// RMAT generates a directed R-MAT graph with numVertices vertices (rounded
+// up internally to a power of two, endpoints outside the range rejected)
+// and numEdges edges. Self-loops and duplicates are removed, so the result
+// may have slightly fewer edges than requested.
+func RMAT(numVertices, numEdges int, p RMATParams, rng *rand.Rand) *graph.Graph {
+	if numVertices <= 0 {
+		panic("gen: RMAT needs at least one vertex")
+	}
+	if s := p.A + p.B + p.C + p.D; math.Abs(s-1) > 1e-9 {
+		panic(fmt.Sprintf("gen: RMAT probabilities sum to %v, want 1", s))
+	}
+	levels := 0
+	for (1 << levels) < numVertices {
+		levels++
+	}
+	g := graph.New(numVertices)
+	g.Edges = make([]graph.Edge, 0, numEdges)
+	// Duplicates are common in skewed R-MAT output; generate, dedup and
+	// top up until the target count is met or generation stops making
+	// progress (possible only for tiny, nearly-complete graphs).
+	prevDistinct := -1
+	for {
+		for len(g.Edges) < numEdges {
+			src, dst := 0, 0
+			for l := 0; l < levels; l++ {
+				a, b, c := p.A, p.B, p.C
+				if p.Noise > 0 {
+					a += (rng.Float64()*2 - 1) * p.Noise * a
+					b += (rng.Float64()*2 - 1) * p.Noise * b
+					c += (rng.Float64()*2 - 1) * p.Noise * c
+				}
+				r := rng.Float64() * (a + b + c + p.D)
+				switch {
+				case r < a:
+					// top-left: no bits set
+				case r < a+b:
+					dst |= 1 << l
+				case r < a+b+c:
+					src |= 1 << l
+				default:
+					src |= 1 << l
+					dst |= 1 << l
+				}
+			}
+			if src >= numVertices || dst >= numVertices || src == dst {
+				continue
+			}
+			g.AddEdge(graph.VertexID(src), graph.VertexID(dst))
+		}
+		g.Dedup()
+		if len(g.Edges) >= numEdges || len(g.Edges) <= prevDistinct {
+			return g
+		}
+		prevDistinct = len(g.Edges)
+	}
+}
+
+// ErdosRenyi generates a directed G(n, m) graph: m distinct non-loop edges
+// chosen uniformly at random.
+func ErdosRenyi(n, m int, rng *rand.Rand) *graph.Graph {
+	if n <= 1 && m > 0 {
+		panic("gen: ErdosRenyi needs n > 1 for edges")
+	}
+	maxEdges := int64(n) * int64(n-1)
+	if int64(m) > maxEdges {
+		panic(fmt.Sprintf("gen: ErdosRenyi m=%d exceeds n(n-1)=%d", m, maxEdges))
+	}
+	g := graph.New(n)
+	seen := make(map[[2]graph.VertexID]bool, m)
+	for len(g.Edges) < m {
+		s, d := graph.VertexID(rng.Intn(n)), graph.VertexID(rng.Intn(n))
+		if s == d || seen[[2]graph.VertexID{s, d}] {
+			continue
+		}
+		seen[[2]graph.VertexID{s, d}] = true
+		g.AddEdge(s, d)
+	}
+	g.SortBySrc()
+	return g
+}
+
+// ChungLu generates a directed power-law graph with exponent alpha
+// (typically 2..3): endpoint i is chosen with probability proportional to
+// (i+1)^(-1/(alpha-1)), the standard Chung–Lu expected-degree model.
+func ChungLu(n, m int, alpha float64, rng *rand.Rand) *graph.Graph {
+	if alpha <= 1 {
+		panic("gen: ChungLu needs alpha > 1")
+	}
+	w := make([]float64, n)
+	cum := make([]float64, n+1)
+	for i := 0; i < n; i++ {
+		w[i] = math.Pow(float64(i+1), -1/(alpha-1))
+		cum[i+1] = cum[i] + w[i]
+	}
+	total := cum[n]
+	pick := func() graph.VertexID {
+		r := rng.Float64() * total
+		// First index with cum[idx+1] > r.
+		idx := sort.SearchFloat64s(cum[1:], r)
+		if idx >= n {
+			idx = n - 1
+		}
+		return graph.VertexID(idx)
+	}
+	g := graph.New(n)
+	g.Edges = make([]graph.Edge, 0, m)
+	for len(g.Edges) < m {
+		s, d := pick(), pick()
+		if s == d {
+			continue
+		}
+		g.AddEdge(s, d)
+	}
+	g.Dedup()
+	return g
+}
+
+// WebParams configures the web-graph generator.
+type WebParams struct {
+	// Alpha is the power-law exponent for out-degrees.
+	Alpha float64
+	// JumpFrac bounds link locality: a link from v targets a vertex within
+	// ±JumpFrac·n of v on the ID ring (IDs follow crawl order, so nearby
+	// IDs are same-site pages). Because the jump is bounded, a BFS
+	// frontier advances at most JumpFrac·n IDs per level in each
+	// direction, giving an effective depth of about 1/(2·JumpFrac)
+	// regardless of scale — the web graphs' large-diameter behaviour the
+	// paper's Fig. 8 depends on.
+	JumpFrac float64
+}
+
+// DefaultWeb produces a web-like analogue whose core converges in roughly
+// a dozen BFS levels; dataset construction appends tendrils (below) for
+// the long sparse tail real crawls exhibit (cf. the 30-iteration traces of
+// Fig. 8 on UKunion).
+var DefaultWeb = WebParams{Alpha: 2.2, JumpFrac: 0.07}
+
+// Web generates a directed web-style graph: power-law out-degrees and
+// locality-bounded destinations, yielding a much larger diameter than R-MAT.
+func Web(n, m int, p WebParams, rng *rand.Rand) *graph.Graph {
+	if p.JumpFrac <= 0 || p.JumpFrac > 1 {
+		panic("gen: Web needs JumpFrac in (0, 1]")
+	}
+	maxJump := int(p.JumpFrac * float64(n))
+	if maxJump < 1 {
+		maxJump = 1
+	}
+	g := graph.New(n)
+	g.Edges = make([]graph.Edge, 0, m)
+	// Power-law out-degree per source via Zipf.
+	zipf := rand.NewZipf(rng, p.Alpha, 1, uint64(64))
+	for len(g.Edges) < m {
+		src := rng.Intn(n)
+		deg := int(zipf.Uint64()) + 1
+		for k := 0; k < deg && len(g.Edges) < m; k++ {
+			off := 1 + rng.Intn(maxJump)
+			if rng.Intn(2) == 0 {
+				off = -off
+			}
+			dst := src + off
+			if dst < 0 {
+				dst += n
+			}
+			if dst >= n {
+				dst -= n
+			}
+			if dst == src {
+				continue
+			}
+			g.AddEdge(graph.VertexID(src), graph.VertexID(dst))
+		}
+	}
+	g.Dedup()
+	return g
+}
+
+// Path returns the directed path 0→1→…→n-1.
+func Path(n int) *graph.Graph {
+	g := graph.New(n)
+	for i := 0; i+1 < n; i++ {
+		g.AddEdge(graph.VertexID(i), graph.VertexID(i+1))
+	}
+	return g
+}
+
+// Cycle returns the directed cycle over n vertices.
+func Cycle(n int) *graph.Graph {
+	g := Path(n)
+	if n > 1 {
+		g.AddEdge(graph.VertexID(n-1), 0)
+	}
+	return g
+}
+
+// Star returns the star with center 0 and out-edges to all others.
+func Star(n int) *graph.Graph {
+	g := graph.New(n)
+	for i := 1; i < n; i++ {
+		g.AddEdge(0, graph.VertexID(i))
+	}
+	return g
+}
+
+// Grid returns a rows×cols grid with edges right and down; vertex (r,c) has
+// ID r*cols+c.
+func Grid(rows, cols int) *graph.Graph {
+	g := graph.New(rows * cols)
+	id := func(r, c int) graph.VertexID { return graph.VertexID(r*cols + c) }
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			if c+1 < cols {
+				g.AddEdge(id(r, c), id(r, c+1))
+			}
+			if r+1 < rows {
+				g.AddEdge(id(r, c), id(r+1, c))
+			}
+		}
+	}
+	return g
+}
+
+// Complete returns the complete directed graph K_n (no self-loops).
+func Complete(n int) *graph.Graph {
+	g := graph.New(n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i != j {
+				g.AddEdge(graph.VertexID(i), graph.VertexID(j))
+			}
+		}
+	}
+	return g
+}
+
+// RandomTree returns a uniformly random arborescence rooted at 0: each
+// vertex i > 0 gets one in-edge from a random earlier vertex.
+func RandomTree(n int, rng *rand.Rand) *graph.Graph {
+	g := graph.New(n)
+	for i := 1; i < n; i++ {
+		g.AddEdge(graph.VertexID(rng.Intn(i)), graph.VertexID(i))
+	}
+	return g
+}
+
+// AddTendrils appends whisker chains to a graph: the vertices in
+// [coreVertices, g.NumVertices) are linked into directed chains whose heads
+// hang off random core vertices. Real social and web graphs have such
+// weakly-attached tendrils; they are what keeps a small frontier alive for
+// many iterations after the dense core has converged — the long sparse
+// tails of the paper's Fig. 1 and Fig. 8 that make the hybrid ROP switch
+// profitable. meanLen is the average chain length (actual lengths vary
+// ±50%).
+func AddTendrils(g *graph.Graph, coreVertices, meanLen int, rng *rand.Rand) {
+	if coreVertices <= 0 || coreVertices > g.NumVertices {
+		panic("gen: AddTendrils needs 0 < coreVertices <= |V|")
+	}
+	if meanLen < 1 {
+		panic("gen: AddTendrils needs meanLen >= 1")
+	}
+	v := coreVertices
+	for v < g.NumVertices {
+		length := meanLen/2 + rng.Intn(meanLen+1)
+		if length < 1 {
+			length = 1
+		}
+		if rem := g.NumVertices - v; length > rem {
+			length = rem
+		}
+		head := graph.VertexID(rng.Intn(coreVertices))
+		prev := head
+		for k := 0; k < length; k++ {
+			g.AddEdge(prev, graph.VertexID(v))
+			prev = graph.VertexID(v)
+			v++
+		}
+	}
+}
+
+// AssignUniformWeights sets each edge weight uniformly in [lo, hi).
+func AssignUniformWeights(g *graph.Graph, lo, hi float32, rng *rand.Rand) {
+	if hi < lo {
+		panic("gen: AssignUniformWeights hi < lo")
+	}
+	for i := range g.Edges {
+		g.Edges[i].Weight = lo + rng.Float32()*(hi-lo)
+	}
+}

@@ -1,0 +1,117 @@
+package gen
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"husgraph/internal/graph"
+)
+
+// Stats summarizes a graph's structural properties — the quantities Table 2
+// style dataset inventories report and the generator tests assert on.
+type Stats struct {
+	Vertices int
+	Edges    int
+	// MaxOutDegree and MaxInDegree are the hub sizes.
+	MaxOutDegree int
+	MaxInDegree  int
+	// AvgDegree is edges per vertex.
+	AvgDegree float64
+	// DegreeGini measures out-degree skew in [0, 1): 0 is uniform,
+	// power-law graphs approach 1.
+	DegreeGini float64
+	// EffectiveDiameter estimates the 90th-percentile BFS depth from a
+	// high-degree source (directed).
+	EffectiveDiameter int
+	// Reachable is the fraction of vertices reached from that source.
+	Reachable float64
+	// Dangling is the fraction of vertices without out-edges.
+	Dangling float64
+}
+
+// Analyze computes Stats for g. Cost is O(V + E).
+func Analyze(g *graph.Graph) Stats {
+	s := Stats{Vertices: g.NumVertices, Edges: g.NumEdges()}
+	if g.NumVertices == 0 {
+		return s
+	}
+	out := g.OutDegrees()
+	in := g.InDegrees()
+	dangling := 0
+	for v := 0; v < g.NumVertices; v++ {
+		if out[v] > s.MaxOutDegree {
+			s.MaxOutDegree = out[v]
+		}
+		if in[v] > s.MaxInDegree {
+			s.MaxInDegree = in[v]
+		}
+		if out[v] == 0 {
+			dangling++
+		}
+	}
+	s.AvgDegree = float64(g.NumEdges()) / float64(g.NumVertices)
+	s.Dangling = float64(dangling) / float64(g.NumVertices)
+	s.DegreeGini = gini(out)
+
+	// Directed BFS from the hub: depth distribution.
+	src := BFSSource(g)
+	csr := graph.BuildOutCSR(g)
+	depth := make([]int, g.NumVertices)
+	for i := range depth {
+		depth[i] = -1
+	}
+	depth[src] = 0
+	queue := []graph.VertexID{src}
+	var depths []int
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		depths = append(depths, depth[v])
+		for _, u := range csr.Neighbors(v) {
+			if depth[u] < 0 {
+				depth[u] = depth[v] + 1
+				queue = append(queue, u)
+			}
+		}
+	}
+	s.Reachable = float64(len(depths)) / float64(g.NumVertices)
+	sort.Ints(depths)
+	if len(depths) > 0 {
+		s.EffectiveDiameter = depths[int(math.Ceil(0.9*float64(len(depths))))-1]
+	}
+	return s
+}
+
+// gini computes the Gini coefficient of a non-negative distribution.
+func gini(values []int) float64 {
+	n := len(values)
+	if n == 0 {
+		return 0
+	}
+	sorted := append([]int(nil), values...)
+	sort.Ints(sorted)
+	var cum, weighted float64
+	for i, v := range sorted {
+		cum += float64(v)
+		weighted += float64(v) * float64(i+1)
+	}
+	if cum == 0 {
+		return 0
+	}
+	return (2*weighted)/(float64(n)*cum) - float64(n+1)/float64(n)
+}
+
+// String renders the stats as a compact multi-line report.
+func (s Stats) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "vertices:            %d\n", s.Vertices)
+	fmt.Fprintf(&sb, "edges:               %d (avg degree %.1f)\n", s.Edges, s.AvgDegree)
+	fmt.Fprintf(&sb, "max degree:          %d out / %d in\n", s.MaxOutDegree, s.MaxInDegree)
+	fmt.Fprintf(&sb, "out-degree gini:     %.3f\n", s.DegreeGini)
+	fmt.Fprintf(&sb, "effective diameter:  %d (90th pct from hub)\n", s.EffectiveDiameter)
+	fmt.Fprintf(&sb, "reachable from hub:  %.1f%%\n", 100*s.Reachable)
+	fmt.Fprintf(&sb, "dangling vertices:   %.1f%%", 100*s.Dangling)
+	return sb.String()
+}

@@ -1,0 +1,87 @@
+package gen
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"husgraph/internal/graph"
+)
+
+func TestAnalyzeStar(t *testing.T) {
+	s := Analyze(Star(10))
+	if s.Vertices != 10 || s.Edges != 9 {
+		t.Fatalf("V=%d E=%d", s.Vertices, s.Edges)
+	}
+	if s.MaxOutDegree != 9 || s.MaxInDegree != 1 {
+		t.Fatalf("degrees: %+v", s)
+	}
+	if s.EffectiveDiameter != 1 {
+		t.Fatalf("diameter = %d", s.EffectiveDiameter)
+	}
+	if s.Reachable != 1 {
+		t.Fatalf("reachable = %v", s.Reachable)
+	}
+	// 9 of 10 vertices dangle (no out-edges).
+	if math.Abs(s.Dangling-0.9) > 1e-9 {
+		t.Fatalf("dangling = %v", s.Dangling)
+	}
+}
+
+func TestAnalyzePath(t *testing.T) {
+	s := Analyze(Path(100))
+	// 90th percentile depth from vertex 0 on a path is ~89.
+	if s.EffectiveDiameter < 85 || s.EffectiveDiameter > 99 {
+		t.Fatalf("diameter = %d", s.EffectiveDiameter)
+	}
+	if s.MaxOutDegree != 1 {
+		t.Fatalf("max out degree = %d", s.MaxOutDegree)
+	}
+}
+
+func TestAnalyzeEmpty(t *testing.T) {
+	s := Analyze(graph.New(0))
+	if s.Vertices != 0 || s.Edges != 0 {
+		t.Fatalf("%+v", s)
+	}
+	if Analyze(graph.New(5)).Reachable != 1.0/5 {
+		t.Fatal("edgeless graph should reach only the source")
+	}
+}
+
+func TestGiniSkew(t *testing.T) {
+	if g := gini([]int{5, 5, 5, 5}); math.Abs(g) > 1e-9 {
+		t.Fatalf("uniform gini = %v", g)
+	}
+	if g := gini([]int{0, 0, 0, 100}); g < 0.7 {
+		t.Fatalf("concentrated gini = %v", g)
+	}
+	if g := gini(nil); g != 0 {
+		t.Fatalf("empty gini = %v", g)
+	}
+	if g := gini([]int{0, 0}); g != 0 {
+		t.Fatalf("zero gini = %v", g)
+	}
+}
+
+func TestAnalyzeSocialVsWebShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	social := Analyze(RMAT(4096, 40000, Graph500, rng))
+	web := Analyze(Web(4096, 40000, DefaultWeb, rng))
+	if social.DegreeGini <= web.DegreeGini {
+		t.Fatalf("social gini %.3f should exceed web %.3f", social.DegreeGini, web.DegreeGini)
+	}
+	if web.EffectiveDiameter <= social.EffectiveDiameter {
+		t.Fatalf("web diameter %d should exceed social %d", web.EffectiveDiameter, social.EffectiveDiameter)
+	}
+}
+
+func TestStatsString(t *testing.T) {
+	out := Analyze(Star(5)).String()
+	for _, want := range []string{"vertices:", "edges:", "gini", "diameter"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in %q", want, out)
+		}
+	}
+}

@@ -1,0 +1,82 @@
+package graph
+
+// CSR is a compressed sparse row view of a graph: for each vertex v the
+// half-open range Offsets[v]..Offsets[v+1] indexes its adjacent vertices in
+// Targets (with parallel Weights). Built either over out-edges (row = source)
+// or in-edges (row = destination); the in-memory oracles and the block
+// builder both use it.
+type CSR struct {
+	NumVertices int
+	Offsets     []int64
+	Targets     []VertexID
+	Weights     []float32
+}
+
+// BuildOutCSR builds a CSR indexed by source vertex: Targets holds
+// destinations.
+func BuildOutCSR(g *Graph) *CSR {
+	return buildCSR(g, true)
+}
+
+// BuildInCSR builds a CSR indexed by destination vertex: Targets holds
+// sources.
+func BuildInCSR(g *Graph) *CSR {
+	return buildCSR(g, false)
+}
+
+func buildCSR(g *Graph, bySrc bool) *CSR {
+	n := g.NumVertices
+	c := &CSR{
+		NumVertices: n,
+		Offsets:     make([]int64, n+1),
+		Targets:     make([]VertexID, len(g.Edges)),
+		Weights:     make([]float32, len(g.Edges)),
+	}
+	// Counting sort by row: degree pass, prefix sum, scatter pass. O(V+E)
+	// and independent of the edge list's prior order.
+	for _, e := range g.Edges {
+		if bySrc {
+			c.Offsets[e.Src+1]++
+		} else {
+			c.Offsets[e.Dst+1]++
+		}
+	}
+	for v := 0; v < n; v++ {
+		c.Offsets[v+1] += c.Offsets[v]
+	}
+	cursor := make([]int64, n)
+	copy(cursor, c.Offsets[:n])
+	for _, e := range g.Edges {
+		var row int
+		var target VertexID
+		if bySrc {
+			row, target = int(e.Src), e.Dst
+		} else {
+			row, target = int(e.Dst), e.Src
+		}
+		i := cursor[row]
+		c.Targets[i] = target
+		c.Weights[i] = e.Weight
+		cursor[row]++
+	}
+	return c
+}
+
+// Degree returns the number of adjacent vertices of v.
+func (c *CSR) Degree(v VertexID) int {
+	return int(c.Offsets[v+1] - c.Offsets[v])
+}
+
+// Neighbors returns the adjacency slice of v (shared storage; do not
+// mutate).
+func (c *CSR) Neighbors(v VertexID) []VertexID {
+	return c.Targets[c.Offsets[v]:c.Offsets[v+1]]
+}
+
+// NeighborWeights returns the weights parallel to Neighbors(v).
+func (c *CSR) NeighborWeights(v VertexID) []float32 {
+	return c.Weights[c.Offsets[v]:c.Offsets[v+1]]
+}
+
+// NumEdges returns the number of stored edges.
+func (c *CSR) NumEdges() int { return len(c.Targets) }

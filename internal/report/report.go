@@ -1,0 +1,194 @@
+// Package report renders the experiment harness's tables and series as
+// aligned text (matching the paper's tables and figure data) and CSV.
+package report
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"time"
+)
+
+// Table is a titled grid of cells with a header row.
+type Table struct {
+	Title   string
+	Columns []string
+	Rows    [][]string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, columns ...string) *Table {
+	return &Table{Title: title, Columns: columns}
+}
+
+// AddRow appends one row; missing cells render empty, extra cells are an
+// error surfaced at render time.
+func (t *Table) AddRow(cells ...string) {
+	t.Rows = append(t.Rows, cells)
+}
+
+// Render writes the table as aligned text.
+func (t *Table) Render(w io.Writer) error {
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len([]rune(c))
+	}
+	for _, row := range t.Rows {
+		if len(row) > len(t.Columns) {
+			return fmt.Errorf("report: row has %d cells for %d columns", len(row), len(t.Columns))
+		}
+		for i, c := range row {
+			if n := len([]rune(c)); n > widths[i] {
+				widths[i] = n
+			}
+		}
+	}
+	if t.Title != "" {
+		if _, err := fmt.Fprintf(w, "%s\n", t.Title); err != nil {
+			return err
+		}
+	}
+	writeRow := func(cells []string) error {
+		var sb strings.Builder
+		for i := range t.Columns {
+			cell := ""
+			if i < len(cells) {
+				cell = cells[i]
+			}
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			sb.WriteString(cell)
+			sb.WriteString(strings.Repeat(" ", widths[i]-len([]rune(cell))))
+		}
+		_, err := fmt.Fprintf(w, "%s\n", strings.TrimRight(sb.String(), " "))
+		return err
+	}
+	if err := writeRow(t.Columns); err != nil {
+		return err
+	}
+	sep := make([]string, len(t.Columns))
+	for i, w := range widths {
+		sep[i] = strings.Repeat("-", w)
+	}
+	if err := writeRow(sep); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if err := writeRow(row); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RenderCSV writes the table as CSV with a header row. Cells containing
+// commas or quotes are quoted.
+func (t *Table) RenderCSV(w io.Writer) error {
+	esc := func(s string) string {
+		if strings.ContainsAny(s, ",\"\n") {
+			return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+		}
+		return s
+	}
+	writeRow := func(cells []string) error {
+		out := make([]string, len(t.Columns))
+		for i := range t.Columns {
+			if i < len(cells) {
+				out[i] = esc(cells[i])
+			}
+		}
+		_, err := fmt.Fprintf(w, "%s\n", strings.Join(out, ","))
+		return err
+	}
+	if err := writeRow(t.Columns); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if len(row) > len(t.Columns) {
+			return fmt.Errorf("report: row has %d cells for %d columns", len(row), len(t.Columns))
+		}
+		if err := writeRow(row); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// String renders the table to a string (aligned text), for tests and logs.
+func (t *Table) String() string {
+	var sb strings.Builder
+	_ = t.Render(&sb)
+	return sb.String()
+}
+
+// Seconds formats a duration as decimal seconds, the unit of the paper's
+// runtime tables.
+func Seconds(d time.Duration) string {
+	return fmt.Sprintf("%.3f", d.Seconds())
+}
+
+// GB formats a byte count in decimal gigabytes (the paper's I/O-amount
+// unit), with enough precision for scaled-down datasets.
+func GB(bytes int64) string {
+	return fmt.Sprintf("%.4f", float64(bytes)/1e9)
+}
+
+// MB formats a byte count in decimal megabytes.
+func MB(bytes int64) string {
+	return fmt.Sprintf("%.2f", float64(bytes)/1e6)
+}
+
+// Ratio formats a speedup/ratio like the paper's "1.4x-23.1x" factors.
+func Ratio(num, den float64) string {
+	if den == 0 {
+		return "n/a"
+	}
+	return fmt.Sprintf("%.1fx", num/den)
+}
+
+// Percent formats a fraction as a percentage.
+func Percent(frac float64) string {
+	return fmt.Sprintf("%.1f%%", 100*frac)
+}
+
+// RenderMarkdown writes the table as a GitHub-flavored markdown table with
+// the title as a heading, for inclusion in EXPERIMENTS.md-style documents.
+func (t *Table) RenderMarkdown(w io.Writer) error {
+	if t.Title != "" {
+		if _, err := fmt.Fprintf(w, "### %s\n\n", t.Title); err != nil {
+			return err
+		}
+	}
+	esc := func(s string) string { return strings.ReplaceAll(s, "|", "\\|") }
+	row := func(cells []string) error {
+		out := make([]string, len(t.Columns))
+		for i := range t.Columns {
+			if i < len(cells) {
+				out[i] = esc(cells[i])
+			}
+		}
+		_, err := fmt.Fprintf(w, "| %s |\n", strings.Join(out, " | "))
+		return err
+	}
+	if err := row(t.Columns); err != nil {
+		return err
+	}
+	sep := make([]string, len(t.Columns))
+	for i := range sep {
+		sep[i] = "---"
+	}
+	if _, err := fmt.Fprintf(w, "| %s |\n", strings.Join(sep, " | ")); err != nil {
+		return err
+	}
+	for _, r := range t.Rows {
+		if len(r) > len(t.Columns) {
+			return fmt.Errorf("report: row has %d cells for %d columns", len(r), len(t.Columns))
+		}
+		if err := row(r); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}

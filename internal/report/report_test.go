@@ -1,0 +1,113 @@
+package report
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestTableRenderAligned(t *testing.T) {
+	tb := NewTable("Title", "name", "value")
+	tb.AddRow("a", "1")
+	tb.AddRow("longer", "22")
+	out := tb.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("lines = %d: %q", len(lines), out)
+	}
+	if lines[0] != "Title" {
+		t.Fatalf("title line %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "name") || !strings.Contains(lines[1], "value") {
+		t.Fatalf("header %q", lines[1])
+	}
+	if !strings.HasPrefix(lines[2], "------") {
+		t.Fatalf("separator %q", lines[2])
+	}
+	// Columns align: "value" column starts at the same offset everywhere.
+	idx := strings.Index(lines[1], "value")
+	if got := strings.Index(lines[4], "22"); got != idx {
+		t.Fatalf("misaligned: header col at %d, cell at %d\n%s", idx, got, out)
+	}
+}
+
+func TestTableRenderNoTitle(t *testing.T) {
+	tb := NewTable("", "c")
+	tb.AddRow("x")
+	if strings.HasPrefix(tb.String(), "\n") {
+		t.Fatal("empty title produced blank line")
+	}
+}
+
+func TestTableShortRow(t *testing.T) {
+	tb := NewTable("t", "a", "b")
+	tb.AddRow("only")
+	if !strings.Contains(tb.String(), "only") {
+		t.Fatal("short row dropped")
+	}
+}
+
+func TestTableTooManyCells(t *testing.T) {
+	tb := NewTable("t", "a")
+	tb.AddRow("1", "2")
+	if err := tb.Render(&strings.Builder{}); err == nil {
+		t.Fatal("oversized row accepted")
+	}
+	if err := tb.RenderCSV(&strings.Builder{}); err == nil {
+		t.Fatal("oversized row accepted by CSV")
+	}
+}
+
+func TestRenderCSV(t *testing.T) {
+	tb := NewTable("t", "a", "b")
+	tb.AddRow("x,y", `q"z`)
+	var sb strings.Builder
+	if err := tb.RenderCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	want := "a,b\n\"x,y\",\"q\"\"z\"\n"
+	if sb.String() != want {
+		t.Fatalf("csv = %q, want %q", sb.String(), want)
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	if got := Seconds(1500 * time.Millisecond); got != "1.500" {
+		t.Fatalf("Seconds = %q", got)
+	}
+	if got := GB(2.5e9); got != "2.5000" {
+		t.Fatalf("GB = %q", got)
+	}
+	if got := MB(1.25e6); got != "1.25" {
+		t.Fatalf("MB = %q", got)
+	}
+	if got := Ratio(3, 2); got != "1.5x" {
+		t.Fatalf("Ratio = %q", got)
+	}
+	if got := Ratio(1, 0); got != "n/a" {
+		t.Fatalf("Ratio div0 = %q", got)
+	}
+	if got := Percent(0.123); got != "12.3%" {
+		t.Fatalf("Percent = %q", got)
+	}
+}
+
+func TestRenderMarkdown(t *testing.T) {
+	tb := NewTable("My Title", "a", "b")
+	tb.AddRow("1", "x|y")
+	var sb strings.Builder
+	if err := tb.RenderMarkdown(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"### My Title", "| a | b |", "| --- | --- |", `x\|y`} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("markdown missing %q:\n%s", want, out)
+		}
+	}
+	bad := NewTable("t", "a")
+	bad.AddRow("1", "2")
+	if err := bad.RenderMarkdown(&strings.Builder{}); err == nil {
+		t.Fatal("oversized row accepted")
+	}
+}

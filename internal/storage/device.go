@@ -1,0 +1,289 @@
+// Package storage provides the secondary-storage substrate for HUS-Graph.
+//
+// The paper evaluates on a 7200RPM HDD and a SATA2 SSD; the decisive
+// hardware parameters in its I/O cost model (§3.4) are the sequential
+// throughput T_sequential and the random-access throughput T_random. This
+// package models a block device by exactly those parameters plus a per-
+// access positioning latency, charges simulated time for every transfer,
+// and keeps atomic statistics (bytes moved sequentially vs randomly, access
+// counts) that the experiment harness reports as "I/O amount".
+//
+// Two blob stores are provided on top of the device model: MemStore keeps
+// blobs in memory (fast, fully deterministic — the default for tests and
+// benchmarks), and FileStore persists blobs as real files for genuine
+// out-of-core runs. Both charge the same simulated costs.
+package storage
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+)
+
+// Profile describes a storage device class by the parameters the HUS-Graph
+// cost model needs: sustained sequential bandwidth, bandwidth during random
+// transfers, and the positioning (seek/latency) cost paid per random access.
+type Profile struct {
+	// Name identifies the profile in reports ("hdd", "ssd", ...).
+	Name string
+	// SeqBytesPerSec is the sustained sequential read/write bandwidth.
+	SeqBytesPerSec float64
+	// RandBytesPerSec is the transfer bandwidth once a random access has
+	// been positioned.
+	RandBytesPerSec float64
+	// AccessLatency is the positioning cost charged per random access
+	// (HDD seek + rotational delay; SSD/NVMe command latency).
+	AccessLatency time.Duration
+}
+
+// Device profiles calibrated to the hardware classes in the paper's
+// evaluation (§4.1), with one deliberate scaling: positioning latency is
+// divided by latencyScale = 100.
+//
+// The synthetic datasets are 100–2500× smaller than the paper's graphs,
+// so a full sequential scan takes milliseconds here instead of minutes.
+// The push/pull crossover the paper exploits sits where
+// `random accesses × positioning latency ≈ full scan time`; keeping real
+// seek latencies against miniature graphs would push that crossover to a
+// handful of active vertices and erase the regime the paper evaluates.
+// Scaling the positioning latency by the same factor as the data restores
+// the paper's breakeven at the same *relative* frontier density. The
+// inter-device ratios (HDD vs SSD vs NVMe) are preserved exactly.
+var (
+	// HDD models the paper's 500 GB 7200RPM disk: fast sequential streams,
+	// catastrophic small random reads (8.3 ms positioning, scaled to
+	// 83 µs; see above). Non-contiguous transfers sustain well below the
+	// sequential rate even when elevator-ordered — many interleaved range
+	// requests keep the head settling — hence the lower RandBytesPerSec.
+	HDD = Profile{Name: "hdd", SeqBytesPerSec: 140e6, RandBytesPerSec: 35e6, AccessLatency: 83 * time.Microsecond}
+	// SSD models the paper's 128 GB SATA2 SSD used in the Fig. 11
+	// experiment (120 µs command latency, scaled to 1.2 µs).
+	SSD = Profile{Name: "ssd", SeqBytesPerSec: 250e6, RandBytesPerSec: 220e6, AccessLatency: 1200 * time.Nanosecond}
+	// NVMe models a modern flash device, beyond the paper's hardware,
+	// useful for extrapolation (20 µs, scaled to 200 ns).
+	NVMe = Profile{Name: "nvme", SeqBytesPerSec: 3000e6, RandBytesPerSec: 2500e6, AccessLatency: 200 * time.Nanosecond}
+	// RAM models an in-memory dataset: the paper notes LiveJournal fits in
+	// memory, making computation rather than I/O the bottleneck (Fig. 10a).
+	RAM = Profile{Name: "ram", SeqBytesPerSec: 12e9, RandBytesPerSec: 10e9, AccessLatency: 0}
+)
+
+// ProfileByName returns the built-in profile with the given name.
+func ProfileByName(name string) (Profile, error) {
+	for _, p := range []Profile{HDD, SSD, NVMe, RAM} {
+		if p.Name == name {
+			return p, nil
+		}
+	}
+	return Profile{}, fmt.Errorf("storage: unknown device profile %q", name)
+}
+
+// TSequential returns the sequential throughput in bytes/second — the
+// paper's T_sequential.
+func (p Profile) TSequential() float64 { return p.SeqBytesPerSec }
+
+// TRandom returns the effective random throughput in bytes/second for
+// accesses of the given average size — the paper's T_random, which the
+// authors measure with fio. It accounts for per-access positioning.
+func (p Profile) TRandom(avgAccessBytes int64) float64 {
+	if avgAccessBytes <= 0 {
+		avgAccessBytes = 4096
+	}
+	perAccess := p.AccessLatency.Seconds() + float64(avgAccessBytes)/p.RandBytesPerSec
+	return float64(avgAccessBytes) / perAccess
+}
+
+// CoalesceBytes returns the largest gap (in bytes) worth reading through
+// rather than seeking over: gap/RandBytesPerSec ≤ AccessLatency. Selective
+// readers (ROP) merge accesses separated by at most this gap, which is
+// what a real disk scheduler's elevator ordering and the OS readahead give
+// an out-of-core system for free.
+func (p Profile) CoalesceBytes() int64 {
+	return int64(p.AccessLatency.Seconds() * p.RandBytesPerSec)
+}
+
+// SeqTime returns the simulated duration of a sequential transfer of n bytes.
+func (p Profile) SeqTime(n int64) time.Duration {
+	if n <= 0 {
+		return 0
+	}
+	return time.Duration(float64(n) / p.SeqBytesPerSec * float64(time.Second))
+}
+
+// RandTime returns the simulated duration of `accesses` random accesses
+// transferring n bytes in total.
+func (p Profile) RandTime(n, accesses int64) time.Duration {
+	if n < 0 {
+		n = 0
+	}
+	if accesses < 0 {
+		accesses = 0
+	}
+	transfer := time.Duration(float64(n) / p.RandBytesPerSec * float64(time.Second))
+	return transfer + time.Duration(accesses)*p.AccessLatency
+}
+
+// Stats is a snapshot of the I/O a device has performed.
+type Stats struct {
+	SeqReadBytes   int64
+	RandReadBytes  int64
+	SeqWriteBytes  int64
+	RandWriteBytes int64
+	RandAccesses   int64
+	SeqOps         int64
+	SimIO          time.Duration
+}
+
+// ReadBytes returns the total bytes read.
+func (s Stats) ReadBytes() int64 { return s.SeqReadBytes + s.RandReadBytes }
+
+// WriteBytes returns the total bytes written.
+func (s Stats) WriteBytes() int64 { return s.SeqWriteBytes + s.RandWriteBytes }
+
+// TotalBytes returns the total bytes moved in either direction — the
+// paper's "I/O amount".
+func (s Stats) TotalBytes() int64 { return s.ReadBytes() + s.WriteBytes() }
+
+// Sub returns the difference s - earlier, useful for per-iteration deltas.
+func (s Stats) Sub(earlier Stats) Stats {
+	return Stats{
+		SeqReadBytes:   s.SeqReadBytes - earlier.SeqReadBytes,
+		RandReadBytes:  s.RandReadBytes - earlier.RandReadBytes,
+		SeqWriteBytes:  s.SeqWriteBytes - earlier.SeqWriteBytes,
+		RandWriteBytes: s.RandWriteBytes - earlier.RandWriteBytes,
+		RandAccesses:   s.RandAccesses - earlier.RandAccesses,
+		SeqOps:         s.SeqOps - earlier.SeqOps,
+		SimIO:          s.SimIO - earlier.SimIO,
+	}
+}
+
+// Add returns the sum s + other.
+func (s Stats) Add(other Stats) Stats {
+	return Stats{
+		SeqReadBytes:   s.SeqReadBytes + other.SeqReadBytes,
+		RandReadBytes:  s.RandReadBytes + other.RandReadBytes,
+		SeqWriteBytes:  s.SeqWriteBytes + other.SeqWriteBytes,
+		RandWriteBytes: s.RandWriteBytes + other.RandWriteBytes,
+		RandAccesses:   s.RandAccesses + other.RandAccesses,
+		SeqOps:         s.SeqOps + other.SeqOps,
+		SimIO:          s.SimIO + other.SimIO,
+	}
+}
+
+// String renders the stats compactly for logs.
+func (s Stats) String() string {
+	return fmt.Sprintf("read %.1f MB (%.1f seq / %.1f rand), wrote %.1f MB, %d rand accesses, io %s",
+		float64(s.ReadBytes())/1e6, float64(s.SeqReadBytes)/1e6, float64(s.RandReadBytes)/1e6,
+		float64(s.WriteBytes())/1e6, s.RandAccesses, s.SimIO)
+}
+
+// Device is a simulated block device. All methods are safe for concurrent
+// use; statistics are maintained with atomics so parallel worker threads of
+// the engine can charge I/O without contention.
+type Device struct {
+	prof Profile
+
+	seqReadBytes   atomic.Int64
+	randReadBytes  atomic.Int64
+	seqWriteBytes  atomic.Int64
+	randWriteBytes atomic.Int64
+	randAccesses   atomic.Int64
+	seqOps         atomic.Int64
+	simIONanos     atomic.Int64
+}
+
+// NewDevice returns a device with the given profile and zeroed statistics.
+func NewDevice(p Profile) *Device {
+	return &Device{prof: p}
+}
+
+// Profile returns the device's profile.
+func (d *Device) Profile() Profile { return d.prof }
+
+func (d *Device) charge(t time.Duration) {
+	d.simIONanos.Add(int64(t))
+}
+
+// ReadSeq charges a sequential read of n bytes and returns its simulated
+// duration.
+func (d *Device) ReadSeq(n int64) time.Duration {
+	if n <= 0 {
+		return 0
+	}
+	d.seqReadBytes.Add(n)
+	d.seqOps.Add(1)
+	t := d.prof.SeqTime(n)
+	d.charge(t)
+	return t
+}
+
+// ReadRand charges `accesses` random reads totalling n bytes and returns
+// their simulated duration.
+func (d *Device) ReadRand(n, accesses int64) time.Duration {
+	if n <= 0 && accesses <= 0 {
+		return 0
+	}
+	if n > 0 {
+		d.randReadBytes.Add(n)
+	}
+	if accesses > 0 {
+		d.randAccesses.Add(accesses)
+	}
+	t := d.prof.RandTime(n, accesses)
+	d.charge(t)
+	return t
+}
+
+// WriteSeq charges a sequential write of n bytes and returns its simulated
+// duration.
+func (d *Device) WriteSeq(n int64) time.Duration {
+	if n <= 0 {
+		return 0
+	}
+	d.seqWriteBytes.Add(n)
+	d.seqOps.Add(1)
+	t := d.prof.SeqTime(n)
+	d.charge(t)
+	return t
+}
+
+// WriteRand charges `accesses` random writes totalling n bytes and returns
+// their simulated duration.
+func (d *Device) WriteRand(n, accesses int64) time.Duration {
+	if n <= 0 && accesses <= 0 {
+		return 0
+	}
+	if n > 0 {
+		d.randWriteBytes.Add(n)
+	}
+	if accesses > 0 {
+		d.randAccesses.Add(accesses)
+	}
+	t := d.prof.RandTime(n, accesses)
+	d.charge(t)
+	return t
+}
+
+// Stats returns a snapshot of the accumulated statistics.
+func (d *Device) Stats() Stats {
+	return Stats{
+		SeqReadBytes:   d.seqReadBytes.Load(),
+		RandReadBytes:  d.randReadBytes.Load(),
+		SeqWriteBytes:  d.seqWriteBytes.Load(),
+		RandWriteBytes: d.randWriteBytes.Load(),
+		RandAccesses:   d.randAccesses.Load(),
+		SeqOps:         d.seqOps.Load(),
+		SimIO:          time.Duration(d.simIONanos.Load()),
+	}
+}
+
+// Reset zeroes the statistics. It does not affect stored data in any Store
+// backed by this device.
+func (d *Device) Reset() {
+	d.seqReadBytes.Store(0)
+	d.randReadBytes.Store(0)
+	d.seqWriteBytes.Store(0)
+	d.randWriteBytes.Store(0)
+	d.randAccesses.Store(0)
+	d.seqOps.Store(0)
+	d.simIONanos.Store(0)
+}

@@ -1,0 +1,354 @@
+package storage
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Store is a named-blob store whose accesses are charged to a simulated
+// Device. Graph shards, blocks and indices are stored as blobs.
+//
+// Access-pattern contract: ReadAll and Put are charged as sequential
+// transfers; ReadAt is charged as one random access. Implementations must be
+// safe for concurrent use.
+type Store interface {
+	// Put writes a blob, replacing any previous contents.
+	Put(name string, data []byte) error
+	// ReadAll returns the whole blob, charged as a sequential read.
+	ReadAll(name string) ([]byte, error)
+	// ReadAllInto reads the whole blob into buf (reusing its capacity,
+	// growing if needed) and returns the filled slice; charged as a
+	// sequential read. Steady-state readers use it to avoid per-read
+	// allocations.
+	ReadAllInto(name string, buf []byte) ([]byte, error)
+	// ReadAt returns n bytes starting at off, charged as one random read.
+	// It fails if the range extends past the blob.
+	ReadAt(name string, off, n int64) ([]byte, error)
+	// ReadAtInto is ReadAt reading into buf (reusing its capacity).
+	ReadAtInto(name string, off, n int64, buf []byte) ([]byte, error)
+	// Size returns the blob length in bytes.
+	Size(name string) (int64, error)
+	// Delete removes a blob; deleting a missing blob is an error.
+	Delete(name string) error
+	// List returns all blob names in lexicographic order.
+	List() []string
+	// Device returns the device that accounts this store's I/O.
+	Device() *Device
+}
+
+// ErrNotFound is wrapped by store errors for missing blobs.
+var ErrNotFound = fmt.Errorf("storage: blob not found")
+
+// MemStore is an in-memory Store. It is the default substrate for tests and
+// benchmarks: blob contents live on the heap while every access is charged
+// to the simulated device, so results are deterministic and fast while the
+// accounted I/O matches an on-disk layout byte for byte.
+type MemStore struct {
+	dev   *Device
+	mu    sync.RWMutex
+	blobs map[string][]byte
+}
+
+// NewMemStore returns an empty in-memory store charging the given device.
+func NewMemStore(dev *Device) *MemStore {
+	return &MemStore{dev: dev, blobs: make(map[string][]byte)}
+}
+
+// Device implements Store.
+func (s *MemStore) Device() *Device { return s.dev }
+
+// Put implements Store.
+func (s *MemStore) Put(name string, data []byte) error {
+	cp := append([]byte(nil), data...)
+	s.mu.Lock()
+	s.blobs[name] = cp
+	s.mu.Unlock()
+	s.dev.WriteSeq(int64(len(data)))
+	return nil
+}
+
+// ReadAll implements Store.
+func (s *MemStore) ReadAll(name string) ([]byte, error) {
+	return s.ReadAllInto(name, nil)
+}
+
+// ReadAllInto implements Store.
+func (s *MemStore) ReadAllInto(name string, buf []byte) ([]byte, error) {
+	s.mu.RLock()
+	b, ok := s.blobs[name]
+	s.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNotFound, name)
+	}
+	s.dev.ReadSeq(int64(len(b)))
+	return append(buf[:0], b...), nil
+}
+
+// ReadAt implements Store.
+func (s *MemStore) ReadAt(name string, off, n int64) ([]byte, error) {
+	return s.ReadAtInto(name, off, n, nil)
+}
+
+// ReadAtInto implements Store.
+func (s *MemStore) ReadAtInto(name string, off, n int64, buf []byte) ([]byte, error) {
+	s.mu.RLock()
+	b, ok := s.blobs[name]
+	s.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNotFound, name)
+	}
+	if off < 0 || n < 0 || off+n > int64(len(b)) {
+		return nil, fmt.Errorf("storage: ReadAt(%s, %d, %d) out of range (size %d)", name, off, n, len(b))
+	}
+	s.dev.ReadRand(n, 1)
+	return append(buf[:0], b[off:off+n]...), nil
+}
+
+// Size implements Store.
+func (s *MemStore) Size(name string) (int64, error) {
+	s.mu.RLock()
+	b, ok := s.blobs[name]
+	s.mu.RUnlock()
+	if !ok {
+		return 0, fmt.Errorf("%w: %s", ErrNotFound, name)
+	}
+	return int64(len(b)), nil
+}
+
+// Delete implements Store.
+func (s *MemStore) Delete(name string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.blobs[name]; !ok {
+		return fmt.Errorf("%w: %s", ErrNotFound, name)
+	}
+	delete(s.blobs, name)
+	return nil
+}
+
+// List implements Store.
+func (s *MemStore) List() []string {
+	s.mu.RLock()
+	names := make([]string, 0, len(s.blobs))
+	for n := range s.blobs {
+		names = append(names, n)
+	}
+	s.mu.RUnlock()
+	sort.Strings(names)
+	return names
+}
+
+// TotalSize returns the sum of all blob sizes.
+func (s *MemStore) TotalSize() int64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var t int64
+	for _, b := range s.blobs {
+		t += int64(len(b))
+	}
+	return t
+}
+
+// FileStore is a Store backed by real files in a directory, for genuine
+// out-of-core runs from the CLI. Blob names map to file paths beneath the
+// root; path separators in names create subdirectories. Simulated costs are
+// charged identically to MemStore so reported I/O amounts are comparable.
+type FileStore struct {
+	dev  *Device
+	root string
+	mu   sync.Mutex
+}
+
+// NewFileStore returns a store rooted at dir, creating it if needed.
+func NewFileStore(dev *Device, dir string) (*FileStore, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("storage: create root: %w", err)
+	}
+	return &FileStore{dev: dev, root: dir}, nil
+}
+
+// Device implements Store.
+func (s *FileStore) Device() *Device { return s.dev }
+
+func (s *FileStore) path(name string) (string, error) {
+	clean := filepath.Clean(name)
+	if clean == "." || strings.HasPrefix(clean, "..") || filepath.IsAbs(clean) {
+		return "", fmt.Errorf("storage: invalid blob name %q", name)
+	}
+	return filepath.Join(s.root, clean), nil
+}
+
+// Put implements Store.
+func (s *FileStore) Put(name string, data []byte) error {
+	p, err := s.path(name)
+	if err != nil {
+		return err
+	}
+	if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+		return err
+	}
+	if err := os.WriteFile(p, data, 0o644); err != nil {
+		return err
+	}
+	s.dev.WriteSeq(int64(len(data)))
+	return nil
+}
+
+// ReadAll implements Store.
+func (s *FileStore) ReadAll(name string) ([]byte, error) {
+	p, err := s.path(name)
+	if err != nil {
+		return nil, err
+	}
+	b, err := os.ReadFile(p)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, fmt.Errorf("%w: %s", ErrNotFound, name)
+		}
+		return nil, err
+	}
+	s.dev.ReadSeq(int64(len(b)))
+	return b, nil
+}
+
+// ReadAllInto implements Store.
+func (s *FileStore) ReadAllInto(name string, buf []byte) ([]byte, error) {
+	p, err := s.path(name)
+	if err != nil {
+		return nil, err
+	}
+	f, err := os.Open(p)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, fmt.Errorf("%w: %s", ErrNotFound, name)
+		}
+		return nil, err
+	}
+	defer f.Close()
+	fi, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	n := int(fi.Size())
+	if cap(buf) < n {
+		buf = make([]byte, n)
+	}
+	buf = buf[:n]
+	if _, err := io.ReadFull(f, buf); err != nil {
+		return nil, fmt.Errorf("storage: ReadAllInto(%s): %w", name, err)
+	}
+	s.dev.ReadSeq(int64(n))
+	return buf, nil
+}
+
+// ReadAt implements Store.
+func (s *FileStore) ReadAt(name string, off, n int64) ([]byte, error) {
+	p, err := s.path(name)
+	if err != nil {
+		return nil, err
+	}
+	f, err := os.Open(p)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, fmt.Errorf("%w: %s", ErrNotFound, name)
+		}
+		return nil, err
+	}
+	defer f.Close()
+	if off < 0 || n < 0 {
+		return nil, fmt.Errorf("storage: ReadAt(%s, %d, %d) negative range", name, off, n)
+	}
+	buf := make([]byte, n)
+	if _, err := f.ReadAt(buf, off); err != nil {
+		return nil, fmt.Errorf("storage: ReadAt(%s, %d, %d): %w", name, off, n, err)
+	}
+	s.dev.ReadRand(n, 1)
+	return buf, nil
+}
+
+// ReadAtInto implements Store.
+func (s *FileStore) ReadAtInto(name string, off, n int64, buf []byte) ([]byte, error) {
+	p, err := s.path(name)
+	if err != nil {
+		return nil, err
+	}
+	f, err := os.Open(p)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, fmt.Errorf("%w: %s", ErrNotFound, name)
+		}
+		return nil, err
+	}
+	defer f.Close()
+	if off < 0 || n < 0 {
+		return nil, fmt.Errorf("storage: ReadAtInto(%s, %d, %d) negative range", name, off, n)
+	}
+	if cap(buf) < int(n) {
+		buf = make([]byte, n)
+	}
+	buf = buf[:n]
+	if _, err := f.ReadAt(buf, off); err != nil {
+		return nil, fmt.Errorf("storage: ReadAtInto(%s, %d, %d): %w", name, off, n, err)
+	}
+	s.dev.ReadRand(n, 1)
+	return buf, nil
+}
+
+// Size implements Store.
+func (s *FileStore) Size(name string) (int64, error) {
+	p, err := s.path(name)
+	if err != nil {
+		return 0, err
+	}
+	fi, err := os.Stat(p)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return 0, fmt.Errorf("%w: %s", ErrNotFound, name)
+		}
+		return 0, err
+	}
+	return fi.Size(), nil
+}
+
+// Delete implements Store.
+func (s *FileStore) Delete(name string) error {
+	p, err := s.path(name)
+	if err != nil {
+		return err
+	}
+	if err := os.Remove(p); err != nil {
+		if os.IsNotExist(err) {
+			return fmt.Errorf("%w: %s", ErrNotFound, name)
+		}
+		return err
+	}
+	return nil
+}
+
+// List implements Store.
+func (s *FileStore) List() []string {
+	var names []string
+	_ = filepath.Walk(s.root, func(path string, info os.FileInfo, err error) error {
+		if err != nil || info.IsDir() {
+			return nil
+		}
+		rel, err := filepath.Rel(s.root, path)
+		if err != nil {
+			return nil
+		}
+		names = append(names, filepath.ToSlash(rel))
+		return nil
+	})
+	sort.Strings(names)
+	return names
+}
+
+var (
+	_ Store = (*MemStore)(nil)
+	_ Store = (*FileStore)(nil)
+)

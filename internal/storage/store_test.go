@@ -1,0 +1,292 @@
+package storage
+
+import (
+	"bytes"
+	"errors"
+	"reflect"
+	"sync"
+	"testing"
+)
+
+// storesUnderTest builds one of each Store implementation for table-driven
+// tests.
+func storesUnderTest(t *testing.T) map[string]Store {
+	t.Helper()
+	fs, err := NewFileStore(NewDevice(RAM), t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return map[string]Store{
+		"mem":  NewMemStore(NewDevice(RAM)),
+		"file": fs,
+	}
+}
+
+func TestStorePutReadAll(t *testing.T) {
+	for name, s := range storesUnderTest(t) {
+		t.Run(name, func(t *testing.T) {
+			data := []byte("hello blocks")
+			if err := s.Put("a/b", data); err != nil {
+				t.Fatal(err)
+			}
+			got, err := s.ReadAll("a/b")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(got, data) {
+				t.Fatalf("ReadAll = %q", got)
+			}
+		})
+	}
+}
+
+func TestStoreReadAllMissing(t *testing.T) {
+	for name, s := range storesUnderTest(t) {
+		t.Run(name, func(t *testing.T) {
+			if _, err := s.ReadAll("nope"); !errors.Is(err, ErrNotFound) {
+				t.Fatalf("err = %v, want ErrNotFound", err)
+			}
+		})
+	}
+}
+
+func TestStoreReadAt(t *testing.T) {
+	for name, s := range storesUnderTest(t) {
+		t.Run(name, func(t *testing.T) {
+			if err := s.Put("x", []byte("0123456789")); err != nil {
+				t.Fatal(err)
+			}
+			got, err := s.ReadAt("x", 3, 4)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if string(got) != "3456" {
+				t.Fatalf("ReadAt = %q", got)
+			}
+		})
+	}
+}
+
+func TestStoreReadAtOutOfRange(t *testing.T) {
+	for name, s := range storesUnderTest(t) {
+		t.Run(name, func(t *testing.T) {
+			if err := s.Put("x", []byte("0123")); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := s.ReadAt("x", 2, 10); err == nil {
+				t.Fatal("out-of-range ReadAt succeeded")
+			}
+			if _, err := s.ReadAt("x", -1, 2); err == nil {
+				t.Fatal("negative offset ReadAt succeeded")
+			}
+		})
+	}
+}
+
+func TestStoreSizeDeleteList(t *testing.T) {
+	for name, s := range storesUnderTest(t) {
+		t.Run(name, func(t *testing.T) {
+			if err := s.Put("b", []byte("22")); err != nil {
+				t.Fatal(err)
+			}
+			if err := s.Put("a", []byte("1")); err != nil {
+				t.Fatal(err)
+			}
+			if sz, err := s.Size("b"); err != nil || sz != 2 {
+				t.Fatalf("Size = %d, %v", sz, err)
+			}
+			if got := s.List(); !reflect.DeepEqual(got, []string{"a", "b"}) {
+				t.Fatalf("List = %v", got)
+			}
+			if err := s.Delete("a"); err != nil {
+				t.Fatal(err)
+			}
+			if err := s.Delete("a"); !errors.Is(err, ErrNotFound) {
+				t.Fatalf("double delete err = %v", err)
+			}
+			if got := s.List(); !reflect.DeepEqual(got, []string{"b"}) {
+				t.Fatalf("List after delete = %v", got)
+			}
+			if _, err := s.Size("a"); !errors.Is(err, ErrNotFound) {
+				t.Fatalf("Size missing err = %v", err)
+			}
+		})
+	}
+}
+
+func TestStorePutOverwrites(t *testing.T) {
+	for name, s := range storesUnderTest(t) {
+		t.Run(name, func(t *testing.T) {
+			s.Put("k", []byte("old-longer"))
+			s.Put("k", []byte("new"))
+			got, err := s.ReadAll("k")
+			if err != nil || string(got) != "new" {
+				t.Fatalf("ReadAll = %q, %v", got, err)
+			}
+		})
+	}
+}
+
+func TestStoreChargesDevice(t *testing.T) {
+	for name, s := range storesUnderTest(t) {
+		t.Run(name, func(t *testing.T) {
+			d := s.Device()
+			d.Reset()
+			s.Put("k", make([]byte, 1000))
+			s.ReadAll("k")
+			s.ReadAt("k", 0, 100)
+			st := d.Stats()
+			if st.SeqWriteBytes != 1000 {
+				t.Fatalf("SeqWriteBytes = %d", st.SeqWriteBytes)
+			}
+			if st.SeqReadBytes != 1000 {
+				t.Fatalf("SeqReadBytes = %d", st.SeqReadBytes)
+			}
+			if st.RandReadBytes != 100 || st.RandAccesses != 1 {
+				t.Fatalf("rand stats: %+v", st)
+			}
+		})
+	}
+}
+
+func TestMemStoreIsolation(t *testing.T) {
+	s := NewMemStore(NewDevice(RAM))
+	data := []byte("abc")
+	s.Put("k", data)
+	data[0] = 'z' // caller mutates its buffer after Put
+	got, _ := s.ReadAll("k")
+	if string(got) != "abc" {
+		t.Fatalf("Put did not copy: %q", got)
+	}
+	got[0] = 'q' // caller mutates returned buffer
+	again, _ := s.ReadAll("k")
+	if string(again) != "abc" {
+		t.Fatalf("ReadAll did not copy: %q", again)
+	}
+}
+
+func TestMemStoreTotalSize(t *testing.T) {
+	s := NewMemStore(NewDevice(RAM))
+	s.Put("a", make([]byte, 10))
+	s.Put("b", make([]byte, 32))
+	if got := s.TotalSize(); got != 42 {
+		t.Fatalf("TotalSize = %d", got)
+	}
+}
+
+func TestFileStoreRejectsEscapingNames(t *testing.T) {
+	fs, err := NewFileStore(NewDevice(RAM), t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, bad := range []string{"../evil", "/abs", "a/../../b"} {
+		if err := fs.Put(bad, []byte("x")); err == nil {
+			t.Errorf("Put(%q) succeeded", bad)
+		}
+	}
+}
+
+func TestFileStoreNestedNames(t *testing.T) {
+	fs, err := NewFileStore(NewDevice(RAM), t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Put("deep/nested/blob", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	got := fs.List()
+	if !reflect.DeepEqual(got, []string{"deep/nested/blob"}) {
+		t.Fatalf("List = %v", got)
+	}
+}
+
+func TestStoreConcurrentAccess(t *testing.T) {
+	s := NewMemStore(NewDevice(RAM))
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			name := string(rune('a' + g))
+			for i := 0; i < 200; i++ {
+				s.Put(name, []byte{byte(i)})
+				if b, err := s.ReadAll(name); err != nil || len(b) != 1 {
+					t.Errorf("ReadAll(%s): %v", name, err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := len(s.List()); got != 8 {
+		t.Fatalf("List len = %d", got)
+	}
+}
+
+func TestFileStoreErrorPaths(t *testing.T) {
+	fs, err := NewFileStore(NewDevice(RAM), t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, bad := range []string{"../up", "/abs"} {
+		if _, err := fs.ReadAll(bad); err == nil {
+			t.Errorf("ReadAll(%q) succeeded", bad)
+		}
+		if _, err := fs.ReadAllInto(bad, nil); err == nil {
+			t.Errorf("ReadAllInto(%q) succeeded", bad)
+		}
+		if _, err := fs.ReadAt(bad, 0, 1); err == nil {
+			t.Errorf("ReadAt(%q) succeeded", bad)
+		}
+		if _, err := fs.ReadAtInto(bad, 0, 1, nil); err == nil {
+			t.Errorf("ReadAtInto(%q) succeeded", bad)
+		}
+		if _, err := fs.Size(bad); err == nil {
+			t.Errorf("Size(%q) succeeded", bad)
+		}
+		if err := fs.Delete(bad); err == nil {
+			t.Errorf("Delete(%q) succeeded", bad)
+		}
+	}
+	if _, err := fs.ReadAt("missing", 0, 1); !errors.Is(err, ErrNotFound) {
+		t.Errorf("ReadAt missing: %v", err)
+	}
+	if _, err := fs.ReadAtInto("missing", 0, 1, nil); !errors.Is(err, ErrNotFound) {
+		t.Errorf("ReadAtInto missing: %v", err)
+	}
+	if _, err := fs.ReadAllInto("missing", nil); !errors.Is(err, ErrNotFound) {
+		t.Errorf("ReadAllInto missing: %v", err)
+	}
+	fs.Put("x", []byte("0123"))
+	if _, err := fs.ReadAt("x", -1, 2); err == nil {
+		t.Error("negative offset accepted")
+	}
+	if _, err := fs.ReadAtInto("x", 2, -1, nil); err == nil {
+		t.Error("negative length accepted")
+	}
+	if _, err := fs.ReadAtInto("x", 2, 10, nil); err == nil {
+		t.Error("overlong range accepted")
+	}
+}
+
+func TestReadIntoVariantsReuseBuffers(t *testing.T) {
+	for name, s := range storesUnderTest(t) {
+		t.Run(name, func(t *testing.T) {
+			if err := s.Put("k", []byte("abcdef")); err != nil {
+				t.Fatal(err)
+			}
+			buf := make([]byte, 0, 16)
+			got, err := s.ReadAllInto("k", buf)
+			if err != nil || string(got) != "abcdef" {
+				t.Fatalf("ReadAllInto = %q, %v", got, err)
+			}
+			if cap(got) != 16 && name == "mem" {
+				t.Fatalf("buffer not reused: cap %d", cap(got))
+			}
+			got2, err := s.ReadAtInto("k", 2, 3, got)
+			if err != nil || string(got2) != "cde" {
+				t.Fatalf("ReadAtInto = %q, %v", got2, err)
+			}
+		})
+	}
+}
