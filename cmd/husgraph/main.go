@@ -7,10 +7,18 @@
 //	husgraph -dataset twitter-sim -algo BFS [-system hus|graphchi|gridgraph|xstream]
 //	         [-model hybrid|rop|cop] [-device hdd|ssd|nvme|ram] [-threads N] [-p P]
 //	         [-trace] [-input edges.txt] [-store DIR]
+//	         [-checkpoint N] [-resume] [-retries N] [-retry-backoff D]
+//	         [-fault-transient N] [-fault-bitflip N] [-fault-after N] [-fault-seed S]
 //
 // With -input, a whitespace edge list ("src dst [weight]" per line) is
 // processed instead of a registry dataset. With -store, the dual-block
 // representation is kept in real files under DIR instead of memory.
+//
+// The fault flags wrap the store in a deterministic fault injector (reads
+// only, after the store is built) to demonstrate the durability machinery:
+// -fault-transient faults are ridden out by -retries, while -fault-bitflip
+// corruption is caught by the per-block checksums and fails the run rather
+// than producing wrong values.
 package main
 
 import (
@@ -50,6 +58,14 @@ func run() error {
 	storeDir := flag.String("store", "", "keep the dual-block store in real files under this directory")
 	formatName := flag.String("format", "raw", "block record format: raw|compressed")
 	valuesOut := flag.String("valuesout", "", "write final vertex values to this file (one 'vertex value' line each)")
+	checkpointEvery := flag.Int("checkpoint", 0, "persist a resumable checkpoint every N iterations (0 = off; hus only)")
+	resume := flag.Bool("resume", false, "resume from a persisted checkpoint when one exists (hus only)")
+	retries := flag.Int("retries", 0, "retry reads failing with a transient fault up to N times each, with exponential backoff")
+	retryBackoff := flag.Duration("retry-backoff", 0, "initial backoff before the first read retry (0 = 1ms default)")
+	faultTransient := flag.Int("fault-transient", 0, "inject N transient read faults (demonstrates -retries)")
+	faultBitflip := flag.Int("fault-bitflip", 0, "inject N single-bit read corruptions (demonstrates checksum detection)")
+	faultAfter := flag.Int64("fault-after", 10, "number of healthy reads before injected faults begin")
+	faultSeed := flag.Int64("fault-seed", 1, "seed for the deterministic fault injector")
 	flag.Parse()
 
 	prof, err := storage.ProfileByName(*deviceName)
@@ -82,6 +98,7 @@ func run() error {
 	}
 
 	var res *core.Result
+	var faults *storage.FaultStore
 	sysName := *system
 	start := time.Now()
 	if sysName == "hus" {
@@ -115,8 +132,30 @@ func run() error {
 		if err != nil {
 			return err
 		}
+		if *faultTransient > 0 || *faultBitflip > 0 {
+			// Wrap the built store so faults hit the run's reads, not the
+			// preprocessing writes.
+			faults = storage.NewFaultStore(st, *faultSeed)
+			if *faultTransient > 0 {
+				faults.Inject(storage.Fault{Op: storage.OpRead, Kind: storage.FaultTransient, After: *faultAfter, Count: int64(*faultTransient)})
+			}
+			if *faultBitflip > 0 {
+				faults.Inject(storage.Fault{Op: storage.OpRead, Kind: storage.FaultBitFlip, After: *faultAfter, Count: int64(*faultBitflip)})
+			}
+			if ds, err = blockstore.Open(faults); err != nil {
+				return err
+			}
+		}
 		dev.Reset() // exclude preprocessing from the run accounting
-		eng := core.New(ds, core.Config{Model: model, Threads: *threads, MaxIters: algo.MaxIters})
+		eng := core.New(ds, core.Config{
+			Model:           model,
+			Threads:         *threads,
+			MaxIters:        algo.MaxIters,
+			CheckpointEvery: *checkpointEvery,
+			Resume:          *resume,
+			ReadRetries:     *retries,
+			RetryBackoff:    *retryBackoff,
+		})
 		if res, err = eng.Run(algo.New(g)); err != nil {
 			return err
 		}
@@ -193,5 +232,13 @@ func run() error {
 		res.TotalRuntime().Round(time.Microsecond), res.TotalIOTime().Round(time.Microsecond), res.TotalComputeModeled().Round(time.Microsecond))
 	fmt.Printf("  I/O amount:     %s MB (%s)\n", report.MB(res.TotalIO().TotalBytes()), res.TotalIO())
 	fmt.Printf("  wall time:      %v\n", wall.Round(time.Millisecond))
+	if *retries > 0 || *checkpointEvery > 0 || *resume {
+		rec := res.Recovery
+		fmt.Printf("  recovery:       %d read retries, %d checkpoint(s) written, resumed at iteration %d, %d corrupt generation(s) skipped\n",
+			rec.Retries, rec.CheckpointsWritten, rec.ResumedIter, rec.CheckpointFallbacks)
+	}
+	if faults != nil {
+		fmt.Printf("  injected:       %v\n", faults.Counters())
+	}
 	return nil
 }

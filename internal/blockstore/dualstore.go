@@ -1,18 +1,44 @@
 package blockstore
 
 import (
+	"errors"
 	"fmt"
+	"sync/atomic"
+	"time"
 
 	"husgraph/internal/graph"
 	"husgraph/internal/storage"
 )
 
+// RetryPolicy bounds how DualStore read paths retry faults classified
+// transient (errors wrapping storage.ErrTransient). Backoff is exponential:
+// the k-th retry sleeps Backoff·2^(k-1), capped at MaxBackoff.
+type RetryPolicy struct {
+	// MaxRetries is the number of re-attempts after the first failure;
+	// 0 disables retrying.
+	MaxRetries int
+	// Backoff is the sleep before the first retry; 0 retries immediately.
+	Backoff time.Duration
+	// MaxBackoff caps the exponential growth; 0 means uncapped.
+	MaxBackoff time.Duration
+	// Sleep replaces time.Sleep (tests); nil uses time.Sleep.
+	Sleep func(time.Duration)
+}
+
 // DualStore is a graph materialized in the dual-block representation on a
-// blob store. It is immutable once built. All loader methods are safe for
-// concurrent use, charging the underlying simulated device.
+// blob store. The graph data is immutable once built. All loader methods
+// are safe for concurrent use, charging the underlying simulated device.
 type DualStore struct {
 	store  storage.Store
 	Layout Layout
+	// framed records whether blobs carry checksum frames (true for
+	// everything Build writes; false for stores written before framing
+	// existed, detected by Open from the meta blob).
+	framed bool
+	// retry is the transient-fault retry policy for all read paths;
+	// retries counts retry attempts actually issued.
+	retry   RetryPolicy
+	retries atomic.Int64
 	// Format is the on-disk record encoding of every block.
 	Format Format
 	// Weighted records carry edge weights; unweighted drop them (decoded
@@ -43,6 +69,10 @@ type Options struct {
 	Format Format
 	// Weighted stores edge weights with each record.
 	Weighted bool
+	// NoChecksums writes blobs without checksum frames — the pre-framing
+	// legacy layout. Only for compatibility tests and size ablations;
+	// corruption in such stores is not detected at read time.
+	NoChecksums bool
 }
 
 // Build materializes g's dual-block representation with p intervals in the
@@ -69,7 +99,7 @@ func BuildOpts(store storage.Store, g *graph.Graph, opts Options) (*DualStore, e
 	}
 	layout := NewLayout(g.NumVertices, opts.P)
 	p := layout.P
-	d := &DualStore{store: store, Layout: layout, Format: format, Weighted: opts.Weighted}
+	d := &DualStore{store: store, Layout: layout, Format: format, Weighted: opts.Weighted, framed: !opts.NoChecksums}
 	d.OutDegrees = make([]int32, g.NumVertices)
 	d.InDegrees = make([]int32, g.NumVertices)
 	d.BlockEdgeCount = alloc2D(p)
@@ -130,23 +160,23 @@ func BuildOpts(store storage.Store, g *graph.Graph, opts Options) (*DualStore, e
 		for j := 0; j < p; j++ {
 			payload, idx := encodeBlock(outRecs[i][j], outPerVertex[i][j])
 			d.OutBlockBytes[i][j] = int64(len(payload))
-			if err := store.Put(outBlockName(i, j), payload); err != nil {
+			if err := d.putBlob(outBlockName(i, j), payload); err != nil {
 				return nil, err
 			}
-			if err := store.Put(outIndexName(i, j), encodeIndex(idx)); err != nil {
+			if err := d.putBlob(outIndexName(i, j), encodeIndex(idx)); err != nil {
 				return nil, err
 			}
 			payload, idx = encodeBlock(inRecs[i][j], inPerVertex[i][j])
 			d.InBlockBytes[i][j] = int64(len(payload))
-			if err := store.Put(inBlockName(i, j), payload); err != nil {
+			if err := d.putBlob(inBlockName(i, j), payload); err != nil {
 				return nil, err
 			}
-			if err := store.Put(inIndexName(i, j), encodeIndex(idx)); err != nil {
+			if err := d.putBlob(inIndexName(i, j), encodeIndex(idx)); err != nil {
 				return nil, err
 			}
 		}
 	}
-	if err := store.Put(metaName, encodeMeta(d)); err != nil {
+	if err := d.putBlob(metaName, encodeMeta(d)); err != nil {
 		return nil, err
 	}
 	return d, nil
@@ -160,18 +190,102 @@ func alloc2D(p int) [][]int64 {
 	return m
 }
 
-// Open attaches to a dual-block store previously written by Build.
+// Open attaches to a dual-block store previously written by Build. The
+// meta blob's header decides the store's integrity mode: framed stores
+// verify a CRC32C on every full blob read; stores written before framing
+// existed carry no headers and are read unframed (legacy compatibility).
 func Open(store storage.Store) (*DualStore, error) {
 	buf, err := store.ReadAll(metaName)
 	if err != nil {
 		return nil, fmt.Errorf("blockstore: open: %w", err)
+	}
+	framed := isFramed(buf)
+	if framed {
+		if buf, err = unframeBlob(metaName, buf); err != nil {
+			return nil, fmt.Errorf("blockstore: open: %w", err)
+		}
 	}
 	d, err := decodeMeta(buf)
 	if err != nil {
 		return nil, err
 	}
 	d.store = store
+	d.framed = framed
 	return d, nil
+}
+
+// Framed reports whether this store's blobs carry checksum frames.
+func (d *DualStore) Framed() bool { return d.framed }
+
+// SetRetryPolicy installs the transient-fault retry policy used by every
+// read path. Call before running; the policy must not change while loads
+// are in flight.
+func (d *DualStore) SetRetryPolicy(p RetryPolicy) { d.retry = p }
+
+// Retries returns the cumulative number of retry attempts issued by read
+// paths since the store was created. The engine snapshots it around
+// iterations to attribute retries in IterStats.
+func (d *DualStore) Retries() int64 { return d.retries.Load() }
+
+// putBlob writes a durable blob, framing it unless the store is legacy.
+func (d *DualStore) putBlob(name string, payload []byte) error {
+	if d.framed {
+		payload = frameBlob(payload)
+	}
+	return d.store.Put(name, payload)
+}
+
+// withRetry runs read until it succeeds, fails non-transiently, or the
+// retry budget is exhausted. Each retry sleeps the exponentially grown
+// backoff first.
+func (d *DualStore) withRetry(read func() ([]byte, error)) ([]byte, error) {
+	buf, err := read()
+	backoff := d.retry.Backoff
+	for attempt := 0; attempt < d.retry.MaxRetries && errors.Is(err, storage.ErrTransient); attempt++ {
+		d.retries.Add(1)
+		if backoff > 0 {
+			sleep := d.retry.Sleep
+			if sleep == nil {
+				sleep = time.Sleep
+			}
+			sleep(backoff)
+			backoff *= 2
+			if d.retry.MaxBackoff > 0 && backoff > d.retry.MaxBackoff {
+				backoff = d.retry.MaxBackoff
+			}
+		}
+		buf, err = read()
+	}
+	return buf, err
+}
+
+// readBlob loads a whole blob into buf with transient-fault retries, and
+// on framed stores validates and strips the checksum frame. The returned
+// payload aliases the read buffer.
+func (d *DualStore) readBlob(name string, buf []byte) ([]byte, error) {
+	raw, err := d.withRetry(func() ([]byte, error) {
+		return d.store.ReadAllInto(name, buf)
+	})
+	if err != nil {
+		return nil, err
+	}
+	if !d.framed {
+		return raw, nil
+	}
+	return unframeBlob(name, raw)
+}
+
+// readRange loads payload bytes [off, off+n) of a blob with transient-
+// fault retries, shifting past the frame header on framed stores. Range
+// reads cannot validate the whole-blob checksum; integrity of selectively
+// loaded runs is only protected by the surrounding decode checks.
+func (d *DualStore) readRange(name string, off, n int64, buf []byte) ([]byte, error) {
+	if d.framed {
+		off += frameHeaderLen
+	}
+	return d.withRetry(func() ([]byte, error) {
+		return d.store.ReadAtInto(name, off, n, buf)
+	})
 }
 
 // Device returns the simulated device charged by this store.
@@ -218,7 +332,7 @@ type Scratch struct {
 // LoadOutIndex reads out-index(i,j): per-source *byte* offsets into
 // out-block(i,j) (Size(i)+1 entries). Charged as a sequential read.
 func (d *DualStore) LoadOutIndex(i, j int) ([]uint32, error) {
-	buf, err := d.store.ReadAll(outIndexName(i, j))
+	buf, err := d.readBlob(outIndexName(i, j), nil)
 	if err != nil {
 		return nil, err
 	}
@@ -227,7 +341,7 @@ func (d *DualStore) LoadOutIndex(i, j int) ([]uint32, error) {
 
 // LoadOutIndexScratch is LoadOutIndex reusing sc's buffers.
 func (d *DualStore) LoadOutIndexScratch(i, j int, sc *Scratch) ([]uint32, error) {
-	buf, err := d.store.ReadAllInto(outIndexName(i, j), sc.idxRaw)
+	buf, err := d.readBlob(outIndexName(i, j), sc.idxRaw)
 	if err != nil {
 		return nil, err
 	}
@@ -248,7 +362,7 @@ func (d *DualStore) LoadOutRun(i, j int, startByte, endByte uint32) ([]byte, err
 	if startByte >= endByte {
 		return nil, nil
 	}
-	return d.store.ReadAt(outBlockName(i, j), int64(startByte), int64(endByte-startByte))
+	return d.readRange(outBlockName(i, j), int64(startByte), int64(endByte-startByte), nil)
 }
 
 // LoadOutRunScratch is LoadOutRun reusing sc's buffers.
@@ -256,7 +370,7 @@ func (d *DualStore) LoadOutRunScratch(i, j int, startByte, endByte uint32, sc *S
 	if startByte >= endByte {
 		return nil, nil
 	}
-	buf, err := d.store.ReadAtInto(outBlockName(i, j), int64(startByte), int64(endByte-startByte), sc.raw)
+	buf, err := d.readRange(outBlockName(i, j), int64(startByte), int64(endByte-startByte), sc.raw)
 	if err != nil {
 		return nil, err
 	}
@@ -283,7 +397,7 @@ func (d *DualStore) DecodeRecsScratch(section []byte, sc *Scratch) ([]Rec, error
 
 // loadBlock reads and fully decodes a block given its blob names.
 func (d *DualStore) loadBlock(idxName, blkName string, sc *Scratch) (Block, error) {
-	buf, err := d.store.ReadAllInto(idxName, sc.idxRaw)
+	buf, err := d.readBlob(idxName, sc.idxRaw)
 	if err != nil {
 		return Block{}, err
 	}
@@ -293,7 +407,7 @@ func (d *DualStore) loadBlock(idxName, blkName string, sc *Scratch) (Block, erro
 		return Block{}, err
 	}
 	sc.idx = byteIdx
-	payload, err := d.store.ReadAllInto(blkName, sc.raw)
+	payload, err := d.readBlob(blkName, sc.raw)
 	if err != nil {
 		return Block{}, err
 	}
@@ -326,7 +440,7 @@ func (d *DualStore) loadBlock(idxName, blkName string, sc *Scratch) (Block, erro
 // via RawRec, avoiding any per-iteration decode allocation — this is what
 // a real implementation gets by mapping packed structs.
 func (d *DualStore) LoadInBlockBytesScratch(i, j int, sc *Scratch) ([]byte, []uint32, error) {
-	buf, err := d.store.ReadAllInto(inIndexName(i, j), sc.idxRaw)
+	buf, err := d.readBlob(inIndexName(i, j), sc.idxRaw)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -336,7 +450,7 @@ func (d *DualStore) LoadInBlockBytesScratch(i, j int, sc *Scratch) ([]byte, []ui
 		return nil, nil, err
 	}
 	sc.idx = byteIdx
-	payload, err := d.store.ReadAllInto(inBlockName(i, j), sc.raw)
+	payload, err := d.readBlob(inBlockName(i, j), sc.raw)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -415,14 +529,16 @@ func (d *DualStore) TotalInEdgeBytes() int64 {
 // Aux blob support: small named blobs (checkpoints, run metadata) stored
 // alongside the immutable graph blocks under the "aux/" namespace.
 
-// PutAux writes an auxiliary blob.
+// PutAux writes an auxiliary blob, checksum-framed on framed stores.
 func (d *DualStore) PutAux(name string, data []byte) error {
-	return d.store.Put("aux/"+name, data)
+	return d.putBlob("aux/"+name, data)
 }
 
-// GetAux reads an auxiliary blob; storage.ErrNotFound wraps missing names.
+// GetAux reads an auxiliary blob with transient-fault retries and checksum
+// verification; storage.ErrNotFound wraps missing names, storage.ErrCorrupt
+// wraps frames that fail validation.
 func (d *DualStore) GetAux(name string) ([]byte, error) {
-	return d.store.ReadAll("aux/" + name)
+	return d.readBlob("aux/"+name, nil)
 }
 
 // DeleteAux removes an auxiliary blob; deleting a missing blob is an error.

@@ -1,0 +1,248 @@
+package blockstore
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"time"
+
+	"husgraph/internal/graph"
+	"husgraph/internal/storage"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	for _, payload := range [][]byte{nil, {}, []byte("x"), bytes.Repeat([]byte{0xAB}, 4096)} {
+		framed := frameBlob(payload)
+		if !isFramed(framed) {
+			t.Fatalf("frameBlob output not recognized as framed")
+		}
+		got, err := unframeBlob("blob", framed)
+		if err != nil {
+			t.Fatalf("unframe: %v", err)
+		}
+		if !bytes.Equal(got, payload) {
+			t.Fatalf("payload mangled: %q != %q", got, payload)
+		}
+	}
+}
+
+func TestFrameDetectsCorruption(t *testing.T) {
+	payload := []byte("some block payload with enough bytes to flip")
+	good := frameBlob(payload)
+	cases := map[string]func([]byte) []byte{
+		"payload-bitflip": func(b []byte) []byte { b[frameHeaderLen+3] ^= 0x10; return b },
+		"header-bitflip":  func(b []byte) []byte { b[6] ^= 0x01; return b },
+		"bad-magic":       func(b []byte) []byte { b[0] = 'X'; return b },
+		"bad-version":     func(b []byte) []byte { b[4] = 99; return b },
+		"truncated":       func(b []byte) []byte { return b[:len(b)-5] },
+		"too-short":       func(b []byte) []byte { return b[:8] },
+		"extra-suffix":    func(b []byte) []byte { return append(b, 0) },
+	}
+	for name, mutate := range cases {
+		buf := mutate(append([]byte(nil), good...))
+		if _, err := unframeBlob("blob", buf); !errors.Is(err, storage.ErrCorrupt) {
+			t.Errorf("%s: err = %v, want wrapped storage.ErrCorrupt", name, err)
+		}
+	}
+}
+
+// chain returns 0→1→…→n-1.
+func chain(n int) *graph.Graph {
+	g := graph.New(n)
+	for i := 0; i+1 < n; i++ {
+		g.AddEdge(graph.VertexID(i), graph.VertexID(i+1))
+	}
+	return g
+}
+
+func TestBuildWritesFramedBlobsAndOpenVerifies(t *testing.T) {
+	mem := storage.NewMemStore(storage.NewDevice(storage.RAM))
+	if _, err := Build(mem, chain(64), 4); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range mem.List() {
+		b, err := mem.ReadAll(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !isFramed(b) {
+			t.Fatalf("blob %s written without a checksum frame", name)
+		}
+	}
+	d, err := Open(mem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.Framed() {
+		t.Fatal("Open did not detect framed store")
+	}
+	if _, err := d.LoadInBlock(0, 0); err != nil {
+		t.Fatalf("framed load: %v", err)
+	}
+}
+
+func TestOpenReadsLegacyUnframedStore(t *testing.T) {
+	mem := storage.NewMemStore(storage.NewDevice(storage.RAM))
+	built, err := BuildOpts(mem, chain(64), Options{P: 4, Weighted: true, NoChecksums: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if built.Framed() {
+		t.Fatal("NoChecksums store claims to be framed")
+	}
+	for _, name := range mem.List() {
+		b, _ := mem.ReadAll(name)
+		if isFramed(b) {
+			t.Fatalf("legacy blob %s carries a frame", name)
+		}
+	}
+	d, err := Open(mem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Framed() {
+		t.Fatal("Open mistook legacy store for framed")
+	}
+	blk, err := d.LoadInBlock(0, 1)
+	if err != nil {
+		t.Fatalf("legacy load: %v", err)
+	}
+	if len(blk.Recs) == 0 {
+		t.Fatal("legacy block decoded empty")
+	}
+}
+
+func TestCorruptBlockSurfacesChecksumError(t *testing.T) {
+	mem := storage.NewMemStore(storage.NewDevice(storage.RAM))
+	d, err := Build(mem, chain(64), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip one payload bit of an in-block behind the store's back.
+	name := "ib/0.1"
+	b, err := mem.ReadAll(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b[frameHeaderLen] ^= 0x04
+	if err := mem.Put(name, b); err != nil {
+		t.Fatal(err)
+	}
+	_, err = d.LoadInBlock(0, 1)
+	if !errors.Is(err, storage.ErrCorrupt) {
+		t.Fatalf("corrupt block load: err = %v, want wrapped storage.ErrCorrupt", err)
+	}
+}
+
+func TestAuxBlobsFramedAndVerified(t *testing.T) {
+	mem := storage.NewMemStore(storage.NewDevice(storage.RAM))
+	d, err := Build(mem, chain(16), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.PutAux("ckpt-test", []byte("checkpoint payload")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := d.GetAux("ckpt-test")
+	if err != nil || string(got) != "checkpoint payload" {
+		t.Fatalf("GetAux = %q, %v", got, err)
+	}
+	// Truncate the framed blob: read must fail as corrupt, not decode.
+	raw, err := mem.ReadAll("aux/ckpt-test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mem.Put("aux/ckpt-test", raw[:len(raw)-4]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.GetAux("ckpt-test"); !errors.Is(err, storage.ErrCorrupt) {
+		t.Fatalf("truncated aux read: err = %v, want wrapped storage.ErrCorrupt", err)
+	}
+}
+
+func TestRetryRecoversTransientReads(t *testing.T) {
+	mem := storage.NewMemStore(storage.NewDevice(storage.RAM))
+	if _, err := Build(mem, chain(64), 4); err != nil {
+		t.Fatal(err)
+	}
+	fs := storage.NewFaultStore(mem, 1)
+	d, err := Open(fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var slept []time.Duration
+	d.SetRetryPolicy(RetryPolicy{
+		MaxRetries: 3,
+		Backoff:    time.Millisecond,
+		MaxBackoff: 2 * time.Millisecond,
+		Sleep:      func(dur time.Duration) { slept = append(slept, dur) },
+	})
+	// Two consecutive transient failures on in-block reads: attempt,
+	// retry-fail, retry-succeed.
+	fs.Inject(storage.Fault{Op: storage.OpRead, Kind: storage.FaultTransient, Name: "ib/", Count: 2})
+	blk, err := d.LoadInBlock(0, 1)
+	if err != nil {
+		t.Fatalf("transient faults not retried: %v", err)
+	}
+	if len(blk.Recs) == 0 {
+		t.Fatal("retried load decoded empty")
+	}
+	if got := d.Retries(); got != 2 {
+		t.Fatalf("Retries() = %d, want 2", got)
+	}
+	// Exponential backoff: 1ms then 2ms (capped).
+	want := []time.Duration{time.Millisecond, 2 * time.Millisecond}
+	if len(slept) != len(want) || slept[0] != want[0] || slept[1] != want[1] {
+		t.Fatalf("backoff sequence = %v, want %v", slept, want)
+	}
+}
+
+func TestRetryBudgetExhaustedSurfacesTransient(t *testing.T) {
+	mem := storage.NewMemStore(storage.NewDevice(storage.RAM))
+	if _, err := Build(mem, chain(64), 4); err != nil {
+		t.Fatal(err)
+	}
+	fs := storage.NewFaultStore(mem, 1)
+	d, err := Open(fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.SetRetryPolicy(RetryPolicy{MaxRetries: 2})
+	fs.Inject(storage.Fault{Op: storage.OpRead, Kind: storage.FaultTransient, Name: "ib/"})
+	if _, err := d.LoadInBlock(0, 1); !errors.Is(err, storage.ErrTransient) {
+		t.Fatalf("exhausted retries: err = %v, want wrapped storage.ErrTransient", err)
+	}
+	if got := d.Retries(); got != 2 {
+		t.Fatalf("Retries() = %d, want 2", got)
+	}
+}
+
+func TestRetryDoesNotRetryPermanentOrCorrupt(t *testing.T) {
+	mem := storage.NewMemStore(storage.NewDevice(storage.RAM))
+	if _, err := Build(mem, chain(64), 4); err != nil {
+		t.Fatal(err)
+	}
+	fs := storage.NewFaultStore(mem, 1)
+	d, err := Open(fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.SetRetryPolicy(RetryPolicy{MaxRetries: 5})
+
+	fs.Inject(storage.Fault{Op: storage.OpRead, Kind: storage.FaultPermanent, Name: "ib/", Count: 1})
+	if _, err := d.LoadInBlock(0, 1); !errors.Is(err, storage.ErrPermanent) {
+		t.Fatalf("permanent fault: err = %v", err)
+	}
+	if got := d.Retries(); got != 0 {
+		t.Fatalf("permanent fault retried %d times", got)
+	}
+
+	// Bit-flip corruption: detected by the checksum, not retried.
+	fs.Inject(storage.Fault{Op: storage.OpRead, Kind: storage.FaultBitFlip, Name: "ib/0.1", Count: 1})
+	if _, err := d.LoadInBlock(0, 1); !errors.Is(err, storage.ErrCorrupt) {
+		t.Fatalf("bit-flip read: err = %v, want wrapped storage.ErrCorrupt", err)
+	}
+	if got := d.Retries(); got != 0 {
+		t.Fatalf("corruption retried %d times", got)
+	}
+}

@@ -64,7 +64,7 @@ func BuildStreamingOpts(store storage.Store, r io.Reader, opts Options, spillEdg
 
 	layout := NewLayout(numV, opts.P)
 	p := layout.P
-	d := &DualStore{store: store, Layout: layout, Format: format, Weighted: opts.Weighted}
+	d := &DualStore{store: store, Layout: layout, Format: format, Weighted: opts.Weighted, framed: !opts.NoChecksums}
 	d.OutDegrees = make([]int32, numV)
 	d.InDegrees = make([]int32, numV)
 	d.BlockEdgeCount = alloc2D(p)
@@ -140,7 +140,7 @@ func BuildStreamingOpts(store storage.Store, r io.Reader, opts Options, spillEdg
 		}
 	}
 
-	if err := store.Put(metaName, encodeMeta(d)); err != nil {
+	if err := d.putBlob(metaName, encodeMeta(d)); err != nil {
 		return nil, err
 	}
 	return d, nil
@@ -191,10 +191,10 @@ func (d *DualStore) encodeRow(i int, edges []graph.Edge) error {
 	for j := 0; j < l.P; j++ {
 		indices[j][size] = uint32(len(payloads[j]))
 		d.OutBlockBytes[i][j] = int64(len(payloads[j]))
-		if err := d.store.Put(outBlockName(i, j), payloads[j]); err != nil {
+		if err := d.putBlob(outBlockName(i, j), payloads[j]); err != nil {
 			return err
 		}
-		if err := d.store.Put(outIndexName(i, j), encodeIndex(indices[j])); err != nil {
+		if err := d.putBlob(outIndexName(i, j), encodeIndex(indices[j])); err != nil {
 			return err
 		}
 	}
@@ -244,10 +244,10 @@ func (d *DualStore) encodeColumn(j int, edges []graph.Edge) error {
 	for i := 0; i < l.P; i++ {
 		indices[i][size] = uint32(len(payloads[i]))
 		d.InBlockBytes[i][j] = int64(len(payloads[i]))
-		if err := d.store.Put(inBlockName(i, j), payloads[i]); err != nil {
+		if err := d.putBlob(inBlockName(i, j), payloads[i]); err != nil {
 			return err
 		}
-		if err := d.store.Put(inIndexName(i, j), encodeIndex(indices[i])); err != nil {
+		if err := d.putBlob(inIndexName(i, j), encodeIndex(indices[i])); err != nil {
 			return err
 		}
 	}

@@ -61,8 +61,11 @@ func encodeCheckpoint(c *checkpoint) []byte {
 	return buf
 }
 
-// decodeCheckpoint parses a checkpoint for a graph of n vertices.
-func decodeCheckpoint(buf []byte, n int) (*checkpoint, error) {
+// decodeCheckpoint parses a checkpoint for a graph of n vertices whose run
+// is bounded by maxIter iterations. The iteration field is validated
+// against that bound: a corrupted counter would otherwise decode to a
+// huge (or negative) value and silently skip the entire run on resume.
+func decodeCheckpoint(buf []byte, n, maxIter int) (*checkpoint, error) {
 	fail := func(msg string) (*checkpoint, error) {
 		return nil, fmt.Errorf("core: bad checkpoint: %s", msg)
 	}
@@ -71,6 +74,9 @@ func decodeCheckpoint(buf []byte, n int) (*checkpoint, error) {
 	}
 	c := &checkpoint{}
 	c.iter = int(binary.LittleEndian.Uint64(buf[4:]))
+	if c.iter < 0 || c.iter > maxIter {
+		return fail(fmt.Sprintf("iteration %d outside [0, %d]", c.iter, maxIter))
+	}
 	if got := int(binary.LittleEndian.Uint64(buf[12:])); got != n {
 		return fail(fmt.Sprintf("vertex count %d, want %d", got, n))
 	}
@@ -108,53 +114,115 @@ func decodeCheckpoint(buf []byte, n int) (*checkpoint, error) {
 	return c, nil
 }
 
-// checkpointName returns the aux blob name for a program.
+// Checkpoint blob naming. Checkpoints are written to two alternating
+// generation slots, ckpt-<prog>.g0 and ckpt-<prog>.g1, so a crash (or torn
+// write) while persisting the newest checkpoint can never destroy the
+// previous good one: the next Resume validates the newest generation's
+// checksum frame and decode, and falls back to the other generation when
+// it is truncated or corrupt. The pre-generation blob name ckpt-<prog> is
+// still read (never written) for stores checkpointed by older builds.
 func checkpointName(prog Program) string {
 	return "ckpt-" + prog.Name()
 }
 
-// writeCheckpoint persists the current run state.
+func checkpointGenName(prog Program, slot int) string {
+	return fmt.Sprintf("%s.g%d", checkpointName(prog), slot)
+}
+
+// writeCheckpoint persists the current run state into the engine's next
+// generation slot, then flips the slot so consecutive checkpoints
+// alternate between g0 and g1.
 func (e *Engine) writeCheckpoint(prog Program, iter int, values []float64, frontier *bitset.Frontier) error {
 	c := &checkpoint{iter: iter, values: values, frontier: frontier}
 	if sp, ok := prog.(StatefulProgram); ok {
 		c.progState = sp.SaveState()
 	}
-	return e.ds.PutAux(checkpointName(prog), encodeCheckpoint(c))
+	if err := e.ds.PutAux(checkpointGenName(prog, e.ckptSlot), encodeCheckpoint(c)); err != nil {
+		return err
+	}
+	e.ckptSlot ^= 1
+	return nil
 }
 
-// loadCheckpoint restores a prior run state, returning nil when no
-// checkpoint exists.
-func (e *Engine) loadCheckpoint(prog Program) (*checkpoint, error) {
-	buf, err := e.ds.GetAux(checkpointName(prog))
-	if errors.Is(err, storage.ErrNotFound) {
-		return nil, nil
+// loadCheckpoint restores the most advanced decodable checkpoint
+// generation, returning (nil, fallbacks, nil) when none exists. Corrupt or
+// truncated generations are skipped and counted in fallbacks rather than
+// failing the run — that is the entire point of keeping two generations.
+// Errors other than not-found/corruption (e.g. a permanent device failure)
+// still propagate.
+func (e *Engine) loadCheckpoint(prog Program) (*checkpoint, int, error) {
+	candidates := []struct {
+		name string
+		slot int // -1: legacy single-slot blob
+	}{
+		{checkpointGenName(prog, 0), 0},
+		{checkpointGenName(prog, 1), 1},
+		{checkpointName(prog), -1},
 	}
-	if err != nil {
-		return nil, err
+	var best *checkpoint
+	bestSlot := -1
+	fallbacks := 0
+	for _, cand := range candidates {
+		buf, err := e.ds.GetAux(cand.name)
+		if errors.Is(err, storage.ErrNotFound) {
+			continue
+		}
+		if errors.Is(err, storage.ErrCorrupt) {
+			fallbacks++
+			continue
+		}
+		if err != nil {
+			return nil, fallbacks, err
+		}
+		c, err := decodeCheckpoint(buf, e.ds.Layout.NumVertices, e.cfg.MaxIters)
+		if err != nil {
+			fallbacks++
+			continue
+		}
+		if best == nil || c.iter > best.iter {
+			best, bestSlot = c, cand.slot
+		}
 	}
-	c, err := decodeCheckpoint(buf, e.ds.Layout.NumVertices)
-	if err != nil {
-		return nil, err
+	if best == nil {
+		// No usable checkpoint: start fresh (recorded in RecoveryStats
+		// when generations were skipped as corrupt).
+		e.ckptSlot = 0
+		return nil, fallbacks, nil
 	}
-	if c.progState != nil {
+	if best.progState != nil {
 		sp, ok := prog.(StatefulProgram)
 		if !ok {
-			return nil, fmt.Errorf("core: checkpoint holds program state but %s is not stateful", prog.Name())
+			return nil, fallbacks, fmt.Errorf("core: checkpoint holds program state but %s is not stateful", prog.Name())
 		}
-		if err := sp.LoadState(c.progState); err != nil {
-			return nil, fmt.Errorf("core: restore %s state: %w", prog.Name(), err)
+		if err := sp.LoadState(best.progState); err != nil {
+			return nil, fallbacks, fmt.Errorf("core: restore %s state: %w", prog.Name(), err)
 		}
 	}
-	return c, nil
+	// The next checkpoint must overwrite the *other* slot, preserving the
+	// generation we just resumed from until a newer one lands safely.
+	if bestSlot >= 0 {
+		e.ckptSlot = bestSlot ^ 1
+	} else {
+		e.ckptSlot = 0
+	}
+	return best, fallbacks, nil
 }
 
-// DeleteCheckpoint removes a program's persisted checkpoint, if any.
+// DeleteCheckpoint removes a program's persisted checkpoint generations
+// (and any legacy single-slot blob), if present.
 func (e *Engine) DeleteCheckpoint(prog Program) error {
-	err := e.ds.DeleteAux(checkpointName(prog))
-	if errors.Is(err, storage.ErrNotFound) {
-		return nil
+	var firstErr error
+	for _, name := range []string{
+		checkpointGenName(prog, 0),
+		checkpointGenName(prog, 1),
+		checkpointName(prog),
+	} {
+		err := e.ds.DeleteAux(name)
+		if err != nil && !errors.Is(err, storage.ErrNotFound) && firstErr == nil {
+			firstErr = err
+		}
 	}
-	return err
+	return firstErr
 }
 
 // SaveStateFloats is a helper for StatefulProgram implementations whose

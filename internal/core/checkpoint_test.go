@@ -1,10 +1,12 @@
 package core
 
 import (
+	"encoding/binary"
 	"reflect"
 	"testing"
 
 	"husgraph/internal/bitset"
+	"husgraph/internal/blockstore"
 	"husgraph/internal/graph"
 	"husgraph/internal/storage"
 )
@@ -19,7 +21,7 @@ func TestCheckpointCodecRoundTrip(t *testing.T) {
 		frontier:  f,
 		progState: []byte("state"),
 	}
-	got, err := decodeCheckpoint(encodeCheckpoint(c), 10)
+	got, err := decodeCheckpoint(encodeCheckpoint(c), 10, 100)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -50,9 +52,33 @@ func TestCheckpointCodecRejectsCorrupt(t *testing.T) {
 		if name == "wrong-n" {
 			n = 5
 		}
-		if _, err := decodeCheckpoint(buf, n); err == nil {
+		if _, err := decodeCheckpoint(buf, n, 100); err == nil {
 			t.Errorf("%s: corrupt checkpoint accepted", name)
 		}
+	}
+}
+
+func TestCheckpointCodecRejectsAbsurdIteration(t *testing.T) {
+	f := bitset.NewFrontier(4)
+	c := &checkpoint{iter: 3, values: make([]float64, 4), frontier: f}
+	good := encodeCheckpoint(c)
+	corrupt := func(iter uint64) []byte {
+		buf := append([]byte(nil), good...)
+		binary.LittleEndian.PutUint64(buf[4:], iter)
+		return buf
+	}
+	for name, buf := range map[string][]byte{
+		"huge":         corrupt(1 << 40),
+		"negative":     corrupt(^uint64(0)), // decodes to int -1
+		"past-maxiter": corrupt(101),
+	} {
+		if ck, err := decodeCheckpoint(buf, 4, 100); err == nil {
+			t.Errorf("%s: absurd iteration %d accepted", name, ck.iter)
+		}
+	}
+	// The bound itself is fine (a run checkpointed at its final iteration).
+	if _, err := decodeCheckpoint(corrupt(100), 4, 100); err != nil {
+		t.Errorf("iter == maxIter rejected: %v", err)
 	}
 }
 
@@ -123,6 +149,129 @@ func TestDeleteCheckpoint(t *testing.T) {
 	}
 	if res.Iterations[0].Iter != 0 {
 		t.Fatal("checkpoint survived deletion")
+	}
+}
+
+// buildStoreOn materializes g on the given mem store so tests can corrupt
+// blobs behind the DualStore's back.
+func buildStoreOn(t *testing.T, mem *storage.MemStore, g *graph.Graph, p int) *blockstore.DualStore {
+	t.Helper()
+	ds, err := blockstore.Build(mem, g, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+func TestCheckpointsAlternateGenerations(t *testing.T) {
+	g := pathGraph(30)
+	mem := storage.NewMemStore(storage.NewDevice(storage.HDD))
+	ds := buildStoreOn(t, mem, g, 2)
+	if _, err := New(ds, Config{Model: ModelCOP, MaxIters: 4, CheckpointEvery: 1}).Run(testBFS{}); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"aux/ckpt-testBFS.g0", "aux/ckpt-testBFS.g1"} {
+		if _, err := mem.ReadAll(name); err != nil {
+			t.Fatalf("generation %s missing: %v", name, err)
+		}
+	}
+}
+
+func TestResumeFallsBackToPreviousGeneration(t *testing.T) {
+	g := pathGraph(40)
+	full, err := New(buildStore(t, g, 4, storage.HDD), Config{Model: ModelCOP}).Run(testBFS{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	mem := storage.NewMemStore(storage.NewDevice(storage.HDD))
+	ds := buildStoreOn(t, mem, g, 4)
+	// Checkpoints land at iterations 2 (slot g0) and 4 (slot g1).
+	if _, err := New(ds, Config{Model: ModelCOP, MaxIters: 5, CheckpointEvery: 2}).Run(testBFS{}); err != nil {
+		t.Fatal(err)
+	}
+	// Truncate the newest generation behind the store's back — the torn
+	// write a crash mid-checkpoint leaves.
+	raw, err := mem.ReadAll("aux/ckpt-testBFS.g1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mem.Put("aux/ckpt-testBFS.g1", raw[:len(raw)/2]); err != nil {
+		t.Fatal(err)
+	}
+
+	resumed, err := New(ds, Config{Model: ModelCOP, Resume: true, CheckpointEvery: 2}).Run(testBFS{})
+	if err != nil {
+		t.Fatalf("resume with corrupt newest generation failed: %v", err)
+	}
+	if first := resumed.Iterations[0].Iter; first != 2 {
+		t.Fatalf("resumed at iteration %d, want 2 (previous good generation)", first)
+	}
+	if resumed.Recovery.CheckpointFallbacks != 1 || resumed.Recovery.ResumedIter != 2 {
+		t.Fatalf("recovery stats: %+v", resumed.Recovery)
+	}
+	if !reflect.DeepEqual(resumed.Values, full.Values) {
+		t.Fatal("fallback resume diverged from uninterrupted run")
+	}
+}
+
+func TestResumeAllGenerationsCorruptStartsFresh(t *testing.T) {
+	g := pathGraph(30)
+	mem := storage.NewMemStore(storage.NewDevice(storage.HDD))
+	ds := buildStoreOn(t, mem, g, 2)
+	if _, err := New(ds, Config{Model: ModelCOP, MaxIters: 4, CheckpointEvery: 1}).Run(testBFS{}); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"aux/ckpt-testBFS.g0", "aux/ckpt-testBFS.g1"} {
+		if err := mem.Put(name, []byte("garbage")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res, err := New(ds, Config{Model: ModelCOP, Resume: true}).Run(testBFS{})
+	if err != nil {
+		t.Fatalf("resume with all generations corrupt failed: %v", err)
+	}
+	if res.Iterations[0].Iter != 0 {
+		t.Fatalf("resumed at %d, want fresh start", res.Iterations[0].Iter)
+	}
+	if res.Recovery.CheckpointFallbacks != 2 {
+		t.Fatalf("fallbacks = %d, want 2", res.Recovery.CheckpointFallbacks)
+	}
+	if !res.Converged {
+		t.Fatal("fresh run did not converge")
+	}
+}
+
+func TestResumeReadsLegacySingleSlotCheckpoint(t *testing.T) {
+	g := pathGraph(40)
+	full, err := New(buildStore(t, g, 4, storage.HDD), Config{Model: ModelCOP}).Run(testBFS{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ds := buildStore(t, g, 4, storage.HDD)
+	// Run to iteration 3 and persist its state under the pre-generation
+	// blob name, as an older build would have.
+	partial, err := New(ds, Config{Model: ModelCOP, MaxIters: 3}).Run(testBFS{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := bitset.NewFrontier(40)
+	f.Add(3) // frontier entering iteration 3 on the path graph
+	legacy := &checkpoint{iter: 3, values: partial.Values, frontier: f}
+	if err := ds.PutAux("ckpt-testBFS", encodeCheckpoint(legacy)); err != nil {
+		t.Fatal(err)
+	}
+
+	resumed, err := New(ds, Config{Model: ModelCOP, Resume: true, CheckpointEvery: 2}).Run(testBFS{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first := resumed.Iterations[0].Iter; first != 3 {
+		t.Fatalf("resumed at iteration %d, want 3 (legacy checkpoint)", first)
+	}
+	if !reflect.DeepEqual(resumed.Values, full.Values) {
+		t.Fatal("legacy resume diverged from uninterrupted run")
 	}
 }
 

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"runtime"
+	"time"
 )
 
 // Model identifies an update model.
@@ -78,8 +79,22 @@ type Config struct {
 	// disables. Use with Resume for long out-of-core jobs.
 	CheckpointEvery int
 	// Resume restarts from the program's persisted checkpoint when one
-	// exists (otherwise the run starts fresh).
+	// exists (otherwise the run starts fresh). Corrupt or truncated
+	// checkpoint generations are skipped — the engine falls back to the
+	// previous good generation and reports it in Result.Recovery.
 	Resume bool
+	// ReadRetries re-attempts block/index/aux reads that fail with an
+	// error classified transient (storage.ErrTransient) up to this many
+	// times each, with exponential backoff; 0 disables retrying and
+	// surfaces the first transient fault. Retries are counted in
+	// IterStats.Retries and Result.Recovery.
+	ReadRetries int
+	// RetryBackoff is the sleep before the first retry, doubled on each
+	// subsequent retry; 0 with ReadRetries > 0 defaults to 1ms.
+	RetryBackoff time.Duration
+	// RetryBackoffMax caps the exponential backoff growth; 0 with
+	// ReadRetries > 0 defaults to 250ms.
+	RetryBackoffMax time.Duration
 	// OnIteration, if set, is called after each iteration completes with
 	// that iteration's statistics — for live progress reporting. It runs
 	// on the engine goroutine; keep it fast.
@@ -102,6 +117,14 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxIters <= 0 {
 		c.MaxIters = 100000
+	}
+	if c.ReadRetries > 0 {
+		if c.RetryBackoff == 0 {
+			c.RetryBackoff = time.Millisecond
+		}
+		if c.RetryBackoffMax == 0 {
+			c.RetryBackoffMax = 250 * time.Millisecond
+		}
 	}
 	return c
 }

@@ -24,6 +24,10 @@ type Engine struct {
 	scratch sync.Pool
 	spans   [][]span
 	runs    [][]run
+
+	// ckptSlot is the next checkpoint generation slot (0 or 1) to write;
+	// loadCheckpoint points it away from the generation it resumed from.
+	ckptSlot int
 }
 
 // New creates an engine over the given store.
@@ -40,6 +44,13 @@ func New(ds *blockstore.DualStore, cfg Config) *Engine {
 		runs:  make([][]run, ds.Layout.P),
 	}
 	e.scratch.New = func() any { return new(blockstore.Scratch) }
+	if e.cfg.ReadRetries > 0 {
+		ds.SetRetryPolicy(blockstore.RetryPolicy{
+			MaxRetries: e.cfg.ReadRetries,
+			Backoff:    e.cfg.RetryBackoff,
+			MaxBackoff: e.cfg.RetryBackoffMax,
+		})
+	}
 	return e
 }
 
@@ -68,11 +79,14 @@ func (e *Engine) RunContext(ctx context.Context, prog Program) (*Result, error) 
 		return nil, fmt.Errorf("core: program %s returned frontier over %d vertices, want %d", prog.Name(), frontier.Len(), n)
 	}
 
-	s := values             // S: previous-iteration values (paper §3.3)
-	d := make([]float64, n) // D: current-iteration values / accumulators
+	s := values               // S: previous-iteration values (paper §3.3)
+	d := make([]float64, n)   // D: current-iteration values / accumulators
+	res := &Result{Values: s} // s is kept current; assigned again before return
+	startRetries := e.ds.Retries()
 	startIter := 0
 	if e.cfg.Resume {
-		ck, err := e.loadCheckpoint(prog)
+		ck, fallbacks, err := e.loadCheckpoint(prog)
+		res.Recovery.CheckpointFallbacks = fallbacks
 		if err != nil {
 			return nil, err
 		}
@@ -80,13 +94,22 @@ func (e *Engine) RunContext(ctx context.Context, prog Program) (*Result, error) 
 			copy(s, ck.values)
 			frontier = ck.frontier
 			startIter = ck.iter
+			res.Recovery.ResumedIter = ck.iter
 		}
 	}
-	res := &Result{Values: s} // s is kept current; assigned again before return
 
 	dev := e.ds.Device()
 	for iter := startIter; iter < e.cfg.MaxIters; iter++ {
 		if err := ctx.Err(); err != nil {
+			// Best-effort final checkpoint: a cancelled job should resume
+			// from the last *completed* iteration, not the last interval
+			// boundary. The cancellation error still wins; a failed write
+			// just leaves the previous checkpoint in place.
+			if e.cfg.CheckpointEvery > 0 && iter > startIter {
+				if werr := e.writeCheckpoint(prog, iter, s, frontier); werr == nil {
+					res.Recovery.CheckpointsWritten++
+				}
+			}
 			return nil, fmt.Errorf("core: %s cancelled before iteration %d: %w", prog.Name(), iter, err)
 		}
 		if frontier.Empty() {
@@ -94,6 +117,7 @@ func (e *Engine) RunContext(ctx context.Context, prog Program) (*Result, error) 
 			break
 		}
 		ioBefore := dev.Stats()
+		retriesBefore := e.ds.Retries()
 		start := time.Now()
 
 		st := IterStats{Iter: iter, ActiveVertices: frontier.Count()}
@@ -122,6 +146,7 @@ func (e *Engine) RunContext(ctx context.Context, prog Program) (*Result, error) 
 			st.Runtime = st.ComputeModeled
 		}
 		st.MaxDelta = maxDelta
+		st.Retries = e.ds.Retries() - retriesBefore
 		res.Iterations = append(res.Iterations, st)
 		if e.cfg.OnIteration != nil {
 			e.cfg.OnIteration(st)
@@ -132,6 +157,7 @@ func (e *Engine) RunContext(ctx context.Context, prog Program) (*Result, error) 
 			if err := e.writeCheckpoint(prog, iter+1, s, frontier); err != nil {
 				return nil, fmt.Errorf("core: checkpoint at iteration %d: %w", iter+1, err)
 			}
+			res.Recovery.CheckpointsWritten++
 		}
 
 		if prog.Kind() != Monotone && e.cfg.Tolerance > 0 && maxDelta < e.cfg.Tolerance {
@@ -143,6 +169,7 @@ func (e *Engine) RunContext(ctx context.Context, prog Program) (*Result, error) 
 		res.Converged = true
 	}
 	res.Values = s
+	res.Recovery.Retries = e.ds.Retries() - startRetries
 	return res, nil
 }
 

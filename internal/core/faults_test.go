@@ -3,101 +3,57 @@ package core
 import (
 	"errors"
 	"strings"
-	"sync/atomic"
 	"testing"
 
 	"husgraph/internal/blockstore"
 	"husgraph/internal/storage"
 )
 
-// flakyStore wraps a Store and fails every read once the countdown
-// reaches zero — failure injection for the engine's error paths.
-type flakyStore struct {
-	storage.Store
-	remaining atomic.Int64
-}
-
-var errInjected = errors.New("injected storage fault")
-
-func (f *flakyStore) tick() error {
-	if f.remaining.Add(-1) < 0 {
-		return errInjected
-	}
-	return nil
-}
-
-func (f *flakyStore) ReadAll(name string) ([]byte, error) {
-	if err := f.tick(); err != nil {
-		return nil, err
-	}
-	return f.Store.ReadAll(name)
-}
-
-func (f *flakyStore) ReadAllInto(name string, buf []byte) ([]byte, error) {
-	if err := f.tick(); err != nil {
-		return nil, err
-	}
-	return f.Store.ReadAllInto(name, buf)
-}
-
-func (f *flakyStore) ReadAt(name string, off, n int64) ([]byte, error) {
-	if err := f.tick(); err != nil {
-		return nil, err
-	}
-	return f.Store.ReadAt(name, off, n)
-}
-
-func (f *flakyStore) ReadAtInto(name string, off, n int64, buf []byte) ([]byte, error) {
-	if err := f.tick(); err != nil {
-		return nil, err
-	}
-	return f.Store.ReadAtInto(name, off, n, buf)
-}
-
-// flakyAfter builds a store over g whose reads start failing after `ok`
-// successful reads.
-func flakyAfter(t *testing.T, ok int64, p int) *blockstore.DualStore {
+// faultyStore builds a dual-block store over g and returns it together
+// with the storage.FaultStore gating every access, so tests inject faults
+// after the (fault-free) Build and Open phases.
+func faultyStore(t *testing.T, n, p int, seed int64) (*blockstore.DualStore, *storage.FaultStore) {
 	t.Helper()
-	g := pathGraph(300)
+	g := pathGraph(n)
 	mem := storage.NewMemStore(storage.NewDevice(storage.HDD))
 	if _, err := blockstore.Build(mem, g, p); err != nil {
 		t.Fatal(err)
 	}
-	fs := &flakyStore{Store: mem}
-	fs.remaining.Store(1 << 30) // healthy during Open
+	fs := storage.NewFaultStore(mem, seed)
 	ds, err := blockstore.Open(fs)
 	if err != nil {
 		t.Fatal(err)
 	}
-	fs.remaining.Store(ok)
-	return ds
+	return ds, fs
 }
 
 func TestEngineSurfacesReadFaultsCOP(t *testing.T) {
-	for _, ok := range []int64{0, 1, 3, 7} {
-		ds := flakyAfter(t, ok, 4)
+	for _, after := range []int64{0, 1, 3, 7} {
+		ds, fs := faultyStore(t, 300, 4, 1)
+		fs.Inject(storage.Fault{Op: storage.OpRead, Kind: storage.FaultPermanent, After: after})
 		_, err := New(ds, Config{Model: ModelCOP, Threads: 2}).Run(testBFS{})
 		if err == nil {
-			t.Fatalf("ok=%d: injected fault not surfaced", ok)
+			t.Fatalf("after=%d: injected fault not surfaced", after)
 		}
-		if !errors.Is(err, errInjected) {
-			t.Fatalf("ok=%d: error chain lost the cause: %v", ok, err)
+		if !errors.Is(err, storage.ErrPermanent) {
+			t.Fatalf("after=%d: error chain lost the cause: %v", after, err)
 		}
 		if !strings.Contains(err.Error(), "COP") {
-			t.Fatalf("ok=%d: error lacks context: %v", ok, err)
+			t.Fatalf("after=%d: error lacks context: %v", after, err)
 		}
 	}
 }
 
 func TestEngineSurfacesReadFaultsROP(t *testing.T) {
-	for _, ok := range []int64{0, 1, 2} {
-		ds := flakyAfter(t, ok, 4)
+	for _, after := range []int64{0, 1, 2} {
+		ds, fs := faultyStore(t, 300, 4, 1)
+		fs.Inject(storage.Fault{Op: storage.OpRead, Kind: storage.FaultPermanent, After: after})
 		_, err := New(ds, Config{Model: ModelROP, Threads: 4}).Run(testBFS{})
 		if err == nil {
-			t.Fatalf("ok=%d: injected fault not surfaced", ok)
+			t.Fatalf("after=%d: injected fault not surfaced", after)
 		}
-		if !errors.Is(err, errInjected) {
-			t.Fatalf("ok=%d: error chain lost the cause: %v", ok, err)
+		if !errors.Is(err, storage.ErrPermanent) {
+			t.Fatalf("after=%d: error chain lost the cause: %v", after, err)
 		}
 	}
 }
@@ -105,10 +61,72 @@ func TestEngineSurfacesReadFaultsROP(t *testing.T) {
 func TestEngineFaultAfterPartialRunStillErrors(t *testing.T) {
 	// Enough healthy reads for a couple of iterations, then fail: the
 	// engine must stop with an error rather than return wrong results.
-	ds := flakyAfter(t, 40, 2)
-	_, err := New(ds, Config{Model: ModelCOP, Threads: 1}).Run(testBFS{})
-	if err == nil {
+	ds, fs := faultyStore(t, 300, 2, 1)
+	fs.Inject(storage.Fault{Op: storage.OpRead, Kind: storage.FaultPermanent, After: 40})
+	if _, err := New(ds, Config{Model: ModelCOP, Threads: 1}).Run(testBFS{}); err == nil {
 		t.Fatal("late fault not surfaced")
+	}
+}
+
+func TestEngineRetriesTransientFaultsAndReportsCount(t *testing.T) {
+	// Five sporadic transient read faults across the run: with retries
+	// enabled the run completes, matches a fault-free run, and the retry
+	// count lands in the result.
+	clean, err := New(buildStore(t, pathGraph(300), 4, storage.HDD), Config{Model: ModelCOP}).Run(testBFS{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ds, fs := faultyStore(t, 300, 4, 1)
+	fs.Inject(
+		storage.Fault{Op: storage.OpRead, Kind: storage.FaultTransient, After: 3, Count: 2},
+		storage.Fault{Op: storage.OpRead, Kind: storage.FaultTransient, After: 20, Count: 3},
+	)
+	res, err := New(ds, Config{Model: ModelCOP, ReadRetries: 3, RetryBackoff: 1}).Run(testBFS{})
+	if err != nil {
+		t.Fatalf("transient faults with retries enabled failed the run: %v", err)
+	}
+	if !res.Converged {
+		t.Fatal("retried run did not converge")
+	}
+	for v := range clean.Values {
+		if clean.Values[v] != res.Values[v] {
+			t.Fatalf("retried run diverged at vertex %d", v)
+		}
+	}
+	if res.Recovery.Retries != 5 {
+		t.Fatalf("Recovery.Retries = %d, want 5", res.Recovery.Retries)
+	}
+	if got := res.TotalRetries(); got != 5 {
+		t.Fatalf("summed IterStats.Retries = %d, want 5", got)
+	}
+	if c := fs.Counters(); c.Transient != 5 {
+		t.Fatalf("fault counters: %v", c)
+	}
+}
+
+func TestEngineTransientBurstExceedingBudgetFails(t *testing.T) {
+	ds, fs := faultyStore(t, 300, 4, 1)
+	// A burst longer than the per-read retry budget must surface.
+	fs.Inject(storage.Fault{Op: storage.OpRead, Kind: storage.FaultTransient, After: 5, Count: 10})
+	_, err := New(ds, Config{Model: ModelCOP, ReadRetries: 2, RetryBackoff: 1}).Run(testBFS{})
+	if !errors.Is(err, storage.ErrTransient) {
+		t.Fatalf("err = %v, want wrapped storage.ErrTransient", err)
+	}
+}
+
+func TestEngineDetectsBitFlipCorruption(t *testing.T) {
+	// A bit flip in a full-block read must surface as a checksum-verified
+	// corruption error — never decode into garbage values — and must not
+	// burn retries (corruption is not transient).
+	ds, fs := faultyStore(t, 300, 4, 7)
+	fs.Inject(storage.Fault{Op: storage.OpRead, Kind: storage.FaultBitFlip, Name: "ib/", After: 2, Count: 1})
+	_, err := New(ds, Config{Model: ModelCOP, ReadRetries: 3, RetryBackoff: 1}).Run(testBFS{})
+	if !errors.Is(err, storage.ErrCorrupt) {
+		t.Fatalf("err = %v, want wrapped storage.ErrCorrupt", err)
+	}
+	if got := ds.Retries(); got != 0 {
+		t.Fatalf("corruption consumed %d retries", got)
 	}
 }
 

@@ -40,6 +40,27 @@ type IterStats struct {
 	// MaxDelta is the largest per-vertex value change (Additive programs
 	// only; used for Tolerance convergence).
 	MaxDelta float64
+	// Retries counts transient read faults retried by the store during
+	// this iteration (see Config.ReadRetries).
+	Retries int64
+}
+
+// RecoveryStats reports what the durability machinery did during a run:
+// how many transient faults were ridden out and what Resume recovered.
+type RecoveryStats struct {
+	// Retries is the total number of transient-fault read retries issued
+	// across the run, including those spent loading the checkpoint.
+	Retries int64
+	// CheckpointFallbacks counts checkpoint generations skipped during
+	// Resume because they were missing a valid checksum frame, truncated,
+	// or failed decoding — each one is a crash the run survived.
+	CheckpointFallbacks int
+	// ResumedIter is the iteration the run resumed from (0 when the run
+	// started fresh).
+	ResumedIter int
+	// CheckpointsWritten counts checkpoints persisted during the run,
+	// including a best-effort final checkpoint on cancellation.
+	CheckpointsWritten int
 }
 
 // Result summarizes a completed run.
@@ -52,6 +73,17 @@ type Result struct {
 	// drained (Monotone) or the tolerance was met (Additive), rather than
 	// hitting MaxIters.
 	Converged bool
+	// Recovery summarizes retried faults and checkpoint recovery.
+	Recovery RecoveryStats
+}
+
+// TotalRetries returns the summed per-iteration transient-fault retries.
+func (r *Result) TotalRetries() int64 {
+	var t int64
+	for _, it := range r.Iterations {
+		t += it.Retries
+	}
+	return t
 }
 
 // NumIterations returns the number of iterations executed.

@@ -161,7 +161,6 @@ func (s *MemStore) TotalSize() int64 {
 type FileStore struct {
 	dev  *Device
 	root string
-	mu   sync.Mutex
 }
 
 // NewFileStore returns a store rooted at dir, creating it if needed.
@@ -183,16 +182,37 @@ func (s *FileStore) path(name string) (string, error) {
 	return filepath.Join(s.root, clean), nil
 }
 
-// Put implements Store.
+// Put implements Store. The blob is written to a temp file in the target
+// directory and renamed into place, so a crash mid-write leaves either the
+// old contents or the new — never a torn prefix.
 func (s *FileStore) Put(name string, data []byte) error {
 	p, err := s.path(name)
 	if err != nil {
 		return err
 	}
-	if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+	dir := filepath.Dir(p)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err
 	}
-	if err := os.WriteFile(p, data, 0o644); err != nil {
+	tmp, err := os.CreateTemp(dir, "."+filepath.Base(p)+".tmp-*")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := os.Chmod(tmp.Name(), 0o644); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := os.Rename(tmp.Name(), p); err != nil {
+		os.Remove(tmp.Name())
 		return err
 	}
 	s.dev.WriteSeq(int64(len(data)))
@@ -335,6 +355,10 @@ func (s *FileStore) List() []string {
 	var names []string
 	_ = filepath.Walk(s.root, func(path string, info os.FileInfo, err error) error {
 		if err != nil || info.IsDir() {
+			return nil
+		}
+		// Skip in-flight (or crash-orphaned) atomic-Put temp files.
+		if base := filepath.Base(path); strings.HasPrefix(base, ".") && strings.Contains(base, ".tmp-") {
 			return nil
 		}
 		rel, err := filepath.Rel(s.root, path)
