@@ -547,3 +547,45 @@ func BenchmarkExtensionCompression(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkExtensionPrefetchCache measures the asynchronous block-prefetch
+// pipeline and the budgeted hot-block cache (DESIGN.md memory hierarchy) on
+// a full PageRank run: sync is the baseline, prefetch overlaps I/O with
+// compute (wall-clock only; the modeled runtime already assumes overlap),
+// and the cache removes repeat I/O so the modeled runtime drops too.
+func BenchmarkExtensionPrefetchCache(b *testing.B) {
+	r := runner()
+	d, err := r.Dataset("ukunion-sim")
+	if err != nil {
+		b.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		cfg  core.Config
+	}{
+		{"sync", core.Config{}},
+		{"prefetch", core.Config{PrefetchDepth: 2}},
+		{"prefetch+cache", core.Config{PrefetchDepth: 2, CacheBudgetBytes: experiments.BenchCacheBudget}},
+	}
+	for _, c := range cases {
+		c := c
+		b.Run(c.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				ds, err := r.Store(d, false, false, storage.HDD)
+				if err != nil {
+					b.Fatal(err)
+				}
+				cfg := c.cfg
+				cfg.MaxIters = 5
+				res, err := core.New(ds, cfg).Run(&algos.PageRank{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				reportResult(b, res)
+				if c.cfg.CacheBudgetBytes > 0 {
+					b.ReportMetric(res.Cache.HitRate(), "hit-rate")
+				}
+			}
+		})
+	}
+}

@@ -4,9 +4,16 @@
 //
 //	husbench [-exp all|table2|fig1|fig7|fig8|table3|fig9|fig10|fig11[,...]]
 //	         [-threads N] [-p P] [-quick] [-csv]
+//	         [-bench-json DIR [-datasets a,b,...]]
 //
 // Each experiment prints one or more tables; -csv switches to CSV output
 // for plotting.
+//
+// With -bench-json, instead of rendering tables, PageRank is run on each
+// dataset under the synchronous, prefetch-pipelined and prefetch+cache
+// engine configurations, and one machine-readable BENCH_<dataset>.json is
+// written per dataset into DIR (modeled ns/iter, bytes read, cache hit
+// rate, speedups) — the repo's performance-trajectory artifacts.
 package main
 
 import (
@@ -17,6 +24,8 @@ import (
 	"time"
 
 	"husgraph/internal/experiments"
+	"husgraph/internal/gen"
+	"husgraph/internal/storage"
 )
 
 func main() {
@@ -26,9 +35,39 @@ func main() {
 	quick := flag.Bool("quick", false, "shrink datasets ~10x for a fast smoke run")
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
 	md := flag.Bool("md", false, "emit markdown tables (EXPERIMENTS.md style)")
+	benchJSON := flag.String("bench-json", "", "write machine-readable BENCH_<dataset>.json perf artifacts into this directory and exit")
+	datasets := flag.String("datasets", "", "comma-separated datasets for -bench-json (default: all registry datasets)")
+	deviceName := flag.String("device", "hdd", "device profile for -bench-json: hdd|ssd|nvme|ram")
 	flag.Parse()
 
 	r := experiments.NewRunner(experiments.Options{Threads: *threads, P: *p, Quick: *quick})
+	if *benchJSON != "" {
+		prof, err := storage.ProfileByName(*deviceName)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "husbench: %v\n", err)
+			os.Exit(1)
+		}
+		names := gen.Names()
+		if *datasets != "" {
+			names = nil
+			for _, n := range strings.Split(*datasets, ",") {
+				if n = strings.TrimSpace(n); n != "" {
+					names = append(names, n)
+				}
+			}
+		}
+		start := time.Now()
+		paths, err := r.WriteBenchJSON(*benchJSON, names, prof)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "husbench: %v\n", err)
+			os.Exit(1)
+		}
+		for _, p := range paths {
+			fmt.Println(p)
+		}
+		fmt.Fprintf(os.Stderr, "[bench-json completed in %v]\n", time.Since(start).Round(time.Millisecond))
+		return
+	}
 	names := strings.Split(*exp, ",")
 	for _, name := range names {
 		name = strings.TrimSpace(name)

@@ -84,3 +84,90 @@ func BenchmarkDecodeVertexRecs(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkLoadInBlock exercises the owned-copy load path, which draws its
+// working Scratch from the package pool — the per-call allocations here
+// should be the returned copies only, not decode scratch.
+func BenchmarkLoadInBlock(b *testing.B) {
+	ds := benchGraphStore(b, FormatRaw, true)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ds.LoadInBlock(i%8, (i/8)%8); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPrefetchColumnSweep measures a full column-major in-block sweep
+// (COP's traversal) through the prefetch pipeline at increasing read-ahead
+// depths, against the synchronous depth-0 baseline.
+func BenchmarkPrefetchColumnSweep(b *testing.B) {
+	ds := benchGraphStore(b, FormatRaw, true)
+	sched := inBlockSchedule(ds)
+	for _, depth := range []int{0, 1, 2, 4} {
+		b.Run("depth="+itoaBench(depth), func(b *testing.B) {
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				pf := ds.NewPrefetcher(sched, depth, nil)
+				for range sched {
+					res := pf.Next()
+					if res.Err != nil {
+						b.Fatal(res.Err)
+					}
+					res.Release()
+				}
+				pf.Close()
+			}
+		})
+	}
+}
+
+// BenchmarkBlockCacheSweep measures the hot-block cache on a repeated
+// column sweep: the first pass misses and promotes, later passes are served
+// from memory.
+func BenchmarkBlockCacheSweep(b *testing.B) {
+	ds := benchGraphStore(b, FormatRaw, true)
+	sched := inBlockSchedule(ds)
+	cache := NewBlockCache(256 << 20)
+	warm := ds.NewPrefetcher(sched, 2, cache)
+	for range sched {
+		res := warm.Next()
+		if res.Err != nil {
+			b.Fatal(res.Err)
+		}
+		res.Release()
+	}
+	warm.Close()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pf := ds.NewPrefetcher(sched, 2, cache)
+		for range sched {
+			res := pf.Next()
+			if res.Err != nil {
+				b.Fatal(res.Err)
+			}
+			res.Release()
+		}
+		pf.Close()
+	}
+	b.StopTimer()
+	st := cache.Stats()
+	b.ReportMetric(st.HitRate(), "hit-rate")
+}
+
+func itoaBench(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}

@@ -1,0 +1,211 @@
+package blockstore
+
+import (
+	"container/list"
+	"sync"
+)
+
+// Budgeted hot-block cache.
+//
+// Iterative algorithms re-read the same P×P blocks every iteration: PageRank
+// streams every in-block column five times, WCC and BFS re-touch the dense
+// core for many rounds. GraphMP's semi-external caching showed that keeping
+// that working set resident turns steady-state iterations from disk-bound to
+// memory-bound — so the engine threads every block load through a BlockCache
+// holding *decoded* blocks (no re-read, no re-verify, no re-decode on a hit)
+// under a strict byte budget, evicting least-recently-used entries when a
+// graph's working set does not fit.
+
+// BlockKind identifies which view of the dual-block layout a cache or
+// prefetch key refers to.
+type BlockKind uint8
+
+const (
+	// KindInBlock is the fully-loaded in-block(i,j): payload plus byte
+	// index for FormatRaw stores, decoded records for compressed ones.
+	KindInBlock BlockKind = iota
+	// KindOutIndex is the decoded out-index(i,j): per-source byte offsets
+	// into out-block(i,j).
+	KindOutIndex
+)
+
+// String names the kind for diagnostics.
+func (k BlockKind) String() string {
+	switch k {
+	case KindInBlock:
+		return "in-block"
+	case KindOutIndex:
+		return "out-index"
+	default:
+		return "BlockKind(?)"
+	}
+}
+
+// BlockKey addresses one loadable unit of the dual-block layout.
+type BlockKey struct {
+	Kind BlockKind
+	I, J int
+}
+
+// CachedBlock is one immutable decoded cache entry. Exactly the fields the
+// engine's hot paths consume are retained:
+//
+//   - KindInBlock, FormatRaw: Payload (packed records) + ByteIdx (per-
+//     destination byte offsets) — the zero-copy RawRec iteration view.
+//   - KindInBlock, FormatCompressed: Recs + RecIdx — the decoded Block view.
+//   - KindOutIndex: ByteIdx — the decoded per-source offset index.
+//
+// Entries must never be mutated after insertion: they are shared by every
+// reader that hits them, concurrently.
+type CachedBlock struct {
+	Payload []byte
+	ByteIdx []uint32
+	Recs    []Rec
+	RecIdx  []uint32
+}
+
+// Bytes returns the entry's budget charge: the memory its retained slices
+// hold (8 bytes per Rec, 4 per index entry).
+func (b *CachedBlock) Bytes() int64 {
+	return int64(len(b.Payload)) +
+		4*int64(len(b.ByteIdx)) +
+		8*int64(len(b.Recs)) +
+		4*int64(len(b.RecIdx))
+}
+
+// CacheStats is a snapshot of a BlockCache's counters.
+type CacheStats struct {
+	// Hits and Misses count Get outcomes.
+	Hits, Misses int64
+	// Evictions counts entries dropped to stay within budget;
+	// BytesEvicted is their cumulative size.
+	Evictions    int64
+	BytesEvicted int64
+	// Entries and BytesUsed describe current residency; Budget is the
+	// configured bound.
+	Entries   int
+	BytesUsed int64
+	Budget    int64
+}
+
+// HitRate returns hits/(hits+misses), or 0 before any lookup.
+func (s CacheStats) HitRate() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+// Sub returns the counter difference s - earlier (residency fields are
+// copied from s). The engine uses it for per-iteration deltas.
+func (s CacheStats) Sub(earlier CacheStats) CacheStats {
+	s.Hits -= earlier.Hits
+	s.Misses -= earlier.Misses
+	s.Evictions -= earlier.Evictions
+	s.BytesEvicted -= earlier.BytesEvicted
+	return s
+}
+
+// BlockCache is a byte-budgeted LRU cache of decoded blocks, safe for
+// concurrent use by the engine and prefetch workers.
+type BlockCache struct {
+	mu     sync.Mutex
+	budget int64
+	used   int64
+	ll     *list.List // front = most recently used
+	items  map[BlockKey]*list.Element
+
+	hits, misses, evictions, bytesEvicted int64
+}
+
+type cacheEntry struct {
+	key BlockKey
+	blk *CachedBlock
+	sz  int64
+}
+
+// NewBlockCache returns an empty cache bounded by budget bytes. A budget
+// <= 0 yields a cache that admits nothing (every Get misses).
+func NewBlockCache(budget int64) *BlockCache {
+	return &BlockCache{
+		budget: budget,
+		ll:     list.New(),
+		items:  make(map[BlockKey]*list.Element),
+	}
+}
+
+// Budget returns the configured byte bound.
+func (c *BlockCache) Budget() int64 { return c.budget }
+
+// Get returns the cached block for k, bumping it to most-recently-used.
+func (c *BlockCache) Get(k BlockKey) (*CachedBlock, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[k]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry).blk, true
+}
+
+// Peek reports residency without touching counters or LRU order — the
+// predictor uses it to price the coming iteration without distorting the
+// hit statistics it is trying to stay honest about.
+func (c *BlockCache) Peek(k BlockKey) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	_, ok := c.items[k]
+	return ok
+}
+
+// Put inserts (or replaces) k's entry and evicts least-recently-used
+// entries until the cache is back within budget. Entries larger than the
+// whole budget are rejected outright — reported by the false return so
+// loaders can skip the copy next time.
+func (c *BlockCache) Put(k BlockKey, blk *CachedBlock) bool {
+	sz := blk.Bytes()
+	if sz > c.budget {
+		return false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[k]; ok {
+		c.used -= el.Value.(*cacheEntry).sz
+		c.ll.Remove(el)
+		delete(c.items, k)
+	}
+	c.items[k] = c.ll.PushFront(&cacheEntry{key: k, blk: blk, sz: sz})
+	c.used += sz
+	for c.used > c.budget {
+		back := c.ll.Back()
+		if back == nil {
+			break
+		}
+		ent := back.Value.(*cacheEntry)
+		c.ll.Remove(back)
+		delete(c.items, ent.key)
+		c.used -= ent.sz
+		c.evictions++
+		c.bytesEvicted += ent.sz
+	}
+	return true
+}
+
+// Stats returns a snapshot of the cache counters and residency.
+func (c *BlockCache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{
+		Hits:         c.hits,
+		Misses:       c.misses,
+		Evictions:    c.evictions,
+		BytesEvicted: c.bytesEvicted,
+		Entries:      len(c.items),
+		BytesUsed:    c.used,
+		Budget:       c.budget,
+	}
+}

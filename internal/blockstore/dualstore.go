@@ -3,6 +3,7 @@ package blockstore
 import (
 	"errors"
 	"fmt"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -329,6 +330,18 @@ type Scratch struct {
 	decoded []Rec
 }
 
+// scratchPool recycles Scratch buffers across loads, package-wide: the
+// convenience loaders and the prefetch workers draw from it so steady-state
+// block reads allocate nothing once the pool is warm.
+var scratchPool = sync.Pool{New: func() any { return new(Scratch) }}
+
+// GetScratch returns a pooled Scratch; pair with PutScratch.
+func GetScratch() *Scratch { return scratchPool.Get().(*Scratch) }
+
+// PutScratch returns sc to the pool. No views loaded through sc may be used
+// afterwards.
+func PutScratch(sc *Scratch) { scratchPool.Put(sc) }
+
 // LoadOutIndex reads out-index(i,j): per-source *byte* offsets into
 // out-block(i,j) (Size(i)+1 entries). Charged as a sequential read.
 func (d *DualStore) LoadOutIndex(i, j int) ([]uint32, error) {
@@ -462,13 +475,26 @@ func (d *DualStore) LoadInBlockBytesScratch(i, j int, sc *Scratch) ([]byte, []ui
 }
 
 // LoadInBlock streams and decodes the whole in-block(i,j) with its index,
-// charged as sequential reads — COP's block scan (Alg. 3 line 5).
+// charged as sequential reads — COP's block scan (Alg. 3 line 5). The
+// returned Block owns its data; decode and I/O buffers come from the pooled
+// Scratch set rather than fresh per-call allocations.
 func (d *DualStore) LoadInBlock(i, j int) (*Block, error) {
-	blk, err := d.loadBlock(inIndexName(i, j), inBlockName(i, j), new(Scratch))
+	return d.loadOwnedBlock(inIndexName(i, j), inBlockName(i, j))
+}
+
+// loadOwnedBlock loads a block through a pooled Scratch and copies the
+// decoded views into exact-size slices the caller owns.
+func (d *DualStore) loadOwnedBlock(idxName, blkName string) (*Block, error) {
+	sc := GetScratch()
+	defer PutScratch(sc)
+	blk, err := d.loadBlock(idxName, blkName, sc)
 	if err != nil {
 		return nil, err
 	}
-	return &blk, nil
+	return &Block{
+		Index: append([]uint32(nil), blk.Index...),
+		Recs:  append([]Rec(nil), blk.Recs...),
+	}, nil
 }
 
 // LoadInBlockScratch is LoadInBlock reusing sc's buffers. The returned view
@@ -479,12 +505,9 @@ func (d *DualStore) LoadInBlockScratch(i, j int, sc *Scratch) (Block, error) {
 
 // LoadOutBlock streams and decodes the whole out-block(i,j) with its
 // index, charged as sequential reads (full-push baselines and ablations).
+// Like LoadInBlock, the returned Block owns its data.
 func (d *DualStore) LoadOutBlock(i, j int) (*Block, error) {
-	blk, err := d.loadBlock(outIndexName(i, j), outBlockName(i, j), new(Scratch))
-	if err != nil {
-		return nil, err
-	}
-	return &blk, nil
+	return d.loadOwnedBlock(outIndexName(i, j), outBlockName(i, j))
 }
 
 // OutIndexBytes returns the on-disk size of out-index(i,j).

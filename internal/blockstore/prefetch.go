@@ -1,0 +1,318 @@
+package blockstore
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// Async block prefetch pipeline.
+//
+// The engine's traversal order is statically known once an iteration's
+// frontier is fixed: COP streams in-blocks column-major, ROP touches the
+// out-indices of active rows row-major. A Prefetcher takes that schedule up
+// front and overlaps I/O with compute: while the engine processes block k, a
+// small worker pool (PartitionedVC-style) reads, checksum-verifies and
+// decodes blocks k+1.. into pooled Scratch buffers — or serves them straight
+// from the BlockCache — and delivers each result on its own channel.
+//
+// Read-ahead is bounded by a token semaphore: at most `depth` results exist
+// between load-start and Release, so memory stays at O(depth) blocks no
+// matter how long the schedule is. Transient-fault retry/backoff runs inside
+// the workers (they call the DualStore read paths, which own the retry
+// policy), preserving the fault-injection semantics of the synchronous path.
+//
+// Consumption modes:
+//
+//   - Next() — strict schedule order, single consumer (COP's column scan).
+//   - Take(key) — by key, from concurrent consumers (ROP's row workers).
+//     Safe whenever the consumers collectively drain a contiguous window of
+//     the schedule (e.g. all blocks of the current row): workers claim
+//     requests in schedule order, so a Take far ahead of the oldest
+//     unconsumed entry can only complete once earlier results are released.
+//
+// On a load error the prefetcher aborts: the failing result carries the
+// error, and every request not yet claimed is failed with the same root
+// cause instead of being read — so a permanent fault surfaces as the
+// iteration error on every waiting consumer rather than a hang.
+type Prefetcher struct {
+	ds    *DualStore
+	cache *BlockCache
+	depth int
+
+	reqs  []*prefetchReq
+	byKey map[BlockKey]*prefetchReq
+
+	sem  chan struct{} // read-ahead tokens; nil in inline mode
+	quit chan struct{}
+	wg   sync.WaitGroup
+	next atomic.Int64 // index of the next request to claim
+
+	errMu    sync.Mutex
+	firstErr error
+
+	nextConsume int // Next() cursor (single consumer)
+	unused      atomic.Int64
+	closed      bool
+}
+
+type prefetchReq struct {
+	key      BlockKey
+	ch       chan *PrefetchResult
+	consumed atomic.Bool
+}
+
+// PrefetchResult is one delivered block. Exactly one of the view families
+// is populated, matching the key's kind and the store's format (see
+// CachedBlock). Views alias either a pooled Scratch (returned by Release)
+// or an immutable cache entry; they are read-only and valid until Release.
+type PrefetchResult struct {
+	Key BlockKey
+	Err error
+
+	Payload []byte
+	ByteIdx []uint32
+	Recs    []Rec
+	RecIdx  []uint32
+	// Cached reports the result was served from the block cache (no
+	// device I/O, no scratch to return).
+	Cached bool
+
+	sc *Scratch
+	pf *Prefetcher
+}
+
+// Release returns the result's buffers to the scratch pool and hands its
+// read-ahead token back to the workers. Call it once the block's data is no
+// longer needed; the views are invalid afterwards. Safe to call more than
+// once.
+func (r *PrefetchResult) Release() {
+	pf := r.pf
+	if pf == nil {
+		return
+	}
+	r.pf = nil
+	if r.sc != nil {
+		PutScratch(r.sc)
+		r.sc = nil
+	}
+	if pf.sem != nil {
+		pf.sem <- struct{}{}
+	}
+}
+
+// dataBytes estimates the loaded payload size, for unused-prefetch
+// accounting. Cache hits cost no I/O and count zero.
+func (r *PrefetchResult) dataBytes() int64 {
+	if r.Cached || r.Err != nil {
+		return 0
+	}
+	return (&CachedBlock{Payload: r.Payload, ByteIdx: r.ByteIdx, Recs: r.Recs, RecIdx: r.RecIdx}).Bytes()
+}
+
+// NewPrefetcher starts a prefetch pipeline over schedule. depth is the
+// worker count and read-ahead bound; depth <= 0 runs inline — Next/Take
+// perform the load synchronously on the calling goroutine (the cache, when
+// non-nil, is still consulted), which is the prefetch-disabled configuration
+// sharing one code path with the async one. cache may be nil.
+//
+// Close must be called when done (normally deferred), even after an error.
+func (d *DualStore) NewPrefetcher(schedule []BlockKey, depth int, cache *BlockCache) *Prefetcher {
+	p := &Prefetcher{
+		ds:    d,
+		cache: cache,
+		depth: depth,
+		reqs:  make([]*prefetchReq, len(schedule)),
+		byKey: make(map[BlockKey]*prefetchReq, len(schedule)),
+		quit:  make(chan struct{}),
+	}
+	for i, key := range schedule {
+		req := &prefetchReq{key: key, ch: make(chan *PrefetchResult, 1)}
+		p.reqs[i] = req
+		p.byKey[key] = req
+	}
+	if depth > 0 && len(schedule) > 0 {
+		p.sem = make(chan struct{}, depth)
+		for i := 0; i < depth; i++ {
+			p.sem <- struct{}{}
+		}
+		for w := 0; w < depth; w++ {
+			p.wg.Add(1)
+			go p.worker()
+		}
+	}
+	return p
+}
+
+// worker claims schedule entries in order, loads them, and delivers.
+func (p *Prefetcher) worker() {
+	defer p.wg.Done()
+	for {
+		select {
+		case <-p.quit:
+			return
+		case <-p.sem:
+		}
+		select { // don't start new loads once Close began
+		case <-p.quit:
+			return
+		default:
+		}
+		i := int(p.next.Add(1)) - 1
+		if i >= len(p.reqs) {
+			return
+		}
+		req := p.reqs[i]
+		var res *PrefetchResult
+		if err := p.abortErr(); err != nil {
+			// Pipeline aborted: fail the request with the root cause
+			// instead of issuing more I/O.
+			res = &PrefetchResult{Key: req.key, Err: err}
+		} else {
+			res = p.load(req.key)
+			if res.Err != nil {
+				p.setAbort(res.Err)
+			}
+		}
+		req.ch <- res
+		if res.Err != nil {
+			// Error results hold no buffers and no token (Release is a
+			// no-op on them): hand the token back here so the pipeline
+			// keeps draining and every blocked consumer receives the root
+			// cause instead of deadlocking on a token a failed consumer
+			// never returned.
+			p.sem <- struct{}{}
+		}
+	}
+}
+
+// load performs one block load: cache lookup, then the store's verified,
+// retried read path, then (on a miss) promotion into the cache so the
+// scratch can be recycled immediately and later iterations hit.
+func (p *Prefetcher) load(key BlockKey) *PrefetchResult {
+	if p.cache != nil {
+		if blk, ok := p.cache.Get(key); ok {
+			return &PrefetchResult{
+				Key: key, Cached: true, pf: p,
+				Payload: blk.Payload, ByteIdx: blk.ByteIdx,
+				Recs: blk.Recs, RecIdx: blk.RecIdx,
+			}
+		}
+	}
+	sc := GetScratch()
+	res := &PrefetchResult{Key: key, sc: sc, pf: p}
+	var err error
+	switch key.Kind {
+	case KindOutIndex:
+		res.ByteIdx, err = p.ds.LoadOutIndexScratch(key.I, key.J, sc)
+	case KindInBlock:
+		if p.ds.Format == FormatRaw {
+			res.Payload, res.ByteIdx, err = p.ds.LoadInBlockBytesScratch(key.I, key.J, sc)
+		} else {
+			var blk Block
+			blk, err = p.ds.LoadInBlockScratch(key.I, key.J, sc)
+			res.Recs, res.RecIdx = blk.Recs, blk.Index
+		}
+	default:
+		err = fmt.Errorf("blockstore: prefetch: unknown block kind %d", key.Kind)
+	}
+	if err != nil {
+		PutScratch(sc)
+		return &PrefetchResult{Key: key, Err: err}
+	}
+	if p.cache != nil {
+		blk := &CachedBlock{
+			Payload: append([]byte(nil), res.Payload...),
+			ByteIdx: append([]uint32(nil), res.ByteIdx...),
+			Recs:    append([]Rec(nil), res.Recs...),
+			RecIdx:  append([]uint32(nil), res.RecIdx...),
+		}
+		if p.cache.Put(key, blk) {
+			// Serve the immutable cached copy; the scratch is free now.
+			res.Payload, res.ByteIdx = blk.Payload, blk.ByteIdx
+			res.Recs, res.RecIdx = blk.Recs, blk.RecIdx
+			PutScratch(sc)
+			res.sc = nil
+		}
+	}
+	return res
+}
+
+// Next returns the next result in schedule order. Single consumer only.
+func (p *Prefetcher) Next() *PrefetchResult {
+	if p.nextConsume >= len(p.reqs) {
+		return &PrefetchResult{Err: fmt.Errorf("blockstore: prefetch: consumed past schedule end (%d entries)", len(p.reqs))}
+	}
+	req := p.reqs[p.nextConsume]
+	p.nextConsume++
+	return p.consume(req)
+}
+
+// Take returns the result for key; see the type comment for the ordering
+// contract concurrent consumers must follow.
+func (p *Prefetcher) Take(key BlockKey) *PrefetchResult {
+	req, ok := p.byKey[key]
+	if !ok {
+		return &PrefetchResult{Key: key, Err: fmt.Errorf("blockstore: prefetch: %s (%d,%d) not in schedule", key.Kind, key.I, key.J)}
+	}
+	return p.consume(req)
+}
+
+func (p *Prefetcher) consume(req *prefetchReq) *PrefetchResult {
+	req.consumed.Store(true)
+	if p.sem == nil {
+		return p.load(req.key)
+	}
+	return <-req.ch
+}
+
+// Close aborts outstanding work and reclaims delivered-but-unconsumed
+// results, counting their loaded bytes as prefetched-unused. It blocks until
+// every worker has exited, so all device charges of this pipeline land
+// before the caller snapshots I/O statistics.
+func (p *Prefetcher) Close() {
+	if p.closed {
+		return
+	}
+	p.closed = true
+	if p.sem == nil {
+		return
+	}
+	close(p.quit)
+	p.wg.Wait()
+	claimed := int(p.next.Load())
+	if claimed > len(p.reqs) {
+		claimed = len(p.reqs)
+	}
+	for i := 0; i < claimed; i++ {
+		req := p.reqs[i]
+		if req.consumed.Load() {
+			continue
+		}
+		res := <-req.ch
+		p.unused.Add(res.dataBytes())
+		if res.sc != nil {
+			PutScratch(res.sc)
+			res.sc = nil
+		}
+	}
+}
+
+// UnusedBytes returns the bytes loaded ahead but discarded unconsumed —
+// read-ahead wasted on an aborted or truncated traversal. Valid after Close.
+func (p *Prefetcher) UnusedBytes() int64 { return p.unused.Load() }
+
+// setAbort records the first load error; later claims fail with it.
+func (p *Prefetcher) setAbort(err error) {
+	p.errMu.Lock()
+	if p.firstErr == nil {
+		p.firstErr = err
+	}
+	p.errMu.Unlock()
+}
+
+func (p *Prefetcher) abortErr() error {
+	p.errMu.Lock()
+	defer p.errMu.Unlock()
+	return p.firstErr
+}

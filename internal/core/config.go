@@ -95,6 +95,22 @@ type Config struct {
 	// RetryBackoffMax caps the exponential backoff growth; 0 with
 	// ReadRetries > 0 defaults to 250ms.
 	RetryBackoffMax time.Duration
+	// PrefetchDepth is the number of asynchronous block-prefetch workers
+	// overlapping I/O with compute: while the engine processes one block,
+	// up to this many further blocks of the planned traversal are read,
+	// verified and decoded ahead of time. 0 disables asynchronous
+	// prefetching — block loads run inline on the consume path (a
+	// configured cache is still consulted), which is byte- and
+	// result-identical to the pipelined configuration.
+	PrefetchDepth int
+	// CacheBudgetBytes bounds the decoded-block LRU cache retained across
+	// iterations: in-blocks and out-indices that fit are served from
+	// memory on re-read, charging no device I/O (GraphMP-style
+	// semi-external caching at block granularity). 0 disables caching;
+	// working sets over the budget degrade gracefully by evicting
+	// least-recently-used blocks. Hit/miss/evict counts land in
+	// IterStats and Result.Cache.
+	CacheBudgetBytes int64
 	// OnIteration, if set, is called after each iteration completes with
 	// that iteration's statistics — for live progress reporting. It runs
 	// on the engine goroutine; keep it fast.

@@ -35,8 +35,30 @@ func (e *Engine) runCOP(prog Program, s, d []float64, frontier, next *bitset.Fro
 		}
 	}
 
-	sc := e.scratch.Get().(*blockstore.Scratch)
-	defer e.scratch.Put(sc)
+	// The column traversal order is fixed up front, so the whole iteration
+	// is handed to the prefetch pipeline as one schedule: while this
+	// goroutine computes on in-block(j,i), the prefetch workers read,
+	// verify and decode the next blocks (or serve them from the cache).
+	// copBlockSkip must mirror the loop below exactly — every scheduled
+	// key is consumed by exactly one Next call.
+	copSkip := func(j int) bool {
+		if !e.cfg.COPBlockSkip {
+			return false
+		}
+		jlo, jhi := l.Bounds(j)
+		return frontier.CountIn(jlo, jhi) == 0
+	}
+	sched := make([]blockstore.BlockKey, 0, l.P*l.P)
+	for i := 0; i < l.P; i++ {
+		for j := 0; j < l.P; j++ {
+			if copSkip(j) {
+				continue
+			}
+			sched = append(sched, blockstore.BlockKey{Kind: blockstore.KindInBlock, I: j, J: i})
+		}
+	}
+	pf := e.ds.NewPrefetcher(sched, e.cfg.PrefetchDepth, e.cache)
+	defer e.finishPrefetch(pf)
 
 	var maxDelta float64
 	for i := 0; i < l.P; i++ { // column i updates interval i
@@ -46,24 +68,23 @@ func (e *Engine) runCOP(prog Program, s, d []float64, frontier, next *bitset.Fro
 		}
 
 		for j := 0; j < l.P; j++ { // stream in-blocks top to bottom
-			if e.cfg.COPBlockSkip {
-				jlo, jhi := l.Bounds(j)
-				if frontier.CountIn(jlo, jhi) == 0 {
-					continue // block-level selective scheduling (ablation)
-				}
+			if copSkip(j) {
+				continue // block-level selective scheduling (ablation)
 			}
 			if !e.cfg.SemiExternal {
 				dev.ReadSeq(int64(l.Size(j)) * nv) // load S_j (Alg. 3 line 3)
+			}
+			res := pf.Next()
+			if res.Err != nil {
+				return 0, res.Err
 			}
 			if e.ds.Format == blockstore.FormatRaw {
 				// Raw fast path: iterate the packed records in place —
 				// no decode pass, and the per-destination parallelism
 				// covers all of the block's work.
-				payload, byteIdx, err := e.ds.LoadInBlockBytesScratch(j, i, sc)
-				if err != nil {
-					return 0, err
-				}
+				payload, byteIdx := res.Payload, res.ByteIdx
 				if len(payload) == 0 {
+					res.Release()
 					continue
 				}
 				step := blockstore.RawRecordBytes(e.ds.Weighted)
@@ -92,13 +113,12 @@ func (e *Engine) runCOP(prog Program, s, d []float64, frontier, next *bitset.Fro
 						}
 					}
 				})
+				res.Release()
 				continue
 			}
-			blk, err := e.ds.LoadInBlockScratch(j, i, sc)
-			if err != nil {
-				return 0, err
-			}
+			blk := blockstore.Block{Recs: res.Recs, Index: res.RecIdx}
 			if len(blk.Recs) == 0 {
+				res.Release()
 				continue
 			}
 			parallelWeightedChunks(blk.Index, e.cfg.Threads, func(cl, ch int) {
@@ -124,6 +144,7 @@ func (e *Engine) runCOP(prog Program, s, d []float64, frontier, next *bitset.Fro
 					}
 				}
 			})
+			res.Release()
 		}
 
 		// Column finalization: activate changed vertices, synchronize

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"husgraph/internal/bitset"
@@ -25,6 +26,12 @@ type Engine struct {
 	spans   [][]span
 	runs    [][]run
 
+	// cache is the budgeted hot-block cache shared by ROP and COP
+	// pipelines across iterations; nil when Config.CacheBudgetBytes is 0.
+	// prefetchUnused accumulates bytes read ahead but never consumed.
+	cache          *blockstore.BlockCache
+	prefetchUnused atomic.Int64
+
 	// ckptSlot is the next checkpoint generation slot (0 or 1) to write;
 	// loadCheckpoint points it away from the generation it resumed from.
 	ckptSlot int
@@ -44,6 +51,9 @@ func New(ds *blockstore.DualStore, cfg Config) *Engine {
 		runs:  make([][]run, ds.Layout.P),
 	}
 	e.scratch.New = func() any { return new(blockstore.Scratch) }
+	if e.cfg.CacheBudgetBytes > 0 {
+		e.cache = blockstore.NewBlockCache(e.cfg.CacheBudgetBytes)
+	}
 	if e.cfg.ReadRetries > 0 {
 		ds.SetRetryPolicy(blockstore.RetryPolicy{
 			MaxRetries: e.cfg.ReadRetries,
@@ -118,6 +128,11 @@ func (e *Engine) RunContext(ctx context.Context, prog Program) (*Result, error) 
 		}
 		ioBefore := dev.Stats()
 		retriesBefore := e.ds.Retries()
+		unusedBefore := e.prefetchUnused.Load()
+		var cacheBefore blockstore.CacheStats
+		if e.cache != nil {
+			cacheBefore = e.cache.Stats()
+		}
 		start := time.Now()
 
 		st := IterStats{Iter: iter, ActiveVertices: frontier.Count()}
@@ -147,6 +162,11 @@ func (e *Engine) RunContext(ctx context.Context, prog Program) (*Result, error) 
 		}
 		st.MaxDelta = maxDelta
 		st.Retries = e.ds.Retries() - retriesBefore
+		st.PrefetchUnusedBytes = e.prefetchUnused.Load() - unusedBefore
+		if e.cache != nil {
+			delta := e.cache.Stats().Sub(cacheBefore)
+			st.CacheHits, st.CacheMisses, st.CacheEvictions = delta.Hits, delta.Misses, delta.Evictions
+		}
 		res.Iterations = append(res.Iterations, st)
 		if e.cfg.OnIteration != nil {
 			e.cfg.OnIteration(st)
@@ -170,7 +190,23 @@ func (e *Engine) RunContext(ctx context.Context, prog Program) (*Result, error) 
 	}
 	res.Values = s
 	res.Recovery.Retries = e.ds.Retries() - startRetries
+	if e.cache != nil {
+		res.Cache = e.cache.Stats()
+	}
+	res.PrefetchUnusedBytes = e.prefetchUnused.Load()
 	return res, nil
+}
+
+// Cache returns the engine's block cache, or nil when caching is disabled.
+func (e *Engine) Cache() *blockstore.BlockCache { return e.cache }
+
+// finishPrefetch tears down an iteration's prefetch pipeline: Close blocks
+// until every in-flight read has been charged to the device, so the
+// iteration's I/O snapshot is exact, then the wasted read-ahead is
+// accumulated for IterStats.
+func (e *Engine) finishPrefetch(pf *blockstore.Prefetcher) {
+	pf.Close()
+	e.prefetchUnused.Add(pf.UnusedBytes())
 }
 
 // activeOutEdges sums the out-degrees of the frontier: the paper's
@@ -260,8 +296,12 @@ func (e *Engine) predict(f *bitset.Frontier) (crop, ccop time.Duration) {
 		}
 		// Indices of the row's P out-blocks and the vertex working set
 		// (S_i read, all D_j read, D_i written — the paper's
-		// (2|V|/P + |V|)·N term).
+		// (2|V|/P + |V|)·N term). Out-indices resident in the block cache
+		// are served from memory and priced at zero.
 		for j := 0; j < l.P; j++ {
+			if e.cache != nil && e.cache.Peek(blockstore.BlockKey{Kind: blockstore.KindOutIndex, I: i, J: j}) {
+				continue
+			}
 			seqBytes += e.ds.OutIndexBytes(i, j)
 		}
 		if !e.cfg.SemiExternal {
@@ -271,10 +311,18 @@ func (e *Engine) predict(f *bitset.Frontier) (crop, ccop time.Duration) {
 	crop += prof.SeqTime(seqBytes)
 
 	// COP: stream every column's in-blocks and indices plus the same
-	// per-interval vertex working set.
+	// per-interval vertex working set. In-blocks resident in the block
+	// cache skip the device entirely, so they are priced at zero — this is
+	// what lets the predictor keep preferring COP once the hot columns
+	// have been cached.
 	var copBytes int64
 	for j := 0; j < l.P; j++ {
-		copBytes += e.ds.InColumnBytes(j)
+		for i := 0; i < l.P; i++ {
+			if e.cache != nil && e.cache.Peek(blockstore.BlockKey{Kind: blockstore.KindInBlock, I: i, J: j}) {
+				continue
+			}
+			copBytes += e.ds.InBlockBytes[i][j] + int64(l.Size(j)+1)*blockstore.IndexEntryBytes
+		}
 		if !e.cfg.SemiExternal {
 			copBytes += (2*int64(l.Size(j)) + n) * nv
 		}

@@ -50,6 +50,29 @@ func (e *Engine) runROP(prog Program, s, d []float64, frontier, next *bitset.Fro
 		errMu.Unlock()
 	}
 
+	// The out-index traversal order is known once the frontier is fixed:
+	// every nonempty block of every active row, row-major. The prefetch
+	// pipeline reads ahead across block — and row — boundaries while the
+	// workers compute; each row's workers claim their indices by key
+	// (Take), which is safe because together they drain the row's
+	// contiguous schedule window before the next row starts. The selective
+	// random record loads stay on the consume path: their ranges depend on
+	// the out-index just delivered.
+	sched := make([]blockstore.BlockKey, 0, l.P*l.P)
+	for i := 0; i < l.P; i++ {
+		lo, hi := l.Bounds(i)
+		if frontier.CountIn(lo, hi) == 0 {
+			continue
+		}
+		for j := 0; j < l.P; j++ {
+			if e.ds.BlockEdgeCount[i][j] != 0 {
+				sched = append(sched, blockstore.BlockKey{Kind: blockstore.KindOutIndex, I: i, J: j})
+			}
+		}
+	}
+	pf := e.ds.NewPrefetcher(sched, e.cfg.PrefetchDepth, e.cache)
+	defer e.finishPrefetch(pf)
+
 	coalesce := dev.Profile().CoalesceBytes()
 	for i := 0; i < l.P; i++ {
 		lo, hi := l.Bounds(i)
@@ -69,14 +92,16 @@ func (e *Engine) runROP(prog Program, s, d []float64, frontier, next *bitset.Fro
 			}
 			sc := e.scratch.Get().(*blockstore.Scratch)
 			defer e.scratch.Put(sc)
-			idx, err := e.ds.LoadOutIndexScratch(i, j, sc)
-			if err != nil {
-				setErr(err)
+			res := pf.Take(blockstore.BlockKey{Kind: blockstore.KindOutIndex, I: i, J: j})
+			if res.Err != nil {
+				setErr(res.Err)
 				return
 			}
+			idx := res.ByteIdx
 
 			// Collect each active vertex's record range; coalesce close
-			// ranges into runs.
+			// ranges into runs. The index is only needed while building
+			// them, so its buffers go back to the pipeline right after.
 			spans := e.spanBuf(j)
 			runs := e.runBuf(j)
 			frontier.RangeIn(lo, hi, func(v int) bool {
@@ -96,8 +121,10 @@ func (e *Engine) runROP(prog Program, s, d []float64, frontier, next *bitset.Fro
 				return true
 			})
 			e.spans[j], e.runs[j] = spans, runs // retain grown capacity
+			res.Release()
 
 			ri := 0
+			var err error
 			var runBytes []byte
 			loaded := false
 			var runStart uint32

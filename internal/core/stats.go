@@ -3,6 +3,7 @@ package core
 import (
 	"time"
 
+	"husgraph/internal/blockstore"
 	"husgraph/internal/storage"
 )
 
@@ -43,6 +44,15 @@ type IterStats struct {
 	// Retries counts transient read faults retried by the store during
 	// this iteration (see Config.ReadRetries).
 	Retries int64
+	// CacheHits, CacheMisses and CacheEvictions count block-cache
+	// activity during this iteration (zero when Config.CacheBudgetBytes
+	// is 0).
+	CacheHits      int64
+	CacheMisses    int64
+	CacheEvictions int64
+	// PrefetchUnusedBytes counts bytes the prefetch pipeline read ahead
+	// but discarded unconsumed (an aborted or truncated traversal).
+	PrefetchUnusedBytes int64
 }
 
 // RecoveryStats reports what the durability machinery did during a run:
@@ -75,6 +85,12 @@ type Result struct {
 	Converged bool
 	// Recovery summarizes retried faults and checkpoint recovery.
 	Recovery RecoveryStats
+	// Cache is the final block-cache snapshot (zero value when caching is
+	// disabled): cumulative hits/misses/evictions and end-of-run
+	// residency.
+	Cache blockstore.CacheStats
+	// PrefetchUnusedBytes totals the per-iteration unused read-ahead.
+	PrefetchUnusedBytes int64
 }
 
 // TotalRetries returns the summed per-iteration transient-fault retries.

@@ -1,0 +1,188 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"husgraph/internal/core"
+	"husgraph/internal/gen"
+	"husgraph/internal/storage"
+)
+
+// Machine-readable benchmark artifacts: one BENCH_<dataset>.json per
+// dataset, comparing the synchronous block-load path against the prefetch
+// pipeline and the pipeline plus hot-block cache. These files are the
+// start of the repo's performance trajectory — committed alongside code so
+// a regression shows up as a diff.
+
+// BenchEntry is one engine configuration's measurements within a report.
+type BenchEntry struct {
+	// Config names the engine configuration: "sync" (no prefetch, no
+	// cache), "prefetch" (PrefetchDepth=2), "prefetch+cache"
+	// (PrefetchDepth=2 plus the block cache).
+	Config           string `json:"config"`
+	PrefetchDepth    int    `json:"prefetch_depth"`
+	CacheBudgetBytes int64  `json:"cache_budget_bytes"`
+	Iterations       int    `json:"iterations"`
+	// NsPerIter is the modeled runtime per iteration on the simulated
+	// device (max of I/O and modeled compute, §3.5) — the deterministic
+	// quantity the speedups compare.
+	NsPerIter int64 `json:"ns_per_iter"`
+	// WallNsPerIter is the measured host wall-clock per iteration
+	// (machine-dependent; reported for the I/O-overlap effect, which the
+	// modeled time already assumes away).
+	WallNsPerIter       int64   `json:"wall_ns_per_iter"`
+	BytesRead           int64   `json:"bytes_read"`
+	BytesWritten        int64   `json:"bytes_written"`
+	CacheHitRate        float64 `json:"cache_hit_rate"`
+	CacheHits           int64   `json:"cache_hits"`
+	CacheMisses         int64   `json:"cache_misses"`
+	CacheEvictions      int64   `json:"cache_evictions"`
+	PrefetchUnusedBytes int64   `json:"prefetch_unused_bytes"`
+}
+
+// BenchReport is the full JSON document for one dataset.
+type BenchReport struct {
+	Dataset string `json:"dataset"`
+	Algo    string `json:"algo"`
+	Device  string `json:"device"`
+	Threads int    `json:"threads"`
+	P       int    `json:"p"`
+	Quick   bool   `json:"quick"`
+
+	Entries []BenchEntry `json:"entries"`
+
+	// SpeedupPrefetch and SpeedupPrefetchCache are sync modeled-runtime
+	// divided by the variant's modeled runtime (>1 is faster).
+	SpeedupPrefetch      float64 `json:"speedup_prefetch"`
+	SpeedupPrefetchCache float64 `json:"speedup_prefetch_cache"`
+	// ValuesIdentical reports that every configuration produced
+	// bit-identical per-vertex values.
+	ValuesIdentical bool `json:"values_identical"`
+}
+
+// BenchCacheBudget is the hot-block budget the "prefetch+cache" bench
+// configuration uses — generous enough to hold every dataset's in-block
+// working set.
+const BenchCacheBudget = 256 << 20
+
+// RunHUSWithConfig executes one algorithm on the HUS engine under a caller-
+// provided configuration (model, prefetch depth, cache budget, …); the
+// algorithm's MaxIters and the runner's thread default are applied when the
+// config leaves them zero.
+func (r *Runner) RunHUSWithConfig(d gen.Dataset, a Algo, prof storage.Profile, cfg core.Config) (*core.Result, error) {
+	ds, err := r.Store(d, a.Symmetric, a.Weighted, prof)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Threads <= 0 {
+		cfg.Threads = r.opts.Threads
+	}
+	if cfg.MaxIters == 0 {
+		cfg.MaxIters = a.MaxIters
+	}
+	eng := core.New(ds, cfg)
+	return eng.Run(a.New(r.Graph(d, false)))
+}
+
+// BenchDataset measures one dataset across the three bench configurations
+// and assembles the report.
+func (r *Runner) BenchDataset(dataset string, prof storage.Profile) (*BenchReport, error) {
+	d, err := r.Dataset(dataset)
+	if err != nil {
+		return nil, err
+	}
+	a, err := AlgoByName("PageRank")
+	if err != nil {
+		return nil, err
+	}
+	configs := []struct {
+		name string
+		cfg  core.Config
+	}{
+		{"sync", core.Config{}},
+		{"prefetch", core.Config{PrefetchDepth: 2}},
+		{"prefetch+cache", core.Config{PrefetchDepth: 2, CacheBudgetBytes: BenchCacheBudget}},
+	}
+	rep := &BenchReport{
+		Dataset: d.Name,
+		Algo:    a.Name,
+		Device:  prof.Name,
+		Threads: r.opts.Threads,
+		P:       r.opts.P,
+		Quick:   r.opts.Quick,
+	}
+	var refValues []float64
+	rep.ValuesIdentical = true
+	for _, c := range configs {
+		res, err := r.RunHUSWithConfig(d, a, prof, c.cfg)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: bench %s/%s: %w", d.Name, c.name, err)
+		}
+		iters := res.NumIterations()
+		if iters == 0 {
+			iters = 1
+		}
+		io := res.TotalIO()
+		rep.Entries = append(rep.Entries, BenchEntry{
+			Config:              c.name,
+			PrefetchDepth:       c.cfg.PrefetchDepth,
+			CacheBudgetBytes:    c.cfg.CacheBudgetBytes,
+			Iterations:          res.NumIterations(),
+			NsPerIter:           res.TotalRuntime().Nanoseconds() / int64(iters),
+			WallNsPerIter:       res.TotalComputeTime().Nanoseconds() / int64(iters),
+			BytesRead:           io.ReadBytes(),
+			BytesWritten:        io.WriteBytes(),
+			CacheHitRate:        res.Cache.HitRate(),
+			CacheHits:           res.Cache.Hits,
+			CacheMisses:         res.Cache.Misses,
+			CacheEvictions:      res.Cache.Evictions,
+			PrefetchUnusedBytes: res.PrefetchUnusedBytes,
+		})
+		if refValues == nil {
+			refValues = res.Values
+			continue
+		}
+		for v := range refValues {
+			if res.Values[v] != refValues[v] {
+				rep.ValuesIdentical = false
+				break
+			}
+		}
+	}
+	base := float64(rep.Entries[0].NsPerIter)
+	if pf := float64(rep.Entries[1].NsPerIter); pf > 0 {
+		rep.SpeedupPrefetch = base / pf
+	}
+	if pc := float64(rep.Entries[2].NsPerIter); pc > 0 {
+		rep.SpeedupPrefetchCache = base / pc
+	}
+	return rep, nil
+}
+
+// WriteBenchJSON benches each dataset and writes BENCH_<dataset>.json files
+// into dir, returning the paths written.
+func (r *Runner) WriteBenchJSON(dir string, datasets []string, prof storage.Profile) ([]string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	var paths []string
+	for _, name := range datasets {
+		rep, err := r.BenchDataset(name, prof)
+		if err != nil {
+			return nil, err
+		}
+		buf, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return nil, err
+		}
+		path := filepath.Join(dir, fmt.Sprintf("BENCH_%s.json", rep.Dataset))
+		if err := os.WriteFile(path, append(buf, '\n'), 0o644); err != nil {
+			return nil, err
+		}
+		paths = append(paths, path)
+	}
+	return paths, nil
+}

@@ -1,0 +1,91 @@
+package experiments
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"husgraph/internal/core"
+	"husgraph/internal/storage"
+)
+
+func TestBenchDatasetSpeedupAndIdentity(t *testing.T) {
+	// The acceptance bar of the prefetch/cache work: on the largest
+	// dataset, the prefetch+cache configuration must show a modeled
+	// speedup over the synchronous path while producing bit-identical
+	// per-vertex values.
+	r := NewRunner(Options{Quick: true, Threads: 4})
+	rep, err := r.BenchDataset("ukunion-sim", storage.HDD)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Entries) != 3 {
+		t.Fatalf("entries: %d", len(rep.Entries))
+	}
+	if !rep.ValuesIdentical {
+		t.Fatal("prefetch/cache configurations changed per-vertex values")
+	}
+	if rep.SpeedupPrefetchCache <= 1.0 {
+		t.Fatalf("prefetch+cache speedup = %v, want > 1", rep.SpeedupPrefetchCache)
+	}
+	sync, cached := rep.Entries[0], rep.Entries[2]
+	if cached.BytesRead >= sync.BytesRead {
+		t.Fatalf("cached run read %d bytes, sync %d", cached.BytesRead, sync.BytesRead)
+	}
+	if cached.CacheHitRate <= 0 {
+		t.Fatalf("cache hit rate = %v", cached.CacheHitRate)
+	}
+	// Prefetch without a cache must not distort the simulated cost model:
+	// identical bytes and identical modeled time.
+	if pf := rep.Entries[1]; pf.BytesRead != sync.BytesRead || pf.NsPerIter != sync.NsPerIter {
+		t.Fatalf("prefetch-only changed the modeled run: sync %+v prefetch %+v", sync, pf)
+	}
+}
+
+func TestWriteBenchJSONRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	r := NewRunner(Options{Quick: true, Threads: 4})
+	paths, err := r.WriteBenchJSON(dir, []string{"livejournal-sim"}, storage.HDD)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) != 1 || filepath.Base(paths[0]) != "BENCH_livejournal-sim.json" {
+		t.Fatalf("paths: %v", paths)
+	}
+	buf, err := os.ReadFile(paths[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep BenchReport
+	if err := json.Unmarshal(buf, &rep); err != nil {
+		t.Fatalf("artifact is not valid JSON: %v", err)
+	}
+	if rep.Dataset != "livejournal-sim" || rep.Algo != "PageRank" || rep.Device != "hdd" {
+		t.Fatalf("report header: %+v", rep)
+	}
+	for _, e := range rep.Entries {
+		if e.Iterations <= 0 || e.NsPerIter <= 0 || e.BytesRead <= 0 {
+			t.Fatalf("degenerate entry: %+v", e)
+		}
+	}
+}
+
+func TestRunHUSWithConfigAppliesAlgoDefaults(t *testing.T) {
+	r := NewRunner(Options{Quick: true, Threads: 2})
+	d, err := r.Dataset("livejournal-sim")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := AlgoByName("PageRank")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := r.RunHUSWithConfig(d, a, storage.HDD, core.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NumIterations() != a.MaxIters {
+		t.Fatalf("iterations = %d, want algo default %d", res.NumIterations(), a.MaxIters)
+	}
+}
