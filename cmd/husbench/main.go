@@ -5,6 +5,7 @@
 //	husbench [-exp all|table2|fig1|fig7|fig8|table3|fig9|fig10|fig11[,...]]
 //	         [-threads N] [-p P] [-quick] [-csv]
 //	         [-bench-json DIR [-datasets a,b,...]]
+//	         [-bench-check DIR]
 //
 // Each experiment prints one or more tables; -csv switches to CSV output
 // for plotting.
@@ -14,6 +15,12 @@
 // engine configurations, and one machine-readable BENCH_<dataset>.json is
 // written per dataset into DIR (modeled ns/iter, bytes read, cache hit
 // rate, speedups) — the repo's performance-trajectory artifacts.
+//
+// With -bench-check, the committed BENCH_*.json artifacts in DIR are
+// replayed under their recorded configurations and the modeled ns/iter is
+// compared: any entry more than 20% slower than its artifact fails the run
+// with exit status 1. The modeled runtime is deterministic, so this is a
+// machine-independent CI regression gate.
 package main
 
 import (
@@ -36,11 +43,35 @@ func main() {
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
 	md := flag.Bool("md", false, "emit markdown tables (EXPERIMENTS.md style)")
 	benchJSON := flag.String("bench-json", "", "write machine-readable BENCH_<dataset>.json perf artifacts into this directory and exit")
+	benchCheck := flag.String("bench-check", "", "replay the BENCH_*.json artifacts in this directory and fail on >20% modeled-runtime regression")
 	datasets := flag.String("datasets", "", "comma-separated datasets for -bench-json (default: all registry datasets)")
 	deviceName := flag.String("device", "hdd", "device profile for -bench-json: hdd|ssd|nvme|ram")
 	flag.Parse()
 
 	r := experiments.NewRunner(experiments.Options{Threads: *threads, P: *p, Quick: *quick})
+	if *benchCheck != "" {
+		start := time.Now()
+		trends, err := experiments.CheckBenchTrend(*benchCheck, 0)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "husbench: bench-check: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("%-18s %-15s %14s %14s %7s\n", "dataset", "config", "old ns/iter", "new ns/iter", "ratio")
+		for _, tr := range trends {
+			mark := ""
+			if tr.Regressed {
+				mark = "  REGRESSED"
+			}
+			fmt.Printf("%-18s %-15s %14d %14d %7.3f%s\n", tr.Dataset, tr.Config, tr.OldNs, tr.NewNs, tr.Ratio, mark)
+		}
+		fmt.Fprintf(os.Stderr, "[bench-check completed in %v]\n", time.Since(start).Round(time.Millisecond))
+		if bad := experiments.Regressions(trends); len(bad) > 0 {
+			fmt.Fprintf(os.Stderr, "husbench: %d modeled-runtime regression(s) above the %.0f%% threshold\n",
+				len(bad), (experiments.BenchRegressionThreshold-1)*100)
+			os.Exit(1)
+		}
+		return
+	}
 	if *benchJSON != "" {
 		prof, err := storage.ProfileByName(*deviceName)
 		if err != nil {

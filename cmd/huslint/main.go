@@ -1,0 +1,79 @@
+// Command huslint runs the project-invariant analyzer suite over the
+// repository. It enforces the contracts the test suite cannot: file data
+// flows through storage.Store (rawio), errors crossing the storage boundary
+// are classified and matched structurally (errclass), field atomicity is
+// all-or-nothing (atomicstats), pooled values do not outlive their Put
+// (poolescape), and worker loops honor their abort signals (ctxloop).
+//
+// Usage:
+//
+//	go run ./cmd/huslint ./...
+//
+// Exit status: 0 clean, 1 findings, 2 load or internal failure. Findings
+// print in vet style: file:line:col: message [huslint/analyzer]. A finding
+// is suppressed by a `//lint:ignore huslint/<name> <reason>` comment on the
+// offending line or the line above; the reason is mandatory.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"husgraph/internal/lint"
+)
+
+func main() {
+	names := flag.String("analyzers", "", "comma-separated analyzer names to run (default: all)")
+	list := flag.Bool("list", false, "list available analyzers and exit")
+	flag.Parse()
+
+	if *list {
+		for _, a := range lint.Analyzers() {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	analyzers := lint.Analyzers()
+	if *names != "" {
+		byName := make(map[string]*lint.Analyzer)
+		for _, a := range analyzers {
+			byName[a.Name] = a
+		}
+		analyzers = nil
+		for _, n := range strings.Split(*names, ",") {
+			a, ok := byName[strings.TrimSpace(n)]
+			if !ok {
+				fmt.Fprintf(os.Stderr, "huslint: unknown analyzer %q (have %s)\n",
+					n, strings.Join(lint.AnalyzerNames(), ", "))
+				os.Exit(2)
+			}
+			analyzers = append(analyzers, a)
+		}
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	wd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "huslint: %v\n", err)
+		os.Exit(2)
+	}
+	diags, err := lint.Run(wd, patterns, analyzers)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "huslint: %v\n", err)
+		os.Exit(2)
+	}
+	for _, d := range diags {
+		fmt.Println(d.String())
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "huslint: %d finding(s)\n", len(diags))
+		os.Exit(1)
+	}
+}

@@ -174,6 +174,7 @@ func (p *Prefetcher) worker() {
 				p.setAbort(res.Err)
 			}
 		}
+		//lint:ignore huslint/ctxloop req.ch is buffered (cap 1) and gets exactly one send per request, so this send never blocks
 		req.ch <- res
 		if res.Err != nil {
 			// Error results hold no buffers and no token (Release is a
@@ -181,6 +182,7 @@ func (p *Prefetcher) worker() {
 			// keeps draining and every blocked consumer receives the root
 			// cause instead of deadlocking on a token a failed consumer
 			// never returned.
+			//lint:ignore huslint/ctxloop token conservation: sem has capacity depth and this send returns a token just taken, so it never blocks
 			p.sem <- struct{}{}
 		}
 	}
@@ -235,6 +237,7 @@ func (p *Prefetcher) load(key BlockKey) *PrefetchResult {
 			res.sc = nil
 		}
 	}
+	//lint:ignore huslint/poolescape ownership of sc transfers to the result; PrefetchResult.Release/Close return it to the pool exactly once
 	return res
 }
 

@@ -148,7 +148,7 @@ func (e *Engine) RunContext(ctx context.Context, prog Program) (*Result, error) 
 			maxDelta, err = e.runCOP(prog, s, d, frontier, next)
 		}
 		if err != nil {
-			return nil, fmt.Errorf("core: %s iteration %d (%v): %w", prog.Name(), iter, st.Model, err)
+			return nil, &IterError{Program: prog.Name(), Iter: iter, Model: st.Model, Err: err}
 		}
 
 		st.ComputeTime = time.Since(start)

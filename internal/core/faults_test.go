@@ -2,7 +2,6 @@ package core
 
 import (
 	"errors"
-	"strings"
 	"testing"
 
 	"husgraph/internal/blockstore"
@@ -38,8 +37,12 @@ func TestEngineSurfacesReadFaultsCOP(t *testing.T) {
 		if !errors.Is(err, storage.ErrPermanent) {
 			t.Fatalf("after=%d: error chain lost the cause: %v", after, err)
 		}
-		if !strings.Contains(err.Error(), "COP") {
-			t.Fatalf("after=%d: error lacks context: %v", after, err)
+		var ie *IterError
+		if !errors.As(err, &ie) {
+			t.Fatalf("after=%d: error lacks iteration context: %v", after, err)
+		}
+		if ie.Model != ModelCOP {
+			t.Fatalf("after=%d: IterError.Model = %v, want COP", after, ie.Model)
 		}
 	}
 }

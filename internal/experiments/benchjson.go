@@ -179,6 +179,7 @@ func (r *Runner) WriteBenchJSON(dir string, datasets []string, prof storage.Prof
 			return nil, err
 		}
 		path := filepath.Join(dir, fmt.Sprintf("BENCH_%s.json", rep.Dataset))
+		//lint:ignore huslint/rawio bench artifacts are CI reports, not graph data; they never pass through storage.Store
 		if err := os.WriteFile(path, append(buf, '\n'), 0o644); err != nil {
 			return nil, err
 		}

@@ -53,6 +53,7 @@ func TestWriteBenchJSONRoundTrip(t *testing.T) {
 	if len(paths) != 1 || filepath.Base(paths[0]) != "BENCH_livejournal-sim.json" {
 		t.Fatalf("paths: %v", paths)
 	}
+	//lint:ignore huslint/rawio reading back a bench artifact, not graph data
 	buf, err := os.ReadFile(paths[0])
 	if err != nil {
 		t.Fatal(err)

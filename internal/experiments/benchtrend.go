@@ -1,0 +1,115 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"husgraph/internal/storage"
+)
+
+// Bench-trend gate: the committed BENCH_*.json artifacts are the accepted
+// performance baseline. CheckBenchTrend replays each artifact's exact
+// configuration (dataset, device profile, threads, partitions) and compares
+// the modeled ns/iter — a deterministic quantity (max of simulated I/O time
+// and modeled compute), so the 20% threshold catches real regressions
+// without machine noise, on any CI host.
+
+// BenchRegressionThreshold is the accepted new/old modeled-runtime ratio;
+// above it the trend check fails.
+const BenchRegressionThreshold = 1.20
+
+// BenchTrend compares one committed artifact entry against a fresh run of
+// the same configuration.
+type BenchTrend struct {
+	Dataset   string
+	Config    string
+	OldNs     int64   // committed modeled ns/iter
+	NewNs     int64   // freshly measured modeled ns/iter
+	Ratio     float64 // NewNs / OldNs
+	Regressed bool    // Ratio > threshold
+}
+
+// CheckBenchTrend re-runs every BENCH_*.json artifact in dir and returns one
+// trend row per (dataset, config). threshold <= 0 selects
+// BenchRegressionThreshold.
+func CheckBenchTrend(dir string, threshold float64) ([]BenchTrend, error) {
+	if threshold <= 0 {
+		threshold = BenchRegressionThreshold
+	}
+	paths, err := filepath.Glob(filepath.Join(dir, "BENCH_*.json"))
+	if err != nil {
+		return nil, err
+	}
+	if len(paths) == 0 {
+		return nil, fmt.Errorf("experiments: no BENCH_*.json artifacts in %s", dir)
+	}
+	sort.Strings(paths)
+	var trends []BenchTrend
+	for _, path := range paths {
+		//lint:ignore huslint/rawio bench artifacts are CI reports, not graph data; they never pass through storage.Store
+		buf, err := os.ReadFile(path)
+		if err != nil {
+			return nil, err
+		}
+		var old BenchReport
+		if err := json.Unmarshal(buf, &old); err != nil {
+			return nil, fmt.Errorf("experiments: %s: %w", path, err)
+		}
+		rows, err := benchTrendReport(&old, threshold)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: %s: %w", path, err)
+		}
+		trends = append(trends, rows...)
+	}
+	return trends, nil
+}
+
+// benchTrendReport replays one artifact's configuration and diffs it.
+func benchTrendReport(old *BenchReport, threshold float64) ([]BenchTrend, error) {
+	prof, err := storage.ProfileByName(old.Device)
+	if err != nil {
+		return nil, err
+	}
+	r := NewRunner(Options{Threads: old.Threads, P: old.P, Quick: old.Quick})
+	fresh, err := r.BenchDataset(old.Dataset, prof)
+	if err != nil {
+		return nil, err
+	}
+	freshByConfig := make(map[string]BenchEntry, len(fresh.Entries))
+	for _, e := range fresh.Entries {
+		freshByConfig[e.Config] = e
+	}
+	var rows []BenchTrend
+	for _, oe := range old.Entries {
+		ne, ok := freshByConfig[oe.Config]
+		if !ok {
+			return nil, fmt.Errorf("config %q in committed artifact no longer benched; regenerate the artifact", oe.Config)
+		}
+		row := BenchTrend{
+			Dataset: old.Dataset,
+			Config:  oe.Config,
+			OldNs:   oe.NsPerIter,
+			NewNs:   ne.NsPerIter,
+		}
+		if oe.NsPerIter > 0 {
+			row.Ratio = float64(ne.NsPerIter) / float64(oe.NsPerIter)
+			row.Regressed = row.Ratio > threshold
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// Regressions filters a trend table down to its failing rows.
+func Regressions(trends []BenchTrend) []BenchTrend {
+	var bad []BenchTrend
+	for _, t := range trends {
+		if t.Regressed {
+			bad = append(bad, t)
+		}
+	}
+	return bad
+}

@@ -1,0 +1,117 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// AtomicStats enforces all-or-nothing atomic discipline on struct fields:
+// once any site updates a field through sync/atomic (atomic.AddInt64(&s.n,
+// 1), ...), every other access of that field must be atomic too. A mixed
+// plain read "only" races under the right schedule, so -race catches it
+// probabilistically at best; prefer fields of type atomic.Int64, which make
+// the discipline impossible to break.
+//
+// Scope: direct struct-field addresses passed to sync/atomic functions.
+// Element-wise atomics on a slice field (the bitset package's documented
+// phase-separated Atomic*/plain split) are a different contract and are out
+// of scope.
+var AtomicStats = &Analyzer{
+	Name: "atomicstats",
+	Doc: "a struct field passed to sync/atomic anywhere must be accessed atomically everywhere " +
+		"in the package; mixed plain access is a latent data race",
+	Run: runAtomicStats,
+}
+
+// atomicAddrFuncs are the sync/atomic functions whose first argument is the
+// address being operated on.
+var atomicAddrFuncs = map[string]bool{
+	"AddInt32": true, "AddInt64": true, "AddUint32": true, "AddUint64": true, "AddUintptr": true,
+	"LoadInt32": true, "LoadInt64": true, "LoadUint32": true, "LoadUint64": true,
+	"LoadUintptr": true, "LoadPointer": true,
+	"StoreInt32": true, "StoreInt64": true, "StoreUint32": true, "StoreUint64": true,
+	"StoreUintptr": true, "StorePointer": true,
+	"SwapInt32": true, "SwapInt64": true, "SwapUint32": true, "SwapUint64": true,
+	"SwapUintptr": true, "SwapPointer": true,
+	"CompareAndSwapInt32": true, "CompareAndSwapInt64": true,
+	"CompareAndSwapUint32": true, "CompareAndSwapUint64": true,
+	"CompareAndSwapUintptr": true, "CompareAndSwapPointer": true,
+}
+
+func runAtomicStats(pass *Pass) error {
+	// Pass 1: fields whose address reaches sync/atomic, and the selector
+	// nodes inside those calls (sanctioned accesses).
+	atomicFields := make(map[*types.Var]token.Pos)
+	sanctioned := make(map[*ast.SelectorExpr]bool)
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			f := calleeOf(pass.Info, call)
+			if f == nil || !isPkgFunc(f, "sync/atomic", f.Name()) || !atomicAddrFuncs[f.Name()] || len(call.Args) == 0 {
+				return true
+			}
+			addr, ok := ast.Unparen(call.Args[0]).(*ast.UnaryExpr)
+			if !ok || addr.Op != token.AND {
+				return true
+			}
+			sel, ok := ast.Unparen(addr.X).(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			if fld := fieldOf(pass.Info, sel); fld != nil {
+				if _, seen := atomicFields[fld]; !seen {
+					atomicFields[fld] = call.Pos()
+				}
+				sanctioned[sel] = true
+			}
+			return true
+		})
+	}
+	if len(atomicFields) == 0 {
+		return nil
+	}
+	// Pass 2: every other access of those fields must be sanctioned.
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok || sanctioned[sel] {
+				return true
+			}
+			fld := fieldOf(pass.Info, sel)
+			if fld == nil {
+				return true
+			}
+			if at, ok := atomicFields[fld]; ok {
+				pass.Reportf(sel.Pos(),
+					"non-atomic access of field %s, which is accessed with sync/atomic at %s; mixed access is a data race — use sync/atomic here too (or an atomic.%s field)",
+					fld.Name(), pass.Fset.Position(at), suggestedAtomicType(fld))
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// suggestedAtomicType names the typed-atomic replacement for a field's
+// underlying type, defaulting to Value.
+func suggestedAtomicType(fld *types.Var) string {
+	if b, ok := fld.Type().Underlying().(*types.Basic); ok {
+		switch b.Kind() {
+		case types.Int32:
+			return "Int32"
+		case types.Int64, types.Int:
+			return "Int64"
+		case types.Uint32:
+			return "Uint32"
+		case types.Uint64, types.Uint, types.Uintptr:
+			return "Uint64"
+		case types.Bool:
+			return "Bool"
+		}
+	}
+	return "Value"
+}

@@ -1,0 +1,284 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"strings"
+)
+
+// CtxLoop enforces the shutdown contract on worker goroutines: an unbounded
+// loop (`for { ... }`) in a function that has an abort signal in scope — a
+// context.Context, a quit/done/stop channel, or a receiver carrying one —
+// must consult that signal, and blocking channel operations inside such
+// loops must be part of a select that also covers the abort. Otherwise
+// Close/Shutdown can deadlock waiting on a goroutine that never checks for
+// cancellation.
+//
+// Two rules:
+//
+//	R1: a condition-less `for` loop must contain a receive from the abort
+//	    channel, a case on ctx.Done(), or a ctx.Err() check.
+//	R2: inside a condition-less loop or a range-over-channel loop, a plain
+//	    (non-select) send or receive statement blocks without any escape
+//	    hatch and is flagged; putting the operation in a select with an
+//	    abort case (or default) is the fix.
+//
+// Bounded loops (`for cond`, `for i := ...;`) and range loops over slices
+// or maps are exempt: they terminate on their own.
+var CtxLoop = &Analyzer{
+	Name: "ctxloop",
+	Doc: "unbounded worker loops must select on their abort signal (quit channel or ctx.Done()), " +
+		"and blocking channel ops inside them must share a select with it; otherwise shutdown " +
+		"can deadlock",
+	Run: runCtxLoop,
+}
+
+// abortNameRE matches the channel names this project (and Go at large) uses
+// for cancellation signals.
+var abortNameRE = regexp.MustCompile(`(?i)(quit|done|stop|abort|cancel|clos|shutdown|exit)`)
+
+func runCtxLoop(pass *Pass) error {
+	for _, file := range pass.Files {
+		funcBodies(file, pass.Info, func(fn *types.Func, ftype *ast.FuncType, body *ast.BlockStmt) {
+			c := &ctxChecker{pass: pass}
+			c.aborts = abortsInScope(pass.Info, fn, ftype)
+			if len(c.aborts) == 0 {
+				return
+			}
+			c.walkStmts(body.List, false)
+		})
+	}
+	return nil
+}
+
+// abortsInScope lists the abort signals reachable from a function's
+// signature: context params, abort-named channel params, and abort-named
+// channel fields of the receiver or of struct params.
+func abortsInScope(info *types.Info, fn *types.Func, ftype *ast.FuncType) []string {
+	var names []string
+	add := func(name string, t types.Type) {
+		if isContextType(t) {
+			names = append(names, name+".Done()")
+			return
+		}
+		if isRecvChan(t) && abortNameRE.MatchString(name) {
+			names = append(names, name)
+			return
+		}
+		for _, f := range abortChanFields(t) {
+			names = append(names, name+"."+f)
+		}
+	}
+	if fn != nil {
+		sig := fn.Type().(*types.Signature)
+		if recv := sig.Recv(); recv != nil {
+			name := recv.Name()
+			if name == "" || name == "_" {
+				name = "receiver"
+			}
+			add(name, recv.Type())
+		}
+	}
+	if ftype.Params != nil {
+		for _, field := range ftype.Params.List {
+			for _, id := range field.Names {
+				if obj := info.Defs[id]; obj != nil {
+					add(id.Name, obj.Type())
+				}
+			}
+		}
+	}
+	return names
+}
+
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}
+
+// isRecvChan reports whether t is a channel that can be received from.
+func isRecvChan(t types.Type) bool {
+	ch, ok := t.Underlying().(*types.Chan)
+	return ok && ch.Dir() != types.SendOnly
+}
+
+// abortChanFields returns the names of abort-looking channel fields of a
+// (possibly pointer-to-) struct type.
+func abortChanFields(t types.Type) []string {
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	st, ok := t.Underlying().(*types.Struct)
+	if !ok {
+		return nil
+	}
+	var names []string
+	for i := 0; i < st.NumFields(); i++ {
+		f := st.Field(i)
+		if isRecvChan(f.Type()) && abortNameRE.MatchString(f.Name()) {
+			names = append(names, f.Name())
+		}
+	}
+	return names
+}
+
+type ctxChecker struct {
+	pass   *Pass
+	aborts []string
+}
+
+func (c *ctxChecker) abortList() string {
+	return strings.Join(c.aborts, ", ")
+}
+
+// walkStmts visits statements tracking whether the innermost enclosing loop
+// is unbounded (condition-less for, or range over a channel).
+func (c *ctxChecker) walkStmts(list []ast.Stmt, inUnbounded bool) {
+	for _, s := range list {
+		c.walkStmt(s, inUnbounded)
+	}
+}
+
+func (c *ctxChecker) walkStmt(s ast.Stmt, inUnbounded bool) {
+	switch s := s.(type) {
+	case *ast.ForStmt:
+		if s.Cond == nil {
+			// R1: the loop itself must consult the abort signal.
+			if !c.consultsAbort(s.Body) {
+				c.pass.Reportf(s.Pos(),
+					"unbounded worker loop never consults its abort signal (%s); add a select case on it so shutdown can stop this goroutine", c.abortList())
+			}
+			c.walkStmts(s.Body.List, true)
+		} else {
+			c.walkStmts(s.Body.List, false)
+		}
+	case *ast.RangeStmt:
+		// Ranging over a channel blocks until close; treat the body as
+		// unbounded for R2, but closing the channel is a legitimate
+		// termination signal, so no R1.
+		if tv, ok := c.pass.Info.Types[s.X]; ok && tv.Type != nil {
+			if _, isChan := tv.Type.Underlying().(*types.Chan); isChan {
+				c.walkStmts(s.Body.List, true)
+				return
+			}
+		}
+		c.walkStmts(s.Body.List, false)
+	case *ast.SelectStmt:
+		// Comm clauses of any select are never flagged: either the select
+		// covers the abort (fine) or R1 already reports the loop. Bodies
+		// keep the enclosing loop's status.
+		for _, cl := range s.Body.List {
+			c.walkStmts(cl.(*ast.CommClause).Body, inUnbounded)
+		}
+	case *ast.SendStmt:
+		if inUnbounded && !c.isAbortExpr(s.Chan) {
+			c.pass.Reportf(s.Pos(),
+				"blocking send on %s inside an unbounded loop can wedge shutdown if the receiver is gone; select on it together with the abort signal (%s)", chanName(s.Chan), c.abortList())
+		}
+	case *ast.ExprStmt:
+		if rx, ok := recvExpr(s.X); ok && inUnbounded && !c.isAbortExpr(rx) {
+			c.pass.Reportf(s.Pos(),
+				"blocking receive from %s inside an unbounded loop can wedge shutdown if the sender is gone; select on it together with the abort signal (%s)", chanName(rx), c.abortList())
+		}
+	case *ast.AssignStmt:
+		if len(s.Rhs) == 1 {
+			if rx, ok := recvExpr(s.Rhs[0]); ok && inUnbounded && !c.isAbortExpr(rx) {
+				c.pass.Reportf(s.Pos(),
+					"blocking receive from %s inside an unbounded loop can wedge shutdown if the sender is gone; select on it together with the abort signal (%s)", chanName(rx), c.abortList())
+			}
+		}
+	case *ast.BlockStmt:
+		c.walkStmts(s.List, inUnbounded)
+	case *ast.IfStmt:
+		if s.Init != nil {
+			c.walkStmt(s.Init, inUnbounded)
+		}
+		c.walkStmt(s.Body, inUnbounded)
+		if s.Else != nil {
+			c.walkStmt(s.Else, inUnbounded)
+		}
+	case *ast.SwitchStmt:
+		for _, cl := range s.Body.List {
+			c.walkStmts(cl.(*ast.CaseClause).Body, inUnbounded)
+		}
+	case *ast.TypeSwitchStmt:
+		for _, cl := range s.Body.List {
+			c.walkStmts(cl.(*ast.CaseClause).Body, inUnbounded)
+		}
+	case *ast.LabeledStmt:
+		c.walkStmt(s.Stmt, inUnbounded)
+	case *ast.GoStmt, *ast.DeferStmt:
+		// Launched/deferred function literals are analyzed as their own
+		// functions by funcBodies.
+	}
+}
+
+// recvExpr unwraps e to the operand of a channel receive, if e is one.
+func recvExpr(e ast.Expr) (ast.Expr, bool) {
+	u, ok := ast.Unparen(e).(*ast.UnaryExpr)
+	if !ok || u.Op != token.ARROW {
+		return nil, false
+	}
+	return u.X, true
+}
+
+// consultsAbort reports whether body contains a receive from an
+// abort-looking channel, a case on ctx.Done(), or a ctx.Err() check,
+// outside nested function literals.
+func (c *ctxChecker) consultsAbort(body *ast.BlockStmt) bool {
+	found := false
+	inspectShallow(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW && c.isAbortExpr(n.X) {
+				found = true
+			}
+		case *ast.CallExpr:
+			if f := calleeOf(c.pass.Info, n); isMethodOn(f, "context", "Context", "Err") {
+				found = true
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// isAbortExpr reports whether e denotes an abort signal: an abort-named
+// channel (variable or field) or a ctx.Done() call.
+func (c *ctxChecker) isAbortExpr(e ast.Expr) bool {
+	e = ast.Unparen(e)
+	if call, ok := e.(*ast.CallExpr); ok {
+		return isMethodOn(calleeOf(c.pass.Info, call), "context", "Context", "Done")
+	}
+	tv, ok := c.pass.Info.Types[e]
+	if !ok || tv.Type == nil || !isRecvChan(tv.Type) {
+		return false
+	}
+	switch e := e.(type) {
+	case *ast.Ident:
+		return abortNameRE.MatchString(e.Name)
+	case *ast.SelectorExpr:
+		return abortNameRE.MatchString(e.Sel.Name)
+	}
+	return false
+}
+
+// chanName renders a short name for a channel expression in diagnostics.
+func chanName(e ast.Expr) string {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return chanName(e.X) + "." + e.Sel.Name
+	}
+	return "a channel"
+}

@@ -1,0 +1,88 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// ErrClass enforces the error-taxonomy contract: failures crossing the
+// storage/blockstore boundary are classified with the
+// ErrTransient/ErrPermanent/ErrCorrupt sentinels (or dedicated error types)
+// and callers branch with errors.Is/errors.As. Matching on an error's
+// rendered text, or comparing error values with ==, silently breaks the
+// moment a layer adds `fmt.Errorf("...: %w", err)` context — the retry
+// policy then misclassifies transient faults as permanent.
+var ErrClass = &Analyzer{
+	Name: "errclass",
+	Doc: "flags error matching by rendered text (err.Error() comparisons, strings.Contains on " +
+		"err.Error()) and error comparison with == / !=; classify with sentinel errors or error " +
+		"types and branch with errors.Is / errors.As",
+	Run: runErrClass,
+}
+
+// errTextMatchers are the strings functions whose use on err.Error() output
+// indicates text-based error matching.
+var errTextMatchers = map[string]bool{
+	"Contains": true, "ContainsAny": true, "HasPrefix": true, "HasSuffix": true,
+	"EqualFold": true, "Index": true, "Count": true,
+}
+
+// isErrorTextCall reports whether e is a call of the error interface's
+// Error() method (or any Error() string method on a type satisfying error).
+func isErrorTextCall(info *types.Info, e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok || len(call.Args) != 0 {
+		return false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Error" {
+		return false
+	}
+	f, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok {
+		return false
+	}
+	sig := f.Type().(*types.Signature)
+	if sig.Recv() == nil {
+		return false
+	}
+	recv := info.Types[sel.X]
+	return recv.Type != nil && types.Implements(recv.Type, errorIface)
+}
+
+func runErrClass(pass *Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.BinaryExpr:
+				if n.Op != token.EQL && n.Op != token.NEQ {
+					return true
+				}
+				if isErrorTextCall(pass.Info, n.X) || isErrorTextCall(pass.Info, n.Y) {
+					pass.Reportf(n.Pos(),
+						"comparing err.Error() text breaks when context is wrapped in; classify with a sentinel error and errors.Is (or an error type and errors.As)")
+					return true
+				}
+				if isErrorExpr(pass.Info, n.X) && isErrorExpr(pass.Info, n.Y) {
+					pass.Reportf(n.Pos(),
+						"comparing errors with %s misses wrapped chains (fmt.Errorf %%w); use errors.Is", n.Op)
+				}
+			case *ast.CallExpr:
+				f := calleeOf(pass.Info, n)
+				if f == nil || !isPkgFunc(f, "strings", f.Name()) || !errTextMatchers[f.Name()] {
+					return true
+				}
+				for _, arg := range n.Args {
+					if isErrorTextCall(pass.Info, arg) {
+						pass.Reportf(n.Pos(),
+							"strings.%s on err.Error() matches rendered text, not the error's class; classify with a sentinel error and errors.Is", f.Name())
+						break
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}

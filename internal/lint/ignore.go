@@ -1,0 +1,96 @@
+package lint
+
+import (
+	"go/token"
+	"strings"
+)
+
+// Suppression directives. An intentional exception to an analyzer is
+// documented in place:
+//
+//	//lint:ignore huslint/<name> <reason>
+//
+// The directive suppresses that analyzer's diagnostics on its own line and
+// on the line immediately below (covering both end-of-line and
+// standalone-comment placement). The reason is mandatory and the analyzer
+// name must exist — a malformed directive is reported as a diagnostic
+// instead of silently ignoring nothing.
+
+const (
+	directivePrefix = "lint:ignore"
+	analyzerPrefix  = "huslint/"
+)
+
+// directive is one parsed //lint:ignore comment.
+type directive struct {
+	pos      token.Position
+	analyzer string // analyzer name (without the huslint/ prefix)
+	reason   string
+	problem  string // non-empty: the directive is malformed
+}
+
+// parseDirectives extracts every lint:ignore directive from the package's
+// comments. known maps valid analyzer names.
+func parseDirectives(pkg *Package, known map[string]bool) []directive {
+	var dirs []directive
+	for _, file := range pkg.Files {
+		for _, cg := range file.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "//")
+				if !ok {
+					continue // directives are line comments only
+				}
+				text, ok = strings.CutPrefix(strings.TrimLeft(text, " \t"), directivePrefix)
+				if !ok {
+					continue
+				}
+				d := directive{pos: pkg.Fset.Position(c.Pos())}
+				fields := strings.Fields(text)
+				switch {
+				case len(fields) == 0:
+					d.problem = "lint:ignore needs an analyzer (huslint/<name>) and a reason"
+				case !strings.HasPrefix(fields[0], analyzerPrefix):
+					d.problem = "lint:ignore target must be huslint/<name>, got " + fields[0]
+				case !known[strings.TrimPrefix(fields[0], analyzerPrefix)]:
+					d.problem = "lint:ignore names unknown analyzer " + fields[0]
+				case len(fields) < 2:
+					d.problem = "lint:ignore " + fields[0] + " is missing its reason; bare ignores are rejected"
+				default:
+					d.analyzer = strings.TrimPrefix(fields[0], analyzerPrefix)
+					d.reason = strings.Join(fields[1:], " ")
+				}
+				dirs = append(dirs, d)
+			}
+		}
+	}
+	return dirs
+}
+
+// applyDirectives filters diags through the well-formed directives and
+// appends one diagnostic per malformed directive. The returned slice is the
+// package's final finding set.
+func applyDirectives(diags []Diagnostic, dirs []directive) []Diagnostic {
+	suppressed := func(d Diagnostic) bool {
+		for _, dir := range dirs {
+			if dir.problem == "" &&
+				dir.analyzer == d.Analyzer &&
+				dir.pos.Filename == d.Pos.Filename &&
+				(dir.pos.Line == d.Pos.Line || dir.pos.Line == d.Pos.Line-1) {
+				return true
+			}
+		}
+		return false
+	}
+	var out []Diagnostic
+	for _, d := range diags {
+		if !suppressed(d) {
+			out = append(out, d)
+		}
+	}
+	for _, dir := range dirs {
+		if dir.problem != "" {
+			out = append(out, Diagnostic{Analyzer: "ignore", Pos: dir.pos, Message: dir.problem})
+		}
+	}
+	return out
+}

@@ -1,0 +1,269 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+)
+
+// Package loading without golang.org/x/tools: `go list -export -deps -test
+// -json` names every package's source files and the compiler export data the
+// build cache already holds for its dependencies, so each target package can
+// be parsed with go/parser and type-checked with go/types using the gc
+// importer — the same pipeline go/packages uses, minus the module download.
+
+// Package is one loaded, type-checked package ready for analysis.
+type Package struct {
+	// Path is the import path with any test-variant suffix stripped.
+	Path string
+	// Dir is the directory holding the package's source files.
+	Dir string
+	// Fset, Files, Types and Info are the parse and type-check results.
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// listPkg is the subset of `go list -json` output the loader consumes.
+type listPkg struct {
+	ImportPath string
+	Name       string
+	Dir        string
+	Export     string
+	ForTest    string
+	Standard   bool
+	DepOnly    bool
+	GoFiles    []string
+	ImportMap  map[string]string
+	Module     *struct{ Path string }
+	Error      *struct{ Err string }
+}
+
+// basePath strips go list's test-variant suffix:
+// "p [p.test]" → "p".
+func basePath(importPath string) string {
+	if i := strings.Index(importPath, " ["); i >= 0 {
+		return importPath[:i]
+	}
+	return importPath
+}
+
+// goList runs `go list -export -deps [-test] -json` over patterns in dir
+// and decodes the stream.
+func goList(dir string, tests bool, patterns []string) ([]*listPkg, error) {
+	args := []string{"list", "-export", "-deps"}
+	if tests {
+		args = append(args, "-test")
+	}
+	args = append(args,
+		"-json=ImportPath,Name,Dir,Export,ForTest,Standard,DepOnly,GoFiles,ImportMap,Module,Error")
+	args = append(args, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("lint: go list %s: %v\n%s", strings.Join(patterns, " "), err, stderr.String())
+	}
+	var pkgs []*listPkg
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for dec.More() {
+		p := new(listPkg)
+		if err := dec.Decode(p); err != nil {
+			return nil, fmt.Errorf("lint: decoding go list output: %v", err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+// selectTargets picks the packages to analyze from the full listing: module
+// packages matched by the patterns, preferring a package's in-package test
+// variant (same files plus the _test.go ones) over the plain package, and
+// skipping generated .test mains and recompiled dependency variants.
+func selectTargets(pkgs []*listPkg) []*listPkg {
+	// Import paths of plain packages superseded by their own test variant.
+	superseded := make(map[string]bool)
+	for _, p := range pkgs {
+		if p.ForTest != "" && basePath(p.ImportPath) == p.ForTest {
+			superseded[p.ForTest] = true
+		}
+	}
+	var targets []*listPkg
+	for _, p := range pkgs {
+		base := basePath(p.ImportPath)
+		switch {
+		case p.Standard || p.DepOnly || p.Module == nil:
+			continue
+		case strings.HasSuffix(base, ".test"): // generated test main
+			continue
+		case p.ForTest == "" && superseded[p.ImportPath]:
+			continue // variant covers these files plus the test files
+		case p.ForTest != "" && basePath(p.ImportPath) != p.ForTest &&
+			!strings.HasSuffix(base, "_test"):
+			continue // dependency recompiled for a test binary
+		case len(p.GoFiles) == 0:
+			continue
+		}
+		targets = append(targets, p)
+	}
+	return targets
+}
+
+// exportLookup builds the gc importer's lookup function for one target: an
+// import path is resolved through the target's ImportMap (test-variant
+// redirection), then to the dependency's export data file.
+func exportLookup(target *listPkg, index map[string]*listPkg) func(string) (io.ReadCloser, error) {
+	return func(path string) (io.ReadCloser, error) {
+		if m, ok := target.ImportMap[path]; ok {
+			path = m
+		}
+		dep, ok := index[path]
+		if !ok || dep.Export == "" {
+			return nil, fmt.Errorf("lint: no export data for %q", path)
+		}
+		return os.Open(dep.Export)
+	}
+}
+
+func newInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+	}
+}
+
+// typecheck parses and type-checks one target package from source.
+func typecheck(fset *token.FileSet, target *listPkg, index map[string]*listPkg) (*Package, error) {
+	var files []*ast.File
+	for _, name := range target.GoFiles {
+		f, err := parser.ParseFile(fset, filepath.Join(target.Dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("lint: %v", err)
+		}
+		files = append(files, f)
+	}
+	// One importer per package: test variants resolve the same import path
+	// to different export data, so the importer's cache must not be shared.
+	imp := importer.ForCompiler(fset, "gc", exportLookup(target, index))
+	info := newInfo()
+	conf := types.Config{
+		Importer: imp,
+		Sizes:    types.SizesFor("gc", runtime.GOARCH),
+	}
+	tpkg, err := conf.Check(basePath(target.ImportPath), fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("lint: type-checking %s: %v", target.ImportPath, err)
+	}
+	return &Package{
+		Path:  basePath(target.ImportPath),
+		Dir:   target.Dir,
+		Fset:  fset,
+		Files: files,
+		Types: tpkg,
+		Info:  info,
+	}, nil
+}
+
+// Load lists, parses and type-checks the packages matching patterns
+// (e.g. "./...") relative to dir, including their test files.
+func Load(dir string, patterns []string) ([]*Package, error) {
+	listed, err := goList(dir, true, patterns)
+	if err != nil {
+		return nil, err
+	}
+	index := make(map[string]*listPkg, len(listed))
+	for _, p := range listed {
+		index[p.ImportPath] = p
+	}
+	targets := selectTargets(listed)
+	sort.Slice(targets, func(i, j int) bool { return targets[i].ImportPath < targets[j].ImportPath })
+
+	fset := token.NewFileSet()
+	var pkgs []*Package
+	for _, t := range targets {
+		if t.Error != nil {
+			return nil, fmt.Errorf("lint: %s: %s", t.ImportPath, t.Error.Err)
+		}
+		pkg, err := typecheck(fset, t, index)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+// LoadDir parses and type-checks the .go files of one directory as a single
+// package with the given import path, resolving imports (standard library
+// only) through the build cache. It is the fixture loader used by the
+// analyzer tests: testdata packages are invisible to go list, yet still get
+// full type information.
+func LoadDir(dir, pkgPath string) (*Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("lint: %v", err)
+	}
+	fset := token.NewFileSet()
+	var files []*ast.File
+	imports := make(map[string]bool)
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("lint: %v", err)
+		}
+		files = append(files, f)
+		for _, imp := range f.Imports {
+			imports[strings.Trim(imp.Path.Value, `"`)] = true
+		}
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("lint: no .go files in %s", dir)
+	}
+	index := make(map[string]*listPkg)
+	if len(imports) > 0 {
+		var paths []string
+		for p := range imports {
+			if p != "unsafe" {
+				paths = append(paths, p)
+			}
+		}
+		sort.Strings(paths)
+		listed, err := goList(dir, false, paths)
+		if err != nil {
+			return nil, err
+		}
+		for _, p := range listed {
+			index[p.ImportPath] = p
+		}
+	}
+	target := &listPkg{ImportPath: pkgPath, Dir: dir}
+	imp := importer.ForCompiler(fset, "gc", exportLookup(target, index))
+	info := newInfo()
+	conf := types.Config{Importer: imp, Sizes: types.SizesFor("gc", runtime.GOARCH)}
+	tpkg, err := conf.Check(pkgPath, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("lint: type-checking %s: %v", dir, err)
+	}
+	return &Package{Path: pkgPath, Dir: dir, Fset: fset, Files: files, Types: tpkg, Info: info}, nil
+}

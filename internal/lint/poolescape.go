@@ -1,0 +1,497 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// PoolEscape enforces the scratch-pool lifetime contract: a value obtained
+// from a sync.Pool (directly via Get, or through an in-package accessor like
+// blockstore.GetScratch) must not outlive the corresponding Put. Once Put
+// returns the value, the pool may hand it to another goroutine, so a
+// retained reference is a use-after-free with data-race symptoms.
+//
+// Flagged escapes, per function:
+//   - any use of the pooled value positioned after a non-deferred Put on a
+//     path that falls through to it;
+//   - returning the pooled value, directly or inside a composite literal /
+//     a variable built from one (ownership transfer must be explicit — a
+//     //lint:ignore stating the handoff contract);
+//   - storing the pooled value into a field, map, slice element or
+//     dereferenced pointer, which can retain it past the Put;
+//   - capturing the pooled value in a goroutine, which may outlive the Put.
+//
+// `defer pool.Put(v)` is the sanctioned pattern and never flags uses.
+var PoolEscape = &Analyzer{
+	Name: "poolescape",
+	Doc: "values obtained from a sync.Pool must not be used after Put, returned, stored into " +
+		"longer-lived structures, or captured by goroutines; the pool may concurrently reuse them",
+	Run: runPoolEscape,
+}
+
+// poolFuncs holds the package-level helpers that wrap a pool: accessors
+// return pool.Get() results, releasers Put one of their parameters.
+type poolFuncs struct {
+	accessors map[*types.Func]bool
+	releasers map[*types.Func]int // parameter index that gets Put
+}
+
+// isPoolGet reports whether call invokes (*sync.Pool).Get or an in-package
+// accessor.
+func (pf *poolFuncs) isPoolGet(info *types.Info, call *ast.CallExpr) bool {
+	f := calleeOf(info, call)
+	return isMethodOn(f, "sync", "Pool", "Get") || pf.accessors[f]
+}
+
+// putArg returns the pooled argument of a (*sync.Pool).Put or in-package
+// releaser call, or nil.
+func (pf *poolFuncs) putArg(info *types.Info, call *ast.CallExpr) ast.Expr {
+	f := calleeOf(info, call)
+	if isMethodOn(f, "sync", "Pool", "Put") && len(call.Args) == 1 {
+		return call.Args[0]
+	}
+	if idx, ok := pf.releasers[f]; ok && idx < len(call.Args) {
+		return call.Args[idx]
+	}
+	return nil
+}
+
+// findPoolFuncs scans the package's declarations for pool accessors and
+// releasers.
+func findPoolFuncs(pass *Pass) *poolFuncs {
+	pf := &poolFuncs{accessors: make(map[*types.Func]bool), releasers: make(map[*types.Func]int)}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if ok {
+				pf.classify(pass, fd)
+			}
+		}
+	}
+	return pf
+}
+
+func (pf *poolFuncs) classify(pass *Pass, fd *ast.FuncDecl) {
+	fn, _ := pass.Info.Defs[fd.Name].(*types.Func)
+	if fn == nil || fd.Body == nil {
+		return
+	}
+	params := make(map[types.Object]int)
+	if fd.Type.Params != nil {
+		i := 0
+		for _, field := range fd.Type.Params.List {
+			for _, name := range field.Names {
+				params[objOf(pass.Info, name)] = i
+				i++
+			}
+		}
+	}
+	inspectShallow(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.ReturnStmt:
+			for _, r := range n.Results {
+				if call, ok := stripToCall(r); ok {
+					if f := calleeOf(pass.Info, call); isMethodOn(f, "sync", "Pool", "Get") {
+						pf.accessors[fn] = true
+					}
+				}
+			}
+		case *ast.CallExpr:
+			if f := calleeOf(pass.Info, n); isMethodOn(f, "sync", "Pool", "Put") && len(n.Args) == 1 {
+				if id, ok := ast.Unparen(n.Args[0]).(*ast.Ident); ok {
+					if idx, isParam := params[objOf(pass.Info, id)]; isParam {
+						pf.releasers[fn] = idx
+					}
+				}
+			}
+		}
+		return true
+	})
+}
+
+// stripToCall unwraps parens and type assertions down to a call expression.
+func stripToCall(e ast.Expr) (*ast.CallExpr, bool) {
+	for {
+		switch x := e.(type) {
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.TypeAssertExpr:
+			e = x.X
+		case *ast.CallExpr:
+			return x, true
+		default:
+			return nil, false
+		}
+	}
+}
+
+func runPoolEscape(pass *Pass) error {
+	pf := findPoolFuncs(pass)
+	for _, file := range pass.Files {
+		funcBodies(file, pass.Info, func(fn *types.Func, _ *ast.FuncType, body *ast.BlockStmt) {
+			w := &poolWalker{pass: pass, pf: pf, fn: fn,
+				pooled:   make(map[types.Object]token.Pos),
+				carriers: make(map[types.Object]types.Object),
+			}
+			w.collectPooled(body)
+			if len(w.pooled) == 0 {
+				return
+			}
+			w.stmts(body.List, make(map[types.Object]token.Pos))
+		})
+	}
+	return nil
+}
+
+// poolWalker performs the per-function escape analysis. dead maps pooled
+// objects to the position of the Put that retired them on the current path.
+type poolWalker struct {
+	pass     *Pass
+	pf       *poolFuncs
+	fn       *types.Func // nil for function literals
+	pooled   map[types.Object]token.Pos
+	carriers map[types.Object]types.Object // carrier var -> pooled var it holds
+}
+
+// collectPooled records the function's pool-sourced variables and the
+// composite-literal carriers built from them. Nested literals are walked
+// too: a closure inheriting the enclosing function's pooled vars is handled
+// by analyzing those idents where they appear.
+func (w *poolWalker) collectPooled(body *ast.BlockStmt) {
+	inspectShallow(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Rhs) != 1 || len(as.Lhs) == 0 {
+			return true
+		}
+		id, ok := as.Lhs[0].(*ast.Ident)
+		if !ok || id.Name == "_" {
+			return true
+		}
+		obj := objOf(w.pass.Info, id)
+		if obj == nil {
+			return true
+		}
+		if call, isCall := stripToCall(as.Rhs[0]); isCall && w.pf.isPoolGet(w.pass.Info, call) {
+			w.pooled[obj] = as.Pos()
+			return true
+		}
+		if v := w.pooledInComposite(as.Rhs[0]); v != nil {
+			w.carriers[obj] = v
+		}
+		return true
+	})
+}
+
+// pooledIdent resolves e to a pooled variable, unwrapping parens and &.
+func (w *poolWalker) pooledIdent(e ast.Expr) types.Object {
+	e = ast.Unparen(e)
+	if u, ok := e.(*ast.UnaryExpr); ok && u.Op == token.AND {
+		e = ast.Unparen(u.X)
+	}
+	if id, ok := e.(*ast.Ident); ok {
+		obj := objOf(w.pass.Info, id)
+		if _, ok := w.pooled[obj]; ok {
+			return obj
+		}
+	}
+	return nil
+}
+
+// pooledInComposite returns a pooled variable referenced anywhere inside a
+// composite literal expression (possibly behind &), or nil. Call arguments
+// are not descended into: passing a pooled value to a function is fine.
+func (w *poolWalker) pooledInComposite(e ast.Expr) types.Object {
+	e = ast.Unparen(e)
+	if u, ok := e.(*ast.UnaryExpr); ok && u.Op == token.AND {
+		e = ast.Unparen(u.X)
+	}
+	lit, ok := e.(*ast.CompositeLit)
+	if !ok {
+		return nil
+	}
+	var found types.Object
+	ast.Inspect(lit, func(n ast.Node) bool {
+		if found != nil {
+			return false
+		}
+		if _, ok := n.(*ast.CallExpr); ok {
+			return false
+		}
+		if id, ok := n.(*ast.Ident); ok {
+			obj := objOf(w.pass.Info, id)
+			if _, pooled := w.pooled[obj]; pooled {
+				found = obj
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// stmts walks one statement list, tracking which pooled values are dead
+// (Put) on the fall-through path. It reports uses of dead values and
+// escapes. The return value tells whether control cannot fall through the
+// end of the list.
+func (w *poolWalker) stmts(list []ast.Stmt, dead map[types.Object]token.Pos) bool {
+	for _, s := range list {
+		w.stmt(s, dead)
+	}
+	return len(list) > 0 && terminates(list[len(list)-1])
+}
+
+func cloneDead(dead map[types.Object]token.Pos) map[types.Object]token.Pos {
+	c := make(map[types.Object]token.Pos, len(dead))
+	for k, v := range dead {
+		c[k] = v
+	}
+	return c
+}
+
+func mergeDead(dst, src map[types.Object]token.Pos) {
+	for k, v := range src {
+		if _, ok := dst[k]; !ok {
+			dst[k] = v
+		}
+	}
+}
+
+func (w *poolWalker) stmt(s ast.Stmt, dead map[types.Object]token.Pos) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		w.stmts(s.List, dead)
+	case *ast.LabeledStmt:
+		w.stmt(s.Stmt, dead)
+	case *ast.IfStmt:
+		if s.Init != nil {
+			w.stmt(s.Init, dead)
+		}
+		w.exprUses(s.Cond, dead)
+		pre := cloneDead(dead)
+		body := cloneDead(dead)
+		if !w.stmts(s.Body.List, body) {
+			mergeDead(dead, body)
+		}
+		if s.Else != nil {
+			els := cloneDead(pre)
+			w.stmt(s.Else, els)
+			if !terminates(s.Else) {
+				mergeDead(dead, els)
+			}
+		}
+	case *ast.ForStmt:
+		if s.Init != nil {
+			w.stmt(s.Init, dead)
+		}
+		w.exprUses(s.Cond, dead)
+		body := cloneDead(dead)
+		w.stmts(s.Body.List, body)
+		if s.Post != nil {
+			w.stmt(s.Post, body)
+		}
+	case *ast.RangeStmt:
+		w.exprUses(s.X, dead)
+		body := cloneDead(dead)
+		w.stmts(s.Body.List, body)
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			w.stmt(s.Init, dead)
+		}
+		w.exprUses(s.Tag, dead)
+		w.caseClauses(s.Body, dead)
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			w.stmt(s.Init, dead)
+		}
+		w.caseClauses(s.Body, dead)
+	case *ast.SelectStmt:
+		for _, c := range s.Body.List {
+			comm := c.(*ast.CommClause)
+			cc := cloneDead(dead)
+			if comm.Comm != nil {
+				w.stmt(comm.Comm, cc)
+			}
+			if !w.stmts(comm.Body, cc) {
+				mergeDead(dead, cc)
+			}
+		}
+	case *ast.ExprStmt:
+		if call, ok := ast.Unparen(s.X).(*ast.CallExpr); ok {
+			if arg := w.pf.putArg(w.pass.Info, call); arg != nil {
+				if v := w.pooledIdent(arg); v != nil {
+					dead[v] = s.Pos()
+					return
+				}
+			}
+		}
+		w.exprUses(s.X, dead)
+	case *ast.AssignStmt:
+		for _, r := range s.Rhs {
+			w.exprUses(r, dead)
+		}
+		for i, l := range s.Lhs {
+			// Bases of index/selector targets are reads too.
+			if _, ok := l.(*ast.Ident); !ok {
+				w.exprUses(l, dead)
+			}
+			// Storing a pooled value (or a fresh composite holding one)
+			// into a non-local target lets it outlive its Put.
+			if i < len(s.Rhs) {
+				v := w.pooledIdent(s.Rhs[i])
+				if v == nil {
+					v = w.pooledInComposite(s.Rhs[i])
+				}
+				if v != nil {
+					if _, plain := s.Lhs[i].(*ast.Ident); !plain {
+						w.pass.Reportf(s.Pos(),
+							"pooled %s stored into %s may be retained past its Put; the pool can hand the value to another goroutine", objName(v), exprString(s.Lhs[i]))
+					}
+				}
+			}
+		}
+		// A plain reassignment revives the name with a non-pooled value.
+		for _, l := range s.Lhs {
+			if id, ok := l.(*ast.Ident); ok {
+				delete(dead, objOf(w.pass.Info, id))
+			}
+		}
+	case *ast.ReturnStmt:
+		for _, r := range s.Results {
+			w.exprUses(r, dead)
+			w.checkReturnEscape(r)
+		}
+	case *ast.GoStmt:
+		w.checkGoCapture(s)
+	case *ast.DeferStmt:
+		// defer pool.Put(v) is the sanctioned pattern; other deferred
+		// calls only read.
+		if w.pf.putArg(w.pass.Info, s.Call) == nil {
+			w.exprUses(s.Call, dead)
+		}
+	default:
+		ast.Inspect(s, func(n ast.Node) bool {
+			if e, ok := n.(ast.Expr); ok {
+				w.exprUses(e, dead)
+				return false
+			}
+			return true
+		})
+	}
+}
+
+func (w *poolWalker) caseClauses(body *ast.BlockStmt, dead map[types.Object]token.Pos) {
+	for _, c := range body.List {
+		clause := c.(*ast.CaseClause)
+		for _, e := range clause.List {
+			w.exprUses(e, dead)
+		}
+		cc := cloneDead(dead)
+		if !w.stmts(clause.Body, cc) {
+			mergeDead(dead, cc)
+		}
+	}
+}
+
+// exprUses reports identifiers of dead pooled values inside e.
+func (w *poolWalker) exprUses(e ast.Expr, dead map[types.Object]token.Pos) {
+	if e == nil || len(dead) == 0 {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		if putPos, isDead := dead[objOf(w.pass.Info, id)]; isDead {
+			w.pass.Reportf(id.Pos(),
+				"pooled %s used after its Put at %s; the pool may already have handed it to another goroutine", id.Name, w.pass.Fset.Position(putPos))
+		}
+		return true
+	})
+}
+
+// checkReturnEscape flags returning a pooled value (directly, inside a
+// composite literal, or via a carrier variable) from any function that is
+// not itself a pool accessor.
+func (w *poolWalker) checkReturnEscape(r ast.Expr) {
+	if w.fn != nil && w.pf.accessors[w.fn] {
+		return
+	}
+	v := w.pooledIdent(r)
+	if v == nil {
+		v = w.pooledInComposite(r)
+	}
+	if v == nil {
+		if id, ok := ast.Unparen(r).(*ast.Ident); ok {
+			if pooledVar, isCarrier := w.carriers[objOf(w.pass.Info, id)]; isCarrier {
+				w.pass.Reportf(r.Pos(),
+					"returning %s carries pooled %s out of the function; the pooled value escapes its Put — transfer ownership explicitly or copy the data", id.Name, objName(pooledVar))
+			}
+		}
+		return
+	}
+	w.pass.Reportf(r.Pos(),
+		"returning pooled %s lets it escape its Put; the caller has no Put obligation — transfer ownership explicitly or copy the data", objName(v))
+}
+
+// checkGoCapture flags goroutines that capture or receive a pooled value.
+func (w *poolWalker) checkGoCapture(s *ast.GoStmt) {
+	ast.Inspect(s.Call, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := objOf(w.pass.Info, id)
+		if _, pooled := w.pooled[obj]; pooled {
+			w.pass.Reportf(id.Pos(),
+				"goroutine captures pooled %s, which may outlive its Put; pass a copy or move the Put into the goroutine", id.Name)
+		}
+		return true
+	})
+}
+
+// terminates reports whether s unconditionally leaves the enclosing
+// statement list (return, branch, panic, os.Exit, or a block/if ending so).
+func terminates(s ast.Stmt) bool {
+	switch s := s.(type) {
+	case *ast.ReturnStmt, *ast.BranchStmt:
+		return true
+	case *ast.ExprStmt:
+		if call, ok := ast.Unparen(s.X).(*ast.CallExpr); ok {
+			if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "panic" {
+				return true
+			}
+		}
+	case *ast.BlockStmt:
+		return len(s.List) > 0 && terminates(s.List[len(s.List)-1])
+	case *ast.IfStmt:
+		if s.Else == nil {
+			return false
+		}
+		return terminates(s.Body) && terminates(s.Else)
+	case *ast.LabeledStmt:
+		return terminates(s.Stmt)
+	}
+	return false
+}
+
+func objName(o types.Object) string {
+	if o == nil {
+		return "value"
+	}
+	return o.Name()
+}
+
+// exprString renders a short description of an assignment target.
+func exprString(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.SelectorExpr:
+		return "field " + e.Sel.Name
+	case *ast.IndexExpr:
+		return "an element"
+	case *ast.StarExpr:
+		return "a dereferenced pointer"
+	default:
+		return "a non-local target"
+	}
+}

@@ -1,0 +1,65 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// RawIO enforces the managed-I/O contract: inside internal/ packages, file
+// data moves through storage.Store — never through os.Open/os.ReadFile and
+// friends — so CRC verification, fault injection and device accounting can
+// never be silently bypassed. internal/storage implements the store and is
+// exempt; internal/lint reads Go source and build-cache files, not graph
+// data, and is exempt; cmd/ and examples/ sit at the user-I/O boundary
+// (edge lists in, reports out) and are out of scope by policy.
+var RawIO = &Analyzer{
+	Name: "rawio",
+	Doc: "flags direct file I/O (os.Open, os.ReadFile, os.WriteFile, mmap, ...) in internal/ " +
+		"packages outside internal/storage; block and graph data must flow through storage.Store " +
+		"so checksums and fault plans see every byte",
+	Run: runRawIO,
+}
+
+// rawIOForbidden lists the file-data entry points the analyzer flags, by
+// package path. Metadata-only calls (os.Stat, os.MkdirAll) are allowed.
+var rawIOForbidden = map[string]map[string]bool{
+	"os": {
+		"Open": true, "OpenFile": true, "Create": true, "CreateTemp": true,
+		"ReadFile": true, "WriteFile": true, "NewFile": true,
+	},
+	"io/ioutil": {
+		"ReadFile": true, "WriteFile": true, "TempFile": true, "ReadAll": true,
+	},
+	"syscall": {"Mmap": true},
+}
+
+// rawIOExempt names the internal/ packages allowed to touch files directly.
+var rawIOExempt = map[string]bool{
+	"storage": true, "storage_test": true, // implements the managed path
+	"lint": true, "lint_test": true, // reads source files, not graph data
+}
+
+func runRawIO(pass *Pass) error {
+	seg := internalSegment(pass.Path)
+	if seg == "" || rawIOExempt[seg] {
+		return nil
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			f := calleeOf(pass.Info, call)
+			if f == nil || f.Pkg() == nil {
+				return true
+			}
+			if rawIOForbidden[f.Pkg().Path()][f.Name()] && isPkgFunc(f, f.Pkg().Path(), f.Name()) {
+				pass.Reportf(call.Pos(),
+					"direct %s.%s bypasses storage.Store — checksums, fault injection and I/O accounting cannot see it; route file data through internal/storage",
+					f.Pkg().Name(), f.Name())
+			}
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,72 @@
+package lint
+
+import (
+	"fmt"
+	"sort"
+)
+
+// RunPackage applies the analyzers to one loaded package and returns its
+// final diagnostics: analyzer findings minus suppressions, plus one
+// diagnostic per malformed suppression directive.
+func RunPackage(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	known := make(map[string]bool)
+	for _, a := range Analyzers() {
+		known[a.Name] = true
+	}
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer: a,
+			Path:     pkg.Path,
+			Fset:     pkg.Fset,
+			Files:    pkg.Files,
+			Pkg:      pkg.Types,
+			Info:     pkg.Info,
+			report:   func(d Diagnostic) { diags = append(diags, d) },
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("lint: %s on %s: %v", a.Name, pkg.Path, err)
+		}
+	}
+	return applyDirectives(diags, parseDirectives(pkg, known)), nil
+}
+
+// Run loads the packages matching patterns (test files included) and applies
+// the analyzers. Diagnostics are deduplicated — a file analyzed both in a
+// package and in its test variant reports once — and sorted by position.
+func Run(dir string, patterns []string, analyzers []*Analyzer) ([]Diagnostic, error) {
+	pkgs, err := Load(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	seen := make(map[string]bool)
+	var all []Diagnostic
+	for _, pkg := range pkgs {
+		diags, err := RunPackage(pkg, analyzers)
+		if err != nil {
+			return nil, err
+		}
+		for _, d := range diags {
+			key := fmt.Sprintf("%s|%s:%d:%d|%s", d.Analyzer, d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Message)
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+			all = append(all, d)
+		}
+	}
+	sort.Slice(all, func(i, j int) bool {
+		a, b := all[i], all[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return all, nil
+}

@@ -1,0 +1,27 @@
+// Fixture: mixed atomic/plain access of the same field — the latent data
+// race atomicstats exists to catch.
+package stats
+
+import "sync/atomic"
+
+type counters struct {
+	hits int64
+	cold int64
+}
+
+func (c *counters) inc() {
+	atomic.AddInt64(&c.hits, 1)
+}
+
+func (c *counters) read() int64 {
+	return c.hits // want "non-atomic access of field hits"
+}
+
+func (c *counters) reset() {
+	c.hits = 0 // want "non-atomic access of field hits"
+}
+
+func (c *counters) coldPath() int64 {
+	c.cold++ // never touched by sync/atomic: plain access is consistent
+	return c.cold
+}

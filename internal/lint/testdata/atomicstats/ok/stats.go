@@ -1,0 +1,29 @@
+// Fixture: consistent atomicity stays clean — typed atomics, all-atomic
+// legacy fields, and mutex-guarded plain fields.
+package stats
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+type counters struct {
+	hits atomic.Int64 // typed atomic: the discipline cannot be broken
+	mu   sync.Mutex
+	cold int64
+}
+
+func (c *counters) inc()        { c.hits.Add(1) }
+func (c *counters) read() int64 { return c.hits.Load() }
+
+func (c *counters) coldInc() {
+	c.mu.Lock()
+	c.cold++
+	c.mu.Unlock()
+}
+
+// gauge uses the legacy sync/atomic functions, but on every access.
+type gauge struct{ n int64 }
+
+func (g *gauge) add()       { atomic.AddInt64(&g.n, 1) }
+func (g *gauge) get() int64 { return atomic.LoadInt64(&g.n) }

@@ -1,0 +1,42 @@
+// Fixture: worker loops that ignore their abort signal, and blocking
+// channel ops with no select escape hatch.
+package worker
+
+type Worker struct {
+	quit chan struct{}
+	jobs chan int
+	out  chan int
+}
+
+func (w *Worker) step()      {}
+func (w *Worker) handle(int) {}
+
+func (w *Worker) spinNoConsult() {
+	for { // want "never consults its abort signal"
+		w.step()
+	}
+}
+
+func (w *Worker) sendInCaseBody() {
+	for {
+		select {
+		case <-w.quit:
+			return
+		case j := <-w.jobs:
+			w.out <- j // want "blocking send on w.out"
+		}
+	}
+}
+
+func (w *Worker) plainReceive() {
+	for { // want "never consults its abort signal"
+		j := <-w.jobs // want "blocking receive from w.jobs"
+		w.handle(j)
+	}
+}
+
+func relay(stop chan struct{}, in, out chan int) {
+	for v := range in {
+		out <- v // want "blocking send on out"
+	}
+}

@@ -1,0 +1,53 @@
+// Fixture: the sanctioned shutdown patterns — selects covering the abort,
+// bounded loops, ctx.Err checks, and functions with no abort in scope.
+package worker
+
+import "context"
+
+type Worker struct {
+	quit chan struct{}
+	jobs chan int
+	out  chan int
+}
+
+func (w *Worker) step() {}
+
+func (w *Worker) run() {
+	for {
+		select {
+		case <-w.quit:
+			return
+		case j := <-w.jobs:
+			select {
+			case w.out <- j:
+			case <-w.quit:
+				return
+			}
+		}
+	}
+}
+
+func (w *Worker) drainBounded(n int) {
+	for i := 0; i < n; i++ {
+		w.out <- i // bounded loop: terminates on its own
+	}
+}
+
+func (w *Worker) ctxRun(ctx context.Context) {
+	for {
+		if ctx.Err() != nil {
+			return
+		}
+		w.step()
+	}
+}
+
+// No abort signal is reachable from this signature, so the function is out
+// of ctxloop's scope: it cannot select on something it does not have.
+func sum(ch chan int) int {
+	total := 0
+	for v := range ch {
+		total += v
+	}
+	return total
+}

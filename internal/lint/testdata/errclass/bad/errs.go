@@ -1,0 +1,30 @@
+// Fixture: error classification by rendered text or value identity, the
+// patterns that silently break once a layer wraps context with %w.
+package errs
+
+import (
+	"errors"
+	"strings"
+)
+
+var errBoom = errors.New("boom")
+
+func compareText(err error) bool {
+	return err.Error() == "boom" // want "comparing err.Error"
+}
+
+func compareTextFlipped(err error) bool {
+	return "boom" != err.Error() // want "comparing err.Error"
+}
+
+func containsText(err error) bool {
+	return strings.Contains(err.Error(), "COP") // want "strings.Contains on err.Error"
+}
+
+func prefixText(err error) bool {
+	return strings.HasPrefix(err.Error(), "core:") // want "strings.HasPrefix on err.Error"
+}
+
+func compareValues(err error) bool {
+	return err == errBoom // want "use errors.Is"
+}

@@ -1,0 +1,35 @@
+// Fixture: structural error handling — sentinels with errors.Is, error
+// types with errors.As, and plain nil checks — stays clean.
+package errs
+
+import (
+	"errors"
+	"strings"
+)
+
+var errBoom = errors.New("boom")
+
+type codeError struct{ code int }
+
+func (e *codeError) Error() string { return "code" }
+
+func classify(err error) bool {
+	return errors.Is(err, errBoom)
+}
+
+func classifyType(err error) bool {
+	var ce *codeError
+	return errors.As(err, &ce)
+}
+
+func nilCheck(err error) bool {
+	return err != nil
+}
+
+func plainStrings(s string) bool {
+	return strings.Contains(s, "COP") // not error text
+}
+
+func logText(err error) string {
+	return err.Error() // rendering for a message is fine; only matching is not
+}

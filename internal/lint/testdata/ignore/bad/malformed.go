@@ -1,0 +1,20 @@
+// Fixture: malformed suppressions suppress nothing and are themselves
+// diagnostics. Loaded under husgraph/internal/engine (rawio in scope).
+package engine
+
+import "os"
+
+func missingReason(path string) ([]byte, error) {
+	//lint:ignore huslint/rawio
+	return os.ReadFile(path)
+}
+
+func unknownAnalyzer(path string) ([]byte, error) {
+	//lint:ignore huslint/nosuch the analyzer name is wrong
+	return os.ReadFile(path)
+}
+
+func missingPrefix(path string) ([]byte, error) {
+	//lint:ignore rawio the huslint/ prefix is required
+	return os.ReadFile(path)
+}

@@ -1,0 +1,14 @@
+// Fixture: a well-formed suppression silences exactly the named analyzer on
+// the next line. Loaded under husgraph/internal/engine (rawio in scope).
+package engine
+
+import "os"
+
+func readReport(path string) ([]byte, error) {
+	//lint:ignore huslint/rawio fixture: reading a report artifact, not graph data
+	return os.ReadFile(path)
+}
+
+func readInline(path string) ([]byte, error) {
+	return os.ReadFile(path) //lint:ignore huslint/rawio fixture: same-line placement works too
+}

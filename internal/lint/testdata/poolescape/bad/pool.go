@@ -1,0 +1,49 @@
+// Fixture: every way a pooled value can outlive its Put.
+package pool
+
+import "sync"
+
+var bufPool = sync.Pool{New: func() any { return make([]byte, 0, 64) }}
+
+type box struct{ buf []byte }
+
+type sink struct{ buf []byte }
+
+var global sink
+
+func useAfterPut() byte {
+	v := bufPool.Get().([]byte)
+	bufPool.Put(v)
+	return v[0] // want "used after its Put"
+}
+
+func returnsPooled() []byte {
+	v := bufPool.Get().([]byte)
+	return v // want "returning pooled v"
+}
+
+func carrierReturn() *box {
+	v := bufPool.Get().([]byte)
+	b := &box{buf: v}
+	return b // want "carries pooled v"
+}
+
+func storesPooled() {
+	v := bufPool.Get().([]byte)
+	global.buf = v // want "stored into field buf"
+	bufPool.Put(v)
+}
+
+func goCapture() {
+	v := bufPool.Get().([]byte)
+	go func() { _ = v }() // want "goroutine captures pooled v"
+	bufPool.Put(v)
+}
+
+func conditionalPutThenUse(flush bool) int {
+	v := bufPool.Get().([]byte)
+	if flush {
+		bufPool.Put(v)
+	}
+	return len(v) // want "used after its Put"
+}

@@ -1,0 +1,39 @@
+// Fixture: the sanctioned pool patterns — deferred Put, accessor/releaser
+// pairs, Put on the error path followed by return, and copying out before
+// the Put.
+package pool
+
+import "sync"
+
+var bufPool = sync.Pool{New: func() any { return make([]byte, 0, 64) }}
+
+// getBuf is a pool accessor: returning the Get call directly hands the
+// value — and the Put obligation — to the caller.
+func getBuf() []byte { return bufPool.Get().([]byte) }
+
+func putBuf(b []byte) { bufPool.Put(b) }
+
+func deferred() int {
+	v := bufPool.Get().([]byte)
+	defer bufPool.Put(v)
+	v = append(v, 1)
+	return len(v)
+}
+
+func accessorPair() int {
+	v := getBuf()
+	n := len(v)
+	putBuf(v)
+	return n
+}
+
+func putOnErrorPath(fail bool) []byte {
+	v := bufPool.Get().([]byte)
+	if fail {
+		bufPool.Put(v)
+		return nil
+	}
+	out := append([]byte(nil), v...)
+	bufPool.Put(v)
+	return out
+}

@@ -1,0 +1,26 @@
+// Fixture: direct file I/O in a non-exempt internal package. Loaded by the
+// harness under the path husgraph/internal/engine.
+package engine
+
+import "os"
+
+func readIndex(path string) ([]byte, error) {
+	return os.ReadFile(path) // want "direct os.ReadFile"
+}
+
+func openBlock(path string) (*os.File, error) {
+	return os.Open(path) // want "direct os.Open"
+}
+
+func writeBlock(path string, b []byte) error {
+	return os.WriteFile(path, b, 0o644) // want "direct os.WriteFile"
+}
+
+func scratchFile(dir string) (*os.File, error) {
+	return os.CreateTemp(dir, "blk-*") // want "direct os.CreateTemp"
+}
+
+func statOnly(path string) bool {
+	_, err := os.Stat(path) // metadata-only calls are allowed
+	return err == nil
+}

@@ -1,0 +1,13 @@
+// Fixture: the same direct I/O is fine inside internal/storage, which
+// implements the managed path. Loaded under husgraph/internal/storage.
+package storage
+
+import "os"
+
+func readRaw(path string) ([]byte, error) {
+	return os.ReadFile(path)
+}
+
+func writeRaw(path string, b []byte) error {
+	return os.WriteFile(path, b, 0o644)
+}
