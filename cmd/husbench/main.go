@@ -56,13 +56,13 @@ func main() {
 			fmt.Fprintf(os.Stderr, "husbench: bench-check: %v\n", err)
 			os.Exit(1)
 		}
-		fmt.Printf("%-18s %-15s %14s %14s %7s\n", "dataset", "config", "old ns/iter", "new ns/iter", "ratio")
+		fmt.Printf("%-18s %-10s %-15s %14s %14s %7s\n", "dataset", "algo", "config", "old ns/iter", "new ns/iter", "ratio")
 		for _, tr := range trends {
 			mark := ""
 			if tr.Regressed {
 				mark = "  REGRESSED"
 			}
-			fmt.Printf("%-18s %-15s %14d %14d %7.3f%s\n", tr.Dataset, tr.Config, tr.OldNs, tr.NewNs, tr.Ratio, mark)
+			fmt.Printf("%-18s %-10s %-15s %14d %14d %7.3f%s\n", tr.Dataset, tr.Algo, tr.Config, tr.OldNs, tr.NewNs, tr.Ratio, mark)
 		}
 		fmt.Fprintf(os.Stderr, "[bench-check completed in %v]\n", time.Since(start).Round(time.Millisecond))
 		if bad := experiments.Regressions(trends); len(bad) > 0 {

@@ -6,15 +6,19 @@
 //
 //	husgraph -dataset twitter-sim -algo BFS [-system hus|graphchi|gridgraph|xstream]
 //	         [-model hybrid|rop|cop] [-device hdd|ssd|nvme|ram] [-threads N] [-p P]
-//	         [-trace] [-input edges.txt] [-store DIR]
-//	         [-prefetch DEPTH] [-cache-mb MB]
+//	         [-trace] [-stats] [-input edges.txt] [-store DIR]
+//	         [-prefetch DEPTH] [-cache-mb MB] [-pipeline-iters N] [-cache-admission POLICY]
 //	         [-checkpoint N] [-resume] [-retries N] [-retry-backoff D]
 //	         [-fault-transient N] [-fault-bitflip N] [-fault-after N] [-fault-seed S]
 //
 // -prefetch enables the asynchronous block-prefetch pipeline (DEPTH worker
 // goroutines reading ahead of the executor); -cache-mb retains decoded hot
-// blocks across iterations under a byte budget. Both leave results
-// bit-identical to the synchronous configuration.
+// blocks across iterations under a byte budget; -pipeline-iters extends the
+// pipeline across iteration barriers (speculative reads of the next
+// iteration's provisional plan); -cache-admission selects the cache insert
+// policy under eviction pressure (tinylfu|lru). All of them leave results
+// bit-identical to the synchronous configuration; -stats prints the
+// per-iteration cache and pipeline numbers that validate them.
 //
 // With -input, a whitespace edge list ("src dst [weight]" per line) is
 // processed instead of a registry dataset. With -store, the dual-block
@@ -68,6 +72,9 @@ func run() error {
 	resume := flag.Bool("resume", false, "resume from a persisted checkpoint when one exists (hus only)")
 	prefetch := flag.Int("prefetch", 0, "asynchronous block-prefetch depth overlapping I/O with compute (0 = synchronous loads; hus only)")
 	cacheMB := flag.Int64("cache-mb", 0, "hot-block cache budget in MiB, retaining decoded blocks across iterations (0 = off; hus only)")
+	pipelineIters := flag.Int("pipeline-iters", 0, "cross-iteration read pipelining: speculatively read the next iteration's provisional plan while this one computes (0 = off; >0 = one iteration of lookahead; hus only)")
+	cacheAdmission := flag.String("cache-admission", "tinylfu", "block-cache admission policy under eviction pressure: tinylfu|lru (hus only)")
+	stats := flag.Bool("stats", false, "print per-iteration cache and pipeline statistics (hit ratio, stall, speculation; hus only)")
 	retries := flag.Int("retries", 0, "retry reads failing with a transient fault up to N times each, with exponential backoff")
 	retryBackoff := flag.Duration("retry-backoff", 0, "initial backoff before the first read retry (0 = 1ms default)")
 	faultTransient := flag.Int("fault-transient", 0, "inject N transient read faults (demonstrates -retries)")
@@ -112,6 +119,9 @@ func run() error {
 	if sysName == "hus" {
 		model, err := core.ParseModel(*modelName)
 		if err != nil {
+			return err
+		}
+		if _, err := blockstore.ParseAdmission(*cacheAdmission); err != nil {
 			return err
 		}
 		input := g
@@ -165,6 +175,8 @@ func run() error {
 			RetryBackoff:     *retryBackoff,
 			PrefetchDepth:    *prefetch,
 			CacheBudgetBytes: *cacheMB << 20,
+			PipelineIters:    *pipelineIters,
+			CacheAdmission:   *cacheAdmission,
 		})
 		if res, err = eng.Run(algo.New(g)); err != nil {
 			return err
@@ -216,6 +228,35 @@ func run() error {
 		fmt.Println()
 	}
 
+	if *stats {
+		// Per-interval validation of the predictor and the pipelines: the
+		// aggregate totals in Result hide whether cache hits and hidden
+		// I/O actually line up with the iterations the predictor priced
+		// them into.
+		t := report.NewTable("per-iteration cache/pipeline stats",
+			"iter", "model", "cache hits", "misses", "hit %", "stall", "spec MB", "overlap credit")
+		for _, it := range res.Iterations {
+			hitRate := 0.0
+			if total := it.CacheHits + it.CacheMisses; total > 0 {
+				hitRate = 100 * float64(it.CacheHits) / float64(total)
+			}
+			t.AddRow(
+				fmt.Sprintf("%d", it.Iter+1),
+				it.Model.String(),
+				fmt.Sprintf("%d", it.CacheHits),
+				fmt.Sprintf("%d", it.CacheMisses),
+				fmt.Sprintf("%.1f", hitRate),
+				it.PrefetchStall.Round(time.Microsecond).String(),
+				report.MB(it.SpecReadBytes),
+				it.OverlapCredit.Round(time.Microsecond).String(),
+			)
+		}
+		if err := t.Render(os.Stdout); err != nil {
+			return err
+		}
+		fmt.Println()
+	}
+
 	if *valuesOut != "" {
 		f, err := os.Create(*valuesOut)
 		if err != nil {
@@ -246,6 +287,10 @@ func run() error {
 		c := res.Cache
 		fmt.Printf("  cache/prefetch: %d hits, %d misses (%.1f%% hit rate), %d evictions, %s MB resident, %s MB read ahead unused\n",
 			c.Hits, c.Misses, 100*c.HitRate(), c.Evictions, report.MB(c.BytesUsed), report.MB(res.PrefetchUnusedBytes))
+		if c.RunHits+c.RunMisses > 0 || c.Promotions > 0 || c.AdmissionRejected > 0 {
+			fmt.Printf("  run cache:      %d run hits, %d run misses, %d block promotions, %d admission rejections\n",
+				c.RunHits, c.RunMisses, c.Promotions, c.AdmissionRejected)
+		}
 	}
 	if *retries > 0 || *checkpointEvery > 0 || *resume {
 		rec := res.Recovery

@@ -1,0 +1,82 @@
+package algos
+
+import (
+	"math/rand"
+	"testing"
+
+	"husgraph/internal/core"
+	"husgraph/internal/gen"
+	"husgraph/internal/graph"
+)
+
+// Cross-iteration speculation must be as invisible as the prefetch pipeline:
+// with the scheduler reading the next iteration's provisional plan across
+// every barrier, the hybrid engine still has to reproduce the oracle answers
+// exactly. Run under -race this exercises the gate goroutine, the quiet
+// speculative pipelines and the barrier adoption/invalidation paths against
+// real algorithm workloads.
+
+func TestHybridPipelinedMatchesOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	web := gen.Web(600, 4000, gen.WebParams{Alpha: 2.2, JumpFrac: 0.05}, rng)
+	rmat := gen.RMAT(512, 3000, gen.Graph500, rng)
+	pipelined := func(c *core.Config) {
+		c.PrefetchDepth = 3
+		c.CacheBudgetBytes = 32 << 20
+		c.PipelineIters = 1
+		c.CacheAdmission = "tinylfu"
+	}
+	for name, g := range map[string]*graph.Graph{"web": web, "rmat": rmat} {
+		t.Run(name, func(t *testing.T) {
+			src := gen.BFSSource(g)
+			wantClose(t, "BFS", run(t, g, BFS{Source: src}, 4, core.ModelHybrid, pipelined).Values, OracleBFS(g, src), 0)
+
+			wantClose(t, "WCC", run(t, g, WCC{}, 4, core.ModelHybrid, pipelined).Values, OracleWCC(g), 0)
+
+			res := run(t, g, &PageRank{}, 4, core.ModelHybrid, pipelined, func(c *core.Config) {
+				c.Tolerance = 1e-12
+				c.MaxIters = 5000
+			})
+			if !res.Converged {
+				t.Fatal("PageRank did not converge")
+			}
+			wantClose(t, "PageRank", res.Values, OraclePageRank(g, 1e-12, 5000), 1e-8)
+		})
+	}
+}
+
+func TestHybridPipelinedMatchesUnpipelinedRun(t *testing.T) {
+	// Identical engine configuration except PipelineIters: values,
+	// iteration count, model trajectory and cumulative cache counters must
+	// all match — speculation may move reads across the barrier, never
+	// change what is read into results or how the cache sees it.
+	rng := rand.New(rand.NewSource(17))
+	g := gen.Web(500, 3500, gen.WebParams{Alpha: 2.1, JumpFrac: 0.08}, rng)
+	src := gen.BFSSource(g)
+	base := func(c *core.Config) {
+		c.PrefetchDepth = 4
+		c.CacheBudgetBytes = 16 << 20
+	}
+	plain := run(t, g, BFS{Source: src}, 4, core.ModelHybrid, base)
+	piped := run(t, g, BFS{Source: src}, 4, core.ModelHybrid, base, func(c *core.Config) {
+		c.PipelineIters = 1
+	})
+	if plain.NumIterations() != piped.NumIterations() {
+		t.Fatalf("iteration counts differ: %d vs %d", plain.NumIterations(), piped.NumIterations())
+	}
+	for i := range plain.Iterations {
+		p, q := plain.Iterations[i], piped.Iterations[i]
+		if p.Model != q.Model {
+			t.Fatalf("iter %d: model %v vs %v", i, p.Model, q.Model)
+		}
+		if p.CacheHits != q.CacheHits || p.CacheMisses != q.CacheMisses {
+			t.Fatalf("iter %d: cache attribution moved across the barrier: %d/%d vs %d/%d",
+				i, p.CacheHits, p.CacheMisses, q.CacheHits, q.CacheMisses)
+		}
+	}
+	for v := range plain.Values {
+		if plain.Values[v] != piped.Values[v] {
+			t.Fatalf("value[%d]: %v vs %v", v, plain.Values[v], piped.Values[v])
+		}
+	}
+}

@@ -167,6 +167,19 @@ func (f *Frontier) CountIn(lo, hi int) int {
 	return f.dense.CountRange(lo, hi)
 }
 
+// AnyInAtomic reports whether any vertex in [lo, hi) is active, reading the
+// dense bitmap with atomic loads — the one read-side method safe to call
+// concurrently with Add/AddAtomic writers. It deliberately consults only
+// the dense bitmap (never the mutex-guarded sparse list or count), because
+// AddAtomic publishes to the bitmap before taking the lock: bits set before
+// the call are always observed, concurrent additions may or may not be. The
+// speculative cross-iteration planner uses it to probe the frontier being
+// built — for a monotone frontier a true answer can only become "more true"
+// by the time the plan is finalized.
+func (f *Frontier) AnyInAtomic(lo, hi int) bool {
+	return f.dense.AnyInRangeAtomic(lo, hi)
+}
+
 // Bitmap exposes the underlying dense bitmap for read-only membership tests.
 // Mutating the returned bitset corrupts the frontier.
 func (f *Frontier) Bitmap() *Bitset { return f.dense }

@@ -2,6 +2,8 @@ package blockstore
 
 import (
 	"container/list"
+	"fmt"
+	"sort"
 	"sync"
 )
 
@@ -13,8 +15,16 @@ import (
 // that working set resident turns steady-state iterations from disk-bound to
 // memory-bound — so the engine threads every block load through a BlockCache
 // holding *decoded* blocks (no re-read, no re-verify, no re-decode on a hit)
-// under a strict byte budget, evicting least-recently-used entries when a
-// graph's working set does not fit.
+// under a strict byte budget.
+//
+// The cache is access-granularity-aware (PartitionedVC-style): COP's
+// in-blocks and ROP's out-indices are cached whole, while ROP's selective
+// out-edge runs are cached as byte-range entries of their out-block. Once
+// the device-loaded run bytes of one out-block cross a density threshold,
+// the block is promoted: the whole payload is read once sequentially and
+// every later run is served as an in-memory slice. Under eviction pressure
+// the cache can gate admission with a TinyLFU-style frequency sketch so hot
+// resident blocks are not displaced by one-pass scans.
 
 // BlockKind identifies which view of the dual-block layout a cache or
 // prefetch key refers to.
@@ -27,6 +37,10 @@ const (
 	// KindOutIndex is the decoded out-index(i,j): per-source byte offsets
 	// into out-block(i,j).
 	KindOutIndex
+	// KindOutBlock is the whole raw payload of out-block(i,j), promoted
+	// into the cache once run-granular reads crossed the density
+	// threshold; it also keys that block's run-granular entries.
+	KindOutBlock
 )
 
 // String names the kind for diagnostics.
@@ -36,6 +50,8 @@ func (k BlockKind) String() string {
 		return "in-block"
 	case KindOutIndex:
 		return "out-index"
+	case KindOutBlock:
+		return "out-block"
 	default:
 		return "BlockKind(?)"
 	}
@@ -54,6 +70,7 @@ type BlockKey struct {
 //     destination byte offsets) — the zero-copy RawRec iteration view.
 //   - KindInBlock, FormatCompressed: Recs + RecIdx — the decoded Block view.
 //   - KindOutIndex: ByteIdx — the decoded per-source offset index.
+//   - KindOutBlock: Payload — the raw out-block bytes runs slice into.
 //
 // Entries must never be mutated after insertion: they are shared by every
 // reader that hits them, concurrently.
@@ -75,12 +92,21 @@ func (b *CachedBlock) Bytes() int64 {
 
 // CacheStats is a snapshot of a BlockCache's counters.
 type CacheStats struct {
-	// Hits and Misses count Get outcomes.
+	// Hits and Misses count all lookup outcomes, whole-block and
+	// run-granular alike.
 	Hits, Misses int64
+	// RunHits and RunMisses count only the run-granular lookups (ROP's
+	// selective out-edge loads), a subset of Hits/Misses.
+	RunHits, RunMisses int64
 	// Evictions counts entries dropped to stay within budget;
 	// BytesEvicted is their cumulative size.
 	Evictions    int64
 	BytesEvicted int64
+	// Promotions counts out-blocks whose run-read density crossed the
+	// threshold and were loaded whole; AdmissionRejected counts inserts
+	// the frequency-admission policy refused under eviction pressure.
+	Promotions        int64
+	AdmissionRejected int64
 	// Entries and BytesUsed describe current residency; Budget is the
 	// configured bound.
 	Entries   int
@@ -102,47 +128,168 @@ func (s CacheStats) HitRate() float64 {
 func (s CacheStats) Sub(earlier CacheStats) CacheStats {
 	s.Hits -= earlier.Hits
 	s.Misses -= earlier.Misses
+	s.RunHits -= earlier.RunHits
+	s.RunMisses -= earlier.RunMisses
 	s.Evictions -= earlier.Evictions
 	s.BytesEvicted -= earlier.BytesEvicted
+	s.Promotions -= earlier.Promotions
+	s.AdmissionRejected -= earlier.AdmissionRejected
 	return s
 }
 
-// BlockCache is a byte-budgeted LRU cache of decoded blocks, safe for
-// concurrent use by the engine and prefetch workers.
+// Admission selects the cache's insert policy under eviction pressure.
+type Admission uint8
+
+const (
+	// AdmitLRU always admits and evicts least-recently-used entries — the
+	// classic promote-on-miss policy.
+	AdmitLRU Admission = iota
+	// AdmitTinyLFU gates inserts that would force an eviction: the
+	// candidate must estimate at least as frequent as the LRU victim in a
+	// count-min sketch of recent lookups, protecting hot resident blocks
+	// from one-pass scans. Inserts that fit without evicting are free.
+	AdmitTinyLFU
+)
+
+// String names the admission policy for flags and reports.
+func (a Admission) String() string {
+	switch a {
+	case AdmitLRU:
+		return "lru"
+	case AdmitTinyLFU:
+		return "tinylfu"
+	default:
+		return "Admission(?)"
+	}
+}
+
+// ParseAdmission parses an admission-policy name; "" selects AdmitTinyLFU,
+// the engine default.
+func ParseAdmission(s string) (Admission, error) {
+	switch s {
+	case "", "tinylfu", "TinyLFU":
+		return AdmitTinyLFU, nil
+	case "lru", "LRU":
+		return AdmitLRU, nil
+	default:
+		return AdmitTinyLFU, fmt.Errorf("blockstore: unknown cache admission %q (want lru|tinylfu)", s)
+	}
+}
+
+// DefaultPromoteDensity is the run-read density (device-loaded run bytes /
+// out-block payload bytes) at which a block is promoted to a whole-payload
+// cache entry.
+const DefaultPromoteDensity = 0.5
+
+// CacheOptions configures NewBlockCacheOpts beyond the byte budget.
+type CacheOptions struct {
+	// Admission is the insert policy under eviction pressure.
+	Admission Admission
+	// PromoteDensity overrides DefaultPromoteDensity; 0 keeps the default,
+	// negative disables whole-block promotion.
+	PromoteDensity float64
+}
+
+// cacheKey addresses one cache entry: a whole block (s == e == 0) or a run
+// byte range [s, e) of out-block (I, J) keyed under KindOutBlock.
+type cacheKey struct {
+	BlockKey
+	s, e uint32
+}
+
+// freqKey maps an entry key to the key its lookup frequency is tracked
+// under: run entries share their block's frequency (block heat is what
+// admission should compare, not individual coalesced ranges).
+func freqKey(k cacheKey) cacheKey {
+	k.s, k.e = 0, 0
+	return k
+}
+
+// BlockCache is a byte-budgeted cache of decoded blocks and out-block runs,
+// safe for concurrent use by the engine and prefetch workers.
 type BlockCache struct {
-	mu     sync.Mutex
-	budget int64
-	used   int64
-	ll     *list.List // front = most recently used
-	items  map[BlockKey]*list.Element
+	mu             sync.Mutex
+	budget         int64
+	used           int64
+	ll             *list.List // front = most recently used
+	items          map[cacheKey]*list.Element
+	admission      Admission
+	promoteDensity float64
+	sketch         *freqSketch // nil under AdmitLRU
+
+	// Per out-block run bookkeeping. runs holds each block's resident run
+	// entries sorted by start offset and containment-free (no run contains
+	// another, so end offsets are strictly increasing too and the greatest
+	// start ≤ a query start is the only candidate that can cover it).
+	runs        map[BlockKey][]*list.Element
+	runLoaded   map[BlockKey]int64 // cumulative device-loaded run bytes (density)
+	runResident map[BlockKey]int64 // currently resident run bytes
+	promoting   map[BlockKey]bool  // promotion claimed (at most once per block)
 
 	hits, misses, evictions, bytesEvicted int64
+	runHits, runMisses                    int64
+	promotions, admissionRejected         int64
 }
 
 type cacheEntry struct {
-	key BlockKey
-	blk *CachedBlock
+	key cacheKey
+	blk *CachedBlock // whole entries
+	run []byte       // run entries (key.e > key.s)
 	sz  int64
 }
 
-// NewBlockCache returns an empty cache bounded by budget bytes. A budget
-// <= 0 yields a cache that admits nothing (every Get misses).
+// NewBlockCache returns an empty LRU cache bounded by budget bytes. A
+// budget <= 0 yields a cache that admits nothing (every Get misses).
 func NewBlockCache(budget int64) *BlockCache {
-	return &BlockCache{
-		budget: budget,
-		ll:     list.New(),
-		items:  make(map[BlockKey]*list.Element),
+	return NewBlockCacheOpts(budget, CacheOptions{Admission: AdmitLRU})
+}
+
+// NewBlockCacheOpts is NewBlockCache with an explicit admission policy and
+// promotion threshold.
+func NewBlockCacheOpts(budget int64, opts CacheOptions) *BlockCache {
+	c := &BlockCache{
+		budget:      budget,
+		ll:          list.New(),
+		items:       make(map[cacheKey]*list.Element),
+		admission:   opts.Admission,
+		runs:        make(map[BlockKey][]*list.Element),
+		runLoaded:   make(map[BlockKey]int64),
+		runResident: make(map[BlockKey]int64),
+		promoting:   make(map[BlockKey]bool),
 	}
+	switch {
+	case opts.PromoteDensity > 0:
+		c.promoteDensity = opts.PromoteDensity
+	case opts.PromoteDensity < 0:
+		c.promoteDensity = 0 // disabled
+	default:
+		c.promoteDensity = DefaultPromoteDensity
+	}
+	if c.admission == AdmitTinyLFU {
+		c.sketch = newFreqSketch()
+	}
+	return c
 }
 
 // Budget returns the configured byte bound.
 func (c *BlockCache) Budget() int64 { return c.budget }
 
+// Admission returns the configured admission policy.
+func (c *BlockCache) AdmissionPolicy() Admission { return c.admission }
+
+func (c *BlockCache) note(k cacheKey) {
+	if c.sketch != nil {
+		c.sketch.increment(freqKey(k))
+	}
+}
+
 // Get returns the cached block for k, bumping it to most-recently-used.
 func (c *BlockCache) Get(k BlockKey) (*CachedBlock, bool) {
+	ck := cacheKey{BlockKey: k}
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	el, ok := c.items[k]
+	c.note(ck)
+	el, ok := c.items[ck]
 	if !ok {
 		c.misses++
 		return nil, false
@@ -152,47 +299,275 @@ func (c *BlockCache) Get(k BlockKey) (*CachedBlock, bool) {
 	return el.Value.(*cacheEntry).blk, true
 }
 
+// GetQuiet returns the cached block for k without touching counters, LRU
+// order or the frequency sketch. The speculative cross-iteration reader
+// uses it so cache state evolves exactly as if the lookup had not happened
+// yet — the consuming iteration replays the hit or miss through
+// NoteHit/NoteMiss when it takes the result.
+func (c *BlockCache) GetQuiet(k BlockKey) (*CachedBlock, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[cacheKey{BlockKey: k}]
+	if !ok {
+		return nil, false
+	}
+	return el.Value.(*cacheEntry).blk, true
+}
+
+// NoteHit records a deferred cache hit for k — counted and LRU-bumped now,
+// in the iteration consuming a speculatively-read block, not the iteration
+// that issued the read.
+func (c *BlockCache) NoteHit(k BlockKey) {
+	ck := cacheKey{BlockKey: k}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.note(ck)
+	c.hits++
+	if el, ok := c.items[ck]; ok {
+		c.ll.MoveToFront(el)
+	}
+}
+
+// NoteMiss records a deferred cache miss for k (see NoteHit).
+func (c *BlockCache) NoteMiss(k BlockKey) {
+	ck := cacheKey{BlockKey: k}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.note(ck)
+	c.misses++
+}
+
 // Peek reports residency without touching counters or LRU order — the
 // predictor uses it to price the coming iteration without distorting the
 // hit statistics it is trying to stay honest about.
 func (c *BlockCache) Peek(k BlockKey) bool {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	_, ok := c.items[k]
+	_, ok := c.items[cacheKey{BlockKey: k}]
 	return ok
 }
 
-// Put inserts (or replaces) k's entry and evicts least-recently-used
-// entries until the cache is back within budget. Entries larger than the
-// whole budget are rejected outright — reported by the false return so
-// loaders can skip the copy next time.
-func (c *BlockCache) Put(k BlockKey, blk *CachedBlock) bool {
-	sz := blk.Bytes()
-	if sz > c.budget {
-		return false
-	}
+// RunBytesResident returns the resident run-entry bytes of out-block (i,j),
+// without touching counters — the predictor's run-granular residency view.
+func (c *BlockCache) RunBytesResident(i, j int) int64 {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if el, ok := c.items[k]; ok {
-		c.used -= el.Value.(*cacheEntry).sz
-		c.ll.Remove(el)
-		delete(c.items, k)
+	return c.runResident[BlockKey{Kind: KindOutBlock, I: i, J: j}]
+}
+
+// Put inserts (or replaces) k's whole-block entry, evicting under the
+// configured admission policy until the cache is back within budget.
+// Entries larger than the whole budget — and entries the admission policy
+// refuses — are rejected, reported by the false return so loaders can skip
+// the copy next time. Inserting a KindOutBlock payload supersedes that
+// block's run entries.
+func (c *BlockCache) Put(k BlockKey, blk *CachedBlock) bool {
+	ck := cacheKey{BlockKey: k}
+	sz := blk.Bytes()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if k.Kind == KindOutBlock {
+		// The whole payload covers every run; drop them first so the
+		// budget does not hold both copies.
+		c.dropRunsLocked(k)
 	}
-	c.items[k] = c.ll.PushFront(&cacheEntry{key: k, blk: blk, sz: sz})
-	c.used += sz
+	if el, ok := c.items[ck]; ok {
+		c.removeLocked(el)
+	}
+	return c.insertLocked(&cacheEntry{key: ck, blk: blk, sz: sz})
+}
+
+// GetRun returns the bytes of run [s, e) of out-block (i,j) when the cache
+// can serve them — from the promoted whole payload or from a containing run
+// entry. The returned slice is immutable shared cache memory.
+func (c *BlockCache) GetRun(i, j int, s, e uint32) ([]byte, bool) {
+	bk := BlockKey{Kind: KindOutBlock, I: i, J: j}
+	ck := cacheKey{BlockKey: bk, s: s, e: e}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.note(ck)
+	// Promoted whole payload first.
+	if el, ok := c.items[cacheKey{BlockKey: bk}]; ok {
+		ent := el.Value.(*cacheEntry)
+		if int(e) <= len(ent.blk.Payload) && s <= e {
+			c.hits++
+			c.runHits++
+			c.ll.MoveToFront(el)
+			return ent.blk.Payload[s:e], true
+		}
+	}
+	// Containment-free sorted runs: the greatest start ≤ s has the
+	// greatest end among candidates, so it is the only one to check.
+	els := c.runs[bk]
+	idx := sort.Search(len(els), func(n int) bool {
+		return els[n].Value.(*cacheEntry).key.s > s
+	}) - 1
+	if idx >= 0 {
+		el := els[idx]
+		ent := el.Value.(*cacheEntry)
+		if ent.key.e >= e {
+			c.hits++
+			c.runHits++
+			c.ll.MoveToFront(el)
+			return ent.run[s-ent.key.s : e-ent.key.s], true
+		}
+	}
+	c.misses++
+	c.runMisses++
+	return nil, false
+}
+
+// PutRun caches the device-loaded bytes of run [s, e) of out-block (i,j),
+// whose whole payload is blockBytes long. data must be an unaliased copy
+// the cache can own. The return value reports a promotion claim: true
+// exactly once per block, when its cumulative device-loaded run bytes cross
+// the density threshold — the caller should then load the whole payload
+// sequentially and Put it under KindOutBlock.
+func (c *BlockCache) PutRun(i, j int, s, e uint32, data []byte, blockBytes int64) bool {
+	bk := BlockKey{Kind: KindOutBlock, I: i, J: j}
+	ck := cacheKey{BlockKey: bk, s: s, e: e}
+	sz := int64(len(data))
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	promote := false
+	if sz > 0 {
+		c.runLoaded[bk] += sz
+		if c.promoteDensity > 0 && blockBytes > 0 && !c.promoting[bk] {
+			if _, whole := c.items[cacheKey{BlockKey: bk}]; !whole &&
+				float64(c.runLoaded[bk]) >= c.promoteDensity*float64(blockBytes) {
+				c.promoting[bk] = true
+				c.promotions++
+				promote = true
+			}
+		}
+	}
+	if e <= s || sz == 0 {
+		return promote
+	}
+	// Skip the insert when existing entries already cover the range.
+	if _, whole := c.items[cacheKey{BlockKey: bk}]; whole {
+		return promote
+	}
+	els := c.runs[bk]
+	idx := sort.Search(len(els), func(n int) bool {
+		return els[n].Value.(*cacheEntry).key.s > s
+	}) - 1
+	if idx >= 0 && els[idx].Value.(*cacheEntry).key.e >= e {
+		return promote
+	}
+	// Drop resident runs the new one fully contains, keeping the slice
+	// containment-free (starts and ends both strictly increasing).
+	for n := idx + 1; n < len(els); {
+		ent := els[n].Value.(*cacheEntry)
+		if ent.key.s >= s && ent.key.e <= e {
+			c.removeLocked(els[n])
+			els = c.runs[bk]
+			continue
+		}
+		break
+	}
+	c.insertLocked(&cacheEntry{key: ck, run: data, sz: sz})
+	return promote
+}
+
+// insertLocked admits ent under the configured policy and evicts back to
+// budget. Caller holds c.mu and has removed any entry with the same key.
+func (c *BlockCache) insertLocked(ent *cacheEntry) bool {
+	if ent.sz > c.budget {
+		return false
+	}
+	if c.admission == AdmitTinyLFU {
+		// Frequency gate, applied only under pressure: an insert that
+		// would displace a more frequently seen victim is refused.
+		for c.used+ent.sz > c.budget {
+			back := c.ll.Back()
+			if back == nil {
+				break
+			}
+			victim := back.Value.(*cacheEntry)
+			if c.sketch.estimate(freqKey(ent.key)) < c.sketch.estimate(freqKey(victim.key)) {
+				c.admissionRejected++
+				return false
+			}
+			c.evictLocked(back)
+		}
+	}
+	el := c.ll.PushFront(ent)
+	c.items[ent.key] = el
+	c.used += ent.sz
+	if ent.key.e > ent.key.s {
+		c.insertRunIndexLocked(el)
+	}
 	for c.used > c.budget {
 		back := c.ll.Back()
 		if back == nil {
 			break
 		}
-		ent := back.Value.(*cacheEntry)
-		c.ll.Remove(back)
-		delete(c.items, ent.key)
-		c.used -= ent.sz
-		c.evictions++
-		c.bytesEvicted += ent.sz
+		c.evictLocked(back)
 	}
 	return true
+}
+
+// insertRunIndexLocked places el into its block's sorted run slice.
+func (c *BlockCache) insertRunIndexLocked(el *list.Element) {
+	ent := el.Value.(*cacheEntry)
+	bk := ent.key.BlockKey
+	els := c.runs[bk]
+	idx := sort.Search(len(els), func(n int) bool {
+		return els[n].Value.(*cacheEntry).key.s > ent.key.s
+	})
+	els = append(els, nil)
+	copy(els[idx+1:], els[idx:])
+	els[idx] = el
+	c.runs[bk] = els
+	c.runResident[bk] += ent.sz
+}
+
+// removeLocked detaches el from the list, map and run index without
+// counting an eviction (replacements and supersessions).
+func (c *BlockCache) removeLocked(el *list.Element) {
+	ent := el.Value.(*cacheEntry)
+	c.ll.Remove(el)
+	delete(c.items, ent.key)
+	c.used -= ent.sz
+	if ent.key.e > ent.key.s {
+		c.removeRunIndexLocked(el)
+	}
+}
+
+func (c *BlockCache) removeRunIndexLocked(el *list.Element) {
+	ent := el.Value.(*cacheEntry)
+	bk := ent.key.BlockKey
+	els := c.runs[bk]
+	for n, cand := range els {
+		if cand == el {
+			c.runs[bk] = append(els[:n], els[n+1:]...)
+			break
+		}
+	}
+	c.runResident[bk] -= ent.sz
+	if c.runResident[bk] <= 0 {
+		delete(c.runResident, bk)
+	}
+	if len(c.runs[bk]) == 0 {
+		delete(c.runs, bk)
+	}
+}
+
+// dropRunsLocked removes every run entry of block k (superseded by its
+// whole payload), uncounted as evictions.
+func (c *BlockCache) dropRunsLocked(k BlockKey) {
+	for len(c.runs[k]) > 0 {
+		c.removeLocked(c.runs[k][0])
+	}
+}
+
+// evictLocked drops the entry at el to relieve budget pressure.
+func (c *BlockCache) evictLocked(el *list.Element) {
+	ent := el.Value.(*cacheEntry)
+	c.removeLocked(el)
+	c.evictions++
+	c.bytesEvicted += ent.sz
 }
 
 // Stats returns a snapshot of the cache counters and residency.
@@ -200,12 +575,83 @@ func (c *BlockCache) Stats() CacheStats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return CacheStats{
-		Hits:         c.hits,
-		Misses:       c.misses,
-		Evictions:    c.evictions,
-		BytesEvicted: c.bytesEvicted,
-		Entries:      len(c.items),
-		BytesUsed:    c.used,
-		Budget:       c.budget,
+		Hits:              c.hits,
+		Misses:            c.misses,
+		RunHits:           c.runHits,
+		RunMisses:         c.runMisses,
+		Evictions:         c.evictions,
+		BytesEvicted:      c.bytesEvicted,
+		Promotions:        c.promotions,
+		AdmissionRejected: c.admissionRejected,
+		Entries:           len(c.items),
+		BytesUsed:         c.used,
+		Budget:            c.budget,
 	}
+}
+
+// freqSketch is a small count-min sketch over recent cache lookups with
+// periodic halving, the TinyLFU aging scheme: estimates recent popularity
+// in O(1) space without per-entry metadata.
+type freqSketch struct {
+	rows    [4][]uint8
+	samples int
+}
+
+const freqSketchWidth = 8192
+
+func newFreqSketch() *freqSketch {
+	s := &freqSketch{}
+	for r := range s.rows {
+		s.rows[r] = make([]uint8, freqSketchWidth)
+	}
+	return s
+}
+
+// sketchHash is FNV-1a over the key fields, seeded per row.
+func sketchHash(k cacheKey, row int) uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset) ^ (uint64(row+1) * 0x9e3779b97f4a7c15)
+	for _, v := range [...]uint64{uint64(k.Kind), uint64(k.I), uint64(k.J), uint64(k.s), uint64(k.e)} {
+		for b := 0; b < 8; b++ {
+			h ^= (v >> (8 * b)) & 0xff
+			h *= prime
+		}
+	}
+	return h
+}
+
+func (s *freqSketch) increment(k cacheKey) {
+	for r := range s.rows {
+		idx := sketchHash(k, r) % freqSketchWidth
+		if s.rows[r][idx] < 255 {
+			s.rows[r][idx]++
+		}
+	}
+	s.samples++
+	if s.samples >= 10*freqSketchWidth {
+		s.age()
+	}
+}
+
+// age halves every counter so stale popularity decays.
+func (s *freqSketch) age() {
+	for r := range s.rows {
+		for i := range s.rows[r] {
+			s.rows[r][i] >>= 1
+		}
+	}
+	s.samples = 0
+}
+
+func (s *freqSketch) estimate(k cacheKey) uint8 {
+	est := uint8(255)
+	for r := range s.rows {
+		if v := s.rows[r][sketchHash(k, r)%freqSketchWidth]; v < est {
+			est = v
+		}
+	}
+	return est
 }

@@ -1,0 +1,236 @@
+package blockstore
+
+import "testing"
+
+// Run-granular caching, whole-block promotion and TinyLFU admission tests.
+
+func outBlockKey(i, j int) BlockKey { return BlockKey{Kind: KindOutBlock, I: i, J: j} }
+
+func runBytes(s, e uint32) []byte {
+	b := make([]byte, e-s)
+	for i := range b {
+		b[i] = byte(s + uint32(i))
+	}
+	return b
+}
+
+func TestRunCacheServesContainedRanges(t *testing.T) {
+	c := NewBlockCache(1 << 20)
+	if c.PutRun(0, 0, 100, 200, runBytes(100, 200), 1<<20) {
+		t.Fatal("1%% density promoted")
+	}
+	// Exact and strictly-contained queries hit and return the right bytes.
+	for _, q := range [][2]uint32{{100, 200}, {120, 180}, {100, 101}, {199, 200}} {
+		got, ok := c.GetRun(0, 0, q[0], q[1])
+		if !ok {
+			t.Fatalf("run [%d,%d) missed", q[0], q[1])
+		}
+		for n, b := range got {
+			if b != byte(q[0]+uint32(n)) {
+				t.Fatalf("run [%d,%d): wrong bytes at %d", q[0], q[1], n)
+			}
+		}
+	}
+	// Overlapping-but-not-contained and disjoint queries miss.
+	for _, q := range [][2]uint32{{90, 150}, {150, 250}, {300, 400}} {
+		if _, ok := c.GetRun(0, 0, q[0], q[1]); ok {
+			t.Fatalf("uncovered run [%d,%d) hit", q[0], q[1])
+		}
+	}
+	// A different block's runs are invisible.
+	if _, ok := c.GetRun(1, 0, 120, 180); ok {
+		t.Fatal("run hit crossed blocks")
+	}
+	if got := c.RunBytesResident(0, 0); got != 100 {
+		t.Fatalf("RunBytesResident = %d", got)
+	}
+	st := c.Stats()
+	if st.RunHits != 4 || st.RunMisses != 4 {
+		t.Fatalf("run counters: %+v", st)
+	}
+	// Run lookups are a subset of the whole-cache counters.
+	if st.Hits != st.RunHits || st.Misses != st.RunMisses {
+		t.Fatalf("run counters not folded into totals: %+v", st)
+	}
+}
+
+func TestRunCacheStaysContainmentFree(t *testing.T) {
+	c := NewBlockCache(1 << 20)
+	c.PutRun(0, 0, 100, 200, runBytes(100, 200), 1<<30)
+	c.PutRun(0, 0, 300, 400, runBytes(300, 400), 1<<30)
+	entries := c.Stats().Entries
+	// A range existing entries already cover is skipped, not duplicated.
+	c.PutRun(0, 0, 120, 180, runBytes(120, 180), 1<<30)
+	if got := c.Stats().Entries; got != entries {
+		t.Fatalf("covered insert changed entries: %d -> %d", entries, got)
+	}
+	// A range containing resident runs supersedes them.
+	c.PutRun(0, 0, 50, 450, runBytes(50, 450), 1<<30)
+	if got := c.RunBytesResident(0, 0); got != 400 {
+		t.Fatalf("resident after supersede = %d, want 400", got)
+	}
+	if got, ok := c.GetRun(0, 0, 350, 360); !ok || got[0] != byte(350&0xff) {
+		t.Fatal("superseding run does not serve old ranges")
+	}
+	if c.Stats().Evictions != 0 {
+		t.Fatal("supersession counted as eviction")
+	}
+}
+
+func TestRunCachePromotionClaimedExactlyOnce(t *testing.T) {
+	c := NewBlockCache(1 << 20)
+	const blockBytes = 1000
+	if c.PutRun(2, 3, 0, 300, runBytes(0, 300), blockBytes) {
+		t.Fatal("30% density promoted early")
+	}
+	// Density accumulates across loads; crossing promoteDensity (0.5)
+	// claims the promotion exactly once.
+	if !c.PutRun(2, 3, 500, 750, runBytes(500, 750), blockBytes) {
+		t.Fatal("55% density did not promote")
+	}
+	if c.PutRun(2, 3, 800, 900, runBytes(800, 900), blockBytes) {
+		t.Fatal("promotion claimed twice")
+	}
+	if st := c.Stats(); st.Promotions != 1 {
+		t.Fatalf("Promotions = %d", st.Promotions)
+	}
+	// The caller completes the claim: Put the whole payload, which
+	// supersedes the run entries without counting evictions.
+	whole := runBytes(0, blockBytes)
+	if !c.Put(outBlockKey(2, 3), &CachedBlock{Payload: whole}) {
+		t.Fatal("promoted payload rejected")
+	}
+	if got := c.RunBytesResident(2, 3); got != 0 {
+		t.Fatalf("run bytes survived promotion: %d", got)
+	}
+	if c.Stats().Evictions != 0 {
+		t.Fatal("promotion counted evictions")
+	}
+	// Every range is now served from the payload, including ones no run
+	// ever covered.
+	if got, ok := c.GetRun(2, 3, 400, 410); !ok || got[0] != byte(400&0xff) {
+		t.Fatal("promoted payload does not serve arbitrary runs")
+	}
+	// Later PutRun calls are no-ops while the payload is resident.
+	entries := c.Stats().Entries
+	c.PutRun(2, 3, 10, 20, runBytes(10, 20), blockBytes)
+	if got := c.Stats().Entries; got != entries {
+		t.Fatal("run inserted alongside whole payload")
+	}
+}
+
+func TestRunCachePromotionDisabled(t *testing.T) {
+	c := NewBlockCacheOpts(1<<20, CacheOptions{PromoteDensity: -1})
+	if c.PutRun(0, 0, 0, 900, runBytes(0, 900), 1000) {
+		t.Fatal("disabled promotion still claimed")
+	}
+	if c.Stats().Promotions != 0 {
+		t.Fatal("promotion counted while disabled")
+	}
+}
+
+func TestCacheTinyLFUAdmissionUnderPressure(t *testing.T) {
+	c := NewBlockCacheOpts(100, CacheOptions{Admission: AdmitTinyLFU})
+	if c.AdmissionPolicy() != AdmitTinyLFU {
+		t.Fatal("policy not recorded")
+	}
+	hot := inKey(0, 0)
+	if !c.Put(hot, payloadBlock(60)) {
+		t.Fatal("insert without pressure must always admit")
+	}
+	for n := 0; n < 3; n++ { // heat the resident entry's frequency
+		c.Get(hot)
+	}
+	// A cold candidate that would displace the hot entry is refused.
+	cold := inKey(5, 5)
+	if c.Put(cold, payloadBlock(60)) {
+		t.Fatal("cold candidate displaced a hot entry")
+	}
+	st := c.Stats()
+	if st.AdmissionRejected != 1 || st.Evictions != 0 || !c.Peek(hot) {
+		t.Fatalf("after rejection: %+v", st)
+	}
+	// Once the candidate has been asked for at least as often, it wins.
+	for n := 0; n < 4; n++ {
+		c.Get(cold) // misses, but feeds the frequency sketch
+	}
+	if !c.Put(cold, payloadBlock(60)) {
+		t.Fatal("now-hot candidate still refused")
+	}
+	if c.Peek(hot) || !c.Peek(cold) {
+		t.Fatal("admission did not displace the colder entry")
+	}
+}
+
+func TestCacheQuietLookupsHaveNoSideEffects(t *testing.T) {
+	c := NewBlockCacheOpts(100, CacheOptions{Admission: AdmitTinyLFU})
+	c.Put(inKey(0, 0), payloadBlock(50))
+	c.Put(inKey(0, 1), payloadBlock(50))
+	before := c.Stats()
+	if _, ok := c.GetQuiet(inKey(0, 0)); !ok {
+		t.Fatal("quiet lookup missed a resident entry")
+	}
+	if _, ok := c.GetQuiet(inKey(9, 9)); ok {
+		t.Fatal("quiet lookup hit a missing entry")
+	}
+	if d := c.Stats().Sub(before); d.Hits != 0 || d.Misses != 0 {
+		t.Fatalf("quiet lookups touched counters: %+v", d)
+	}
+	// GetQuiet must not bump LRU order: (0,0) stays oldest and is evicted.
+	c.Put(inKey(0, 2), payloadBlock(100))
+	if c.Peek(inKey(0, 0)) {
+		t.Fatal("quiet lookup refreshed LRU position")
+	}
+}
+
+func TestCacheNoteHitMissReplayMatchesDirectLookups(t *testing.T) {
+	// The speculative path (GetQuiet at read time + NoteHit/NoteMiss/Put at
+	// consume time) must leave counters and contents identical to the
+	// direct path (Get + Put) issuing the same logical lookups.
+	direct := NewBlockCacheOpts(1<<20, CacheOptions{Admission: AdmitTinyLFU})
+	replay := NewBlockCacheOpts(1<<20, CacheOptions{Admission: AdmitTinyLFU})
+	k := inKey(1, 2)
+
+	if _, ok := direct.Get(k); ok {
+		t.Fatal("unexpected hit")
+	}
+	direct.Put(k, payloadBlock(64))
+	direct.Get(k)
+
+	if _, ok := replay.GetQuiet(k); ok { // speculative read, deferred
+		t.Fatal("unexpected quiet hit")
+	}
+	replay.NoteMiss(k) // consuming iteration replays the miss
+	replay.Put(k, payloadBlock(64))
+	if _, ok := replay.GetQuiet(k); !ok { // next speculative read
+		t.Fatal("quiet miss after insert")
+	}
+	replay.NoteHit(k)
+
+	d, r := direct.Stats(), replay.Stats()
+	if d != r {
+		t.Fatalf("replayed stats diverged:\n  direct %+v\n  replay %+v", d, r)
+	}
+}
+
+func TestParseAdmission(t *testing.T) {
+	for in, want := range map[string]Admission{
+		"": AdmitTinyLFU, "tinylfu": AdmitTinyLFU, "TinyLFU": AdmitTinyLFU,
+		"lru": AdmitLRU, "LRU": AdmitLRU,
+	} {
+		got, err := ParseAdmission(in)
+		if err != nil || got != want {
+			t.Fatalf("ParseAdmission(%q) = %v, %v", in, got, err)
+		}
+	}
+	if _, err := ParseAdmission("arc"); err == nil {
+		t.Fatal("bogus policy accepted")
+	}
+	if AdmitLRU.String() != "lru" || AdmitTinyLFU.String() != "tinylfu" {
+		t.Fatal("admission names")
+	}
+	// NewBlockCache keeps the legacy always-admit behavior.
+	if NewBlockCache(10).AdmissionPolicy() != AdmitLRU {
+		t.Fatal("NewBlockCache default changed")
+	}
+}

@@ -37,9 +37,11 @@ type DualStore struct {
 	// existed, detected by Open from the meta blob).
 	framed bool
 	// retry is the transient-fault retry policy for all read paths;
-	// retries counts retry attempts actually issued.
+	// retries counts retry attempts actually issued. The counter is
+	// shared by pointer across Fork copies so the engine's aggregate
+	// retry accounting covers speculative readers too.
 	retry   RetryPolicy
-	retries atomic.Int64
+	retries *atomic.Int64
 	// Format is the on-disk record encoding of every block.
 	Format Format
 	// Weighted records carry edge weights; unweighted drop them (decoded
@@ -100,7 +102,7 @@ func BuildOpts(store storage.Store, g *graph.Graph, opts Options) (*DualStore, e
 	}
 	layout := NewLayout(g.NumVertices, opts.P)
 	p := layout.P
-	d := &DualStore{store: store, Layout: layout, Format: format, Weighted: opts.Weighted, framed: !opts.NoChecksums}
+	d := &DualStore{store: store, Layout: layout, Format: format, Weighted: opts.Weighted, framed: !opts.NoChecksums, retries: new(atomic.Int64)}
 	d.OutDegrees = make([]int32, g.NumVertices)
 	d.InDegrees = make([]int32, g.NumVertices)
 	d.BlockEdgeCount = alloc2D(p)
@@ -217,6 +219,21 @@ func Open(store storage.Store) (*DualStore, error) {
 
 // Framed reports whether this store's blobs carry checksum frames.
 func (d *DualStore) Framed() bool { return d.framed }
+
+// Store returns the blob store this DualStore reads through.
+func (d *DualStore) Store() storage.Store { return d.store }
+
+// Fork returns a read-only view of the same graph that issues its I/O
+// through store — normally a storage.CountingStore wrapping d's store, so a
+// side channel (the speculative cross-iteration reader) can have its device
+// charges measured separately. The fork shares the immutable metadata
+// slices and the retry counter with d; it inherits the retry policy in
+// force at fork time, so install policies with SetRetryPolicy first.
+func (d *DualStore) Fork(store storage.Store) *DualStore {
+	f := *d
+	f.store = store
+	return &f
+}
 
 // SetRetryPolicy installs the transient-fault retry policy used by every
 // read path. Call before running; the policy must not change while loads
@@ -501,6 +518,16 @@ func (d *DualStore) loadOwnedBlock(idxName, blkName string) (*Block, error) {
 // is invalidated by the next load into sc.
 func (d *DualStore) LoadInBlockScratch(i, j int, sc *Scratch) (Block, error) {
 	return d.loadBlock(inIndexName(i, j), inBlockName(i, j), sc)
+}
+
+// LoadOutPayload streams the raw payload of out-block(i,j) in one
+// sequential read, without touching its index — the whole-block promotion
+// path of the run-granular cache: once enough of a block has been read
+// piecemeal, one cheap sequential pass caches the payload that every
+// later run slices into. The returned buffer is freshly allocated and
+// owned by the caller.
+func (d *DualStore) LoadOutPayload(i, j int) ([]byte, error) {
+	return d.readBlob(outBlockName(i, j), nil)
 }
 
 // LoadOutBlock streams and decodes the whole out-block(i,j) with its

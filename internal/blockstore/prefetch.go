@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Async block prefetch pipeline.
@@ -39,6 +40,7 @@ type Prefetcher struct {
 	ds    *DualStore
 	cache *BlockCache
 	depth int
+	quiet bool
 
 	reqs  []*prefetchReq
 	byKey map[BlockKey]*prefetchReq
@@ -48,12 +50,30 @@ type Prefetcher struct {
 	wg   sync.WaitGroup
 	next atomic.Int64 // index of the next request to claim
 
+	drained     chan struct{} // closed once every entry has been claimed
+	drainedOnce sync.Once
+
 	errMu    sync.Mutex
 	firstErr error
 
 	nextConsume int // Next() cursor (single consumer)
 	unused      atomic.Int64
+	stallNanos  atomic.Int64
 	closed      bool
+}
+
+// PrefetchOpts configures NewPrefetcherOpts.
+type PrefetchOpts struct {
+	// Depth is the worker count and read-ahead bound; <= 0 runs inline.
+	Depth int
+	// Cache, when non-nil, serves hits and receives loaded blocks.
+	Cache *BlockCache
+	// Quiet makes loads consult the cache without recording hits or
+	// misses, bumping recency, or inserting loaded blocks — so a
+	// speculative pipeline leaves cache state exactly as it found it and
+	// the consuming iteration can replay attribution (NoteHit/NoteMiss and
+	// the insert) when it actually takes each result.
+	Quiet bool
 }
 
 type prefetchReq struct {
@@ -101,6 +121,23 @@ func (r *PrefetchResult) Release() {
 	}
 }
 
+// AdoptCached swaps the result's views to the immutable cached copy blk and
+// recycles the scratch immediately; the read-ahead token is kept until
+// Release. Callers use it after inserting a quiet-mode result into the
+// cache so consumers hold cache memory, not pooled buffers.
+func (r *PrefetchResult) AdoptCached(blk *CachedBlock) {
+	r.Payload, r.ByteIdx = blk.Payload, blk.ByteIdx
+	r.Recs, r.RecIdx = blk.Recs, blk.RecIdx
+	if r.sc != nil {
+		PutScratch(r.sc)
+		r.sc = nil
+	}
+}
+
+// DataBytes returns the device-loaded payload size of the result — zero for
+// cache hits and errors. Exposed for unused-speculation accounting.
+func (r *PrefetchResult) DataBytes() int64 { return r.dataBytes() }
+
 // dataBytes estimates the loaded payload size, for unused-prefetch
 // accounting. Cache hits cost no I/O and count zero.
 func (r *PrefetchResult) dataBytes() int64 {
@@ -118,31 +155,52 @@ func (r *PrefetchResult) dataBytes() int64 {
 //
 // Close must be called when done (normally deferred), even after an error.
 func (d *DualStore) NewPrefetcher(schedule []BlockKey, depth int, cache *BlockCache) *Prefetcher {
+	return d.NewPrefetcherOpts(schedule, PrefetchOpts{Depth: depth, Cache: cache})
+}
+
+// NewPrefetcherOpts is NewPrefetcher with the full option set.
+func (d *DualStore) NewPrefetcherOpts(schedule []BlockKey, opts PrefetchOpts) *Prefetcher {
 	p := &Prefetcher{
-		ds:    d,
-		cache: cache,
-		depth: depth,
-		reqs:  make([]*prefetchReq, len(schedule)),
-		byKey: make(map[BlockKey]*prefetchReq, len(schedule)),
-		quit:  make(chan struct{}),
+		ds:      d,
+		cache:   opts.Cache,
+		depth:   opts.Depth,
+		quiet:   opts.Quiet,
+		reqs:    make([]*prefetchReq, len(schedule)),
+		byKey:   make(map[BlockKey]*prefetchReq, len(schedule)),
+		quit:    make(chan struct{}),
+		drained: make(chan struct{}),
 	}
 	for i, key := range schedule {
 		req := &prefetchReq{key: key, ch: make(chan *PrefetchResult, 1)}
 		p.reqs[i] = req
 		p.byKey[key] = req
 	}
-	if depth > 0 && len(schedule) > 0 {
-		p.sem = make(chan struct{}, depth)
-		for i := 0; i < depth; i++ {
+	if opts.Depth > 0 && len(schedule) > 0 {
+		p.sem = make(chan struct{}, opts.Depth)
+		for i := 0; i < opts.Depth; i++ {
 			p.sem <- struct{}{}
 		}
-		for w := 0; w < depth; w++ {
+		for w := 0; w < opts.Depth; w++ {
 			p.wg.Add(1)
 			go p.worker()
 		}
+	} else {
+		// Inline or empty: nothing left for workers to claim.
+		p.markDrained()
 	}
 	return p
 }
+
+func (p *Prefetcher) markDrained() {
+	p.drainedOnce.Do(func() { close(p.drained) })
+}
+
+// Drained returns a channel that is closed once workers have claimed every
+// schedule entry (every read has at least started) — immediately for inline
+// or empty schedules, and at the latest when Close completes. The
+// cross-iteration scheduler uses it to delay speculative reads until the
+// current iteration's own read plan is fully in flight.
+func (p *Prefetcher) Drained() <-chan struct{} { return p.drained }
 
 // worker claims schedule entries in order, loads them, and delivers.
 func (p *Prefetcher) worker() {
@@ -159,6 +217,9 @@ func (p *Prefetcher) worker() {
 		default:
 		}
 		i := int(p.next.Add(1)) - 1
+		if i >= len(p.reqs)-1 {
+			p.markDrained()
+		}
 		if i >= len(p.reqs) {
 			return
 		}
@@ -189,11 +250,21 @@ func (p *Prefetcher) worker() {
 }
 
 // load performs one block load: cache lookup, then the store's verified,
-// retried read path, then (on a miss) promotion into the cache so the
-// scratch can be recycled immediately and later iterations hit.
+// retried read path, then (on a miss, unless quiet) promotion into the
+// cache so the scratch can be recycled immediately and later iterations
+// hit.
 func (p *Prefetcher) load(key BlockKey) *PrefetchResult {
 	if p.cache != nil {
-		if blk, ok := p.cache.Get(key); ok {
+		var (
+			blk *CachedBlock
+			ok  bool
+		)
+		if p.quiet {
+			blk, ok = p.cache.GetQuiet(key)
+		} else {
+			blk, ok = p.cache.Get(key)
+		}
+		if ok {
 			return &PrefetchResult{
 				Key: key, Cached: true, pf: p,
 				Payload: blk.Payload, ByteIdx: blk.ByteIdx,
@@ -222,7 +293,7 @@ func (p *Prefetcher) load(key BlockKey) *PrefetchResult {
 		PutScratch(sc)
 		return &PrefetchResult{Key: key, Err: err}
 	}
-	if p.cache != nil {
+	if p.cache != nil && !p.quiet {
 		blk := &CachedBlock{
 			Payload: append([]byte(nil), res.Payload...),
 			ByteIdx: append([]uint32(nil), res.ByteIdx...),
@@ -266,13 +337,30 @@ func (p *Prefetcher) consume(req *prefetchReq) *PrefetchResult {
 	if p.sem == nil {
 		return p.load(req.key)
 	}
-	return <-req.ch
+	select {
+	case res := <-req.ch:
+		return res
+	default:
+	}
+	// The read hasn't completed: the consumer is stalled on I/O.
+	t0 := time.Now()
+	res := <-req.ch
+	p.stallNanos.Add(int64(time.Since(t0)))
+	return res
+}
+
+// StallTime returns the cumulative wall time consumers spent blocked
+// waiting for reads that had not completed when requested — the residual
+// I/O latency the read-ahead failed to hide.
+func (p *Prefetcher) StallTime() time.Duration {
+	return time.Duration(p.stallNanos.Load())
 }
 
 // Close aborts outstanding work and reclaims delivered-but-unconsumed
 // results, counting their loaded bytes as prefetched-unused. It blocks until
 // every worker has exited, so all device charges of this pipeline land
-// before the caller snapshots I/O statistics.
+// before the caller snapshots I/O statistics. Requests no worker claimed are
+// failed, so a consumer arriving after Close gets an error, never a hang.
 func (p *Prefetcher) Close() {
 	if p.closed {
 		return
@@ -283,6 +371,7 @@ func (p *Prefetcher) Close() {
 	}
 	close(p.quit)
 	p.wg.Wait()
+	p.markDrained()
 	claimed := int(p.next.Load())
 	if claimed > len(p.reqs) {
 		claimed = len(p.reqs)
@@ -298,6 +387,27 @@ func (p *Prefetcher) Close() {
 			PutScratch(res.sc)
 			res.sc = nil
 		}
+		// Refill the drained channel with an abort result: a consumer
+		// racing Close may have missed the consumed check above and be
+		// about to receive — it must get an error, never block on the
+		// channel just emptied.
+		p.failReq(req)
+	}
+	for i := claimed; i < len(p.reqs); i++ {
+		p.failReq(p.reqs[i])
+	}
+}
+
+// failReq deposits an abort result in req's channel if it is empty, so any
+// consumer arriving at or after Close resolves with an error.
+func (p *Prefetcher) failReq(req *prefetchReq) {
+	err := p.abortErr()
+	if err == nil {
+		err = fmt.Errorf("blockstore: prefetch: closed before %s (%d,%d) was read", req.key.Kind, req.key.I, req.key.J)
+	}
+	select {
+	case req.ch <- &PrefetchResult{Key: req.key, Err: err}:
+	default:
 	}
 }
 

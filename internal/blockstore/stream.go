@@ -7,6 +7,7 @@ import (
 	"io"
 	"math"
 	"sort"
+	"sync/atomic"
 
 	"husgraph/internal/graph"
 	"husgraph/internal/storage"
@@ -64,7 +65,7 @@ func BuildStreamingOpts(store storage.Store, r io.Reader, opts Options, spillEdg
 
 	layout := NewLayout(numV, opts.P)
 	p := layout.P
-	d := &DualStore{store: store, Layout: layout, Format: format, Weighted: opts.Weighted, framed: !opts.NoChecksums}
+	d := &DualStore{store: store, Layout: layout, Format: format, Weighted: opts.Weighted, framed: !opts.NoChecksums, retries: new(atomic.Int64)}
 	d.OutDegrees = make([]int32, numV)
 	d.InDegrees = make([]int32, numV)
 	d.BlockEdgeCount = alloc2D(p)

@@ -111,6 +111,22 @@ type Config struct {
 	// least-recently-used blocks. Hit/miss/evict counts land in
 	// IterStats and Result.Cache.
 	CacheBudgetBytes int64
+	// PipelineIters enables cross-iteration read pipelining: once an
+	// iteration's own reads are all in flight, the scheduler starts
+	// speculatively reading the next iteration's provisional plan (the
+	// full column scan after a dense COP iteration, the rows already
+	// activated in a growing monotone frontier after ROP) so the device
+	// stays busy through the barrier. Speculation the final plan diverges
+	// from is invalidated and counted as unused read-ahead; consumed
+	// speculation is attributed — I/O and cache statistics both — to the
+	// iteration that consumes it. 0 disables; any positive value
+	// currently means one iteration of lookahead. Requires PrefetchDepth
+	// (defaulted to 2 when unset).
+	PipelineIters int
+	// CacheAdmission names the block-cache insert policy under eviction
+	// pressure: "tinylfu" (default — frequency-gated admission protecting
+	// hot blocks from one-pass scans) or "lru" (always admit).
+	CacheAdmission string
 	// OnIteration, if set, is called after each iteration completes with
 	// that iteration's statistics — for live progress reporting. It runs
 	// on the engine goroutine; keep it fast.
@@ -141,6 +157,10 @@ func (c Config) withDefaults() Config {
 		if c.RetryBackoffMax == 0 {
 			c.RetryBackoffMax = 250 * time.Millisecond
 		}
+	}
+	if c.PipelineIters > 0 && c.PrefetchDepth <= 0 {
+		// Cross-iteration speculation needs an async pipeline to run in.
+		c.PrefetchDepth = 2
 	}
 	return c
 }

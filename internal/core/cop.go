@@ -6,6 +6,7 @@ import (
 	"husgraph/internal/bitset"
 	"husgraph/internal/blockstore"
 	"husgraph/internal/graph"
+	"husgraph/internal/ioplan"
 )
 
 // runCOP executes one Column-oriented Pull iteration (paper Alg. 3).
@@ -21,7 +22,7 @@ import (
 // consumed exactly once).
 //
 // Returns the largest per-vertex value change (non-Monotone only).
-func (e *Engine) runCOP(prog Program, s, d []float64, frontier, next *bitset.Frontier) (float64, error) {
+func (e *Engine) runCOP(prog Program, s, d []float64, frontier, next *bitset.Frontier, win *ioplan.Window, copSkip func(int) bool) (float64, error) {
 	l := e.ds.Layout
 	dev := e.ds.Device()
 	monotone := prog.Kind() == Monotone
@@ -35,31 +36,13 @@ func (e *Engine) runCOP(prog Program, s, d []float64, frontier, next *bitset.Fro
 		}
 	}
 
-	// The column traversal order is fixed up front, so the whole iteration
-	// is handed to the prefetch pipeline as one schedule: while this
-	// goroutine computes on in-block(j,i), the prefetch workers read,
-	// verify and decode the next blocks (or serve them from the cache).
-	// copBlockSkip must mirror the loop below exactly — every scheduled
-	// key is consumed by exactly one Next call.
-	copSkip := func(j int) bool {
-		if !e.cfg.COPBlockSkip {
-			return false
-		}
-		jlo, jhi := l.Bounds(j)
-		return frontier.CountIn(jlo, jhi) == 0
-	}
-	sched := make([]blockstore.BlockKey, 0, l.P*l.P)
-	for i := 0; i < l.P; i++ {
-		for j := 0; j < l.P; j++ {
-			if copSkip(j) {
-				continue
-			}
-			sched = append(sched, blockstore.BlockKey{Kind: blockstore.KindInBlock, I: j, J: i})
-		}
-	}
-	pf := e.ds.NewPrefetcher(sched, e.cfg.PrefetchDepth, e.cache)
-	defer e.finishPrefetch(pf)
-
+	// The column traversal order was handed to the scheduler as this
+	// window's plan (ioplan.COPKeys with the same copSkip closure): while
+	// this goroutine computes on in-block(j,i), the scheduler's workers
+	// read, verify and decode the next blocks (or serve them from the
+	// cache, or from the previous barrier's adopted speculation). copSkip
+	// mirrors the plan exactly — every planned key is consumed by exactly
+	// one Next call.
 	var maxDelta float64
 	for i := 0; i < l.P; i++ { // column i updates interval i
 		lo, hi := l.Bounds(i)
@@ -68,13 +51,13 @@ func (e *Engine) runCOP(prog Program, s, d []float64, frontier, next *bitset.Fro
 		}
 
 		for j := 0; j < l.P; j++ { // stream in-blocks top to bottom
-			if copSkip(j) {
+			if copSkip != nil && copSkip(j) {
 				continue // block-level selective scheduling (ablation)
 			}
 			if !e.cfg.SemiExternal {
 				dev.ReadSeq(int64(l.Size(j)) * nv) // load S_j (Alg. 3 line 3)
 			}
-			res := pf.Next()
+			res := win.Next()
 			if res.Err != nil {
 				return 0, res.Err
 			}

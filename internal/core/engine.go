@@ -9,6 +9,7 @@ import (
 
 	"husgraph/internal/bitset"
 	"husgraph/internal/blockstore"
+	"husgraph/internal/ioplan"
 	"husgraph/internal/storage"
 )
 
@@ -32,6 +33,16 @@ type Engine struct {
 	cache          *blockstore.BlockCache
 	prefetchUnused atomic.Int64
 
+	// sched owns all block read scheduling, iteration after iteration —
+	// including the speculative reads that cross the iteration barrier
+	// when Config.PipelineIters is set.
+	sched *ioplan.Scheduler
+	// lastSpecIssued and lastSlack carry the overlap-credit inputs across
+	// one barrier: how much speculative device time the previous window
+	// issued, and how much idle compute tail it had to hide that I/O in.
+	lastSpecIssued time.Duration
+	lastSlack      time.Duration
+
 	// ckptSlot is the next checkpoint generation slot (0 or 1) to write;
 	// loadCheckpoint points it away from the generation it resumed from.
 	ckptSlot int
@@ -52,7 +63,10 @@ func New(ds *blockstore.DualStore, cfg Config) *Engine {
 	}
 	e.scratch.New = func() any { return new(blockstore.Scratch) }
 	if e.cfg.CacheBudgetBytes > 0 {
-		e.cache = blockstore.NewBlockCache(e.cfg.CacheBudgetBytes)
+		// The CLI validates the admission name; an invalid one reaching
+		// here silently gets the default, matching ParseAdmission("").
+		adm, _ := blockstore.ParseAdmission(e.cfg.CacheAdmission)
+		e.cache = blockstore.NewBlockCacheOpts(e.cfg.CacheBudgetBytes, blockstore.CacheOptions{Admission: adm})
 	}
 	if e.cfg.ReadRetries > 0 {
 		ds.SetRetryPolicy(blockstore.RetryPolicy{
@@ -61,6 +75,12 @@ func New(ds *blockstore.DualStore, cfg Config) *Engine {
 			MaxBackoff: e.cfg.RetryBackoffMax,
 		})
 	}
+	// The scheduler forks the store for speculative reads, copying the
+	// retry policy just installed.
+	e.sched = ioplan.NewScheduler(ds, e.cache, ioplan.Options{
+		Depth:         e.cfg.PrefetchDepth,
+		PipelineIters: e.cfg.PipelineIters,
+	})
 	return e
 }
 
@@ -109,6 +129,15 @@ func (e *Engine) RunContext(ctx context.Context, prog Program) (*Result, error) 
 	}
 
 	dev := e.ds.Device()
+	e.lastSpecIssued, e.lastSlack = 0, 0
+	// Speculation parked at the barrier when the run ends (converged,
+	// cancelled, or failed) has no iteration left to adopt it; its device
+	// charges land in the device totals but no iteration's IO, and its
+	// loaded bytes count as unused read-ahead.
+	defer func() {
+		_, unused := e.sched.Shutdown()
+		e.prefetchUnused.Add(unused)
+	}()
 	for iter := startIter; iter < e.cfg.MaxIters; iter++ {
 		if err := ctx.Err(); err != nil {
 			// Best-effort final checkpoint: a cancelled job should resume
@@ -127,6 +156,7 @@ func (e *Engine) RunContext(ctx context.Context, prog Program) (*Result, error) 
 			break
 		}
 		ioBefore := dev.Stats()
+		specBefore := e.sched.SpecIO()
 		retriesBefore := e.ds.Retries()
 		unusedBefore := e.prefetchUnused.Load()
 		var cacheBefore blockstore.CacheStats
@@ -140,13 +170,26 @@ func (e *Engine) RunContext(ctx context.Context, prog Program) (*Result, error) 
 		st.Model = e.chooseModel(frontier, &st)
 
 		next := bitset.NewFrontier(n)
+		var plan []blockstore.BlockKey
+		var copSkip func(int) bool
+		if st.Model == ModelROP {
+			plan = ioplan.ROPKeys(e.ds.Layout, e.ds.BlockEdgeCount, frontier)
+		} else {
+			copSkip = e.copSkipFunc(frontier)
+			plan = ioplan.COPKeys(e.ds.Layout, copSkip)
+		}
+		win := e.sched.Begin(plan, e.provisionalPlan(prog, st.Model, frontier, next))
 		var maxDelta float64
 		var err error
 		if st.Model == ModelROP {
-			maxDelta, err = e.runROP(prog, s, d, frontier, next)
+			maxDelta, err = e.runROP(prog, s, d, frontier, next, win)
 		} else {
-			maxDelta, err = e.runCOP(prog, s, d, frontier, next)
+			maxDelta, err = e.runCOP(prog, s, d, frontier, next, win, copSkip)
 		}
+		// Finish before the error check: the window's pipelines must be
+		// torn down (and their device charges landed) on every path.
+		ws := e.sched.Finish(win)
+		e.prefetchUnused.Add(ws.UnusedBytes)
 		if err != nil {
 			return nil, &IterError{Program: prog.Name(), Iter: iter, Model: st.Model, Err: err}
 		}
@@ -154,11 +197,37 @@ func (e *Engine) RunContext(ctx context.Context, prog Program) (*Result, error) 
 		st.ComputeTime = time.Since(start)
 		edgeWork, blockWork := e.iterationWork(st.Model, frontier, st.ActiveEdges)
 		st.ComputeModeled = ModeledComputeTime(edgeWork, int64(n), blockWork, e.cfg.Threads)
-		st.IO = dev.Stats().Sub(ioBefore)
+		// Attribution across the barrier: speculative reads issued during
+		// this window belong to the iteration that consumes them, so they
+		// are subtracted from this iteration's raw device delta; the batch
+		// this iteration consumed is added back.
+		rawIO := dev.Stats().Sub(ioBefore)
+		specIssued := e.sched.SpecIO().Sub(specBefore)
+		st.IO = rawIO.Sub(specIssued).Add(ws.SpecIO)
 		st.IOTime = st.IO.SimIO
-		st.Runtime = st.IOTime
+		st.SpecReadBytes = ws.SpecIO.ReadBytes()
+		st.SpecIOTime = ws.SpecIO.SimIO
+		st.PrefetchStall = ws.Stall
+		// Overlap credit: the consumed speculation already ran behind the
+		// previous iteration's compute tail, so up to min(issued, idle
+		// tail) of this iteration's I/O time is hidden.
+		credit := e.lastSpecIssued
+		if e.lastSlack < credit {
+			credit = e.lastSlack
+		}
+		if st.IOTime < credit {
+			credit = st.IOTime
+		}
+		st.OverlapCredit = credit
+		st.Runtime = st.IOTime - credit
 		if st.ComputeModeled > st.Runtime {
 			st.Runtime = st.ComputeModeled
+		}
+		e.lastSpecIssued = specIssued.SimIO
+		if slack := st.ComputeModeled - st.IOTime; slack > 0 {
+			e.lastSlack = slack
+		} else {
+			e.lastSlack = 0
 		}
 		st.MaxDelta = maxDelta
 		st.Retries = e.ds.Retries() - retriesBefore
@@ -188,6 +257,10 @@ func (e *Engine) RunContext(ctx context.Context, prog Program) (*Result, error) 
 	if frontier != nil && frontier.Empty() {
 		res.Converged = true
 	}
+	// Retire any speculation the converged run left at the barrier before
+	// snapshotting totals (the deferred Shutdown then no-ops).
+	_, orphanUnused := e.sched.Shutdown()
+	e.prefetchUnused.Add(orphanUnused)
 	res.Values = s
 	res.Recovery.Retries = e.ds.Retries() - startRetries
 	if e.cache != nil {
@@ -200,13 +273,97 @@ func (e *Engine) RunContext(ctx context.Context, prog Program) (*Result, error) 
 // Cache returns the engine's block cache, or nil when caching is disabled.
 func (e *Engine) Cache() *blockstore.BlockCache { return e.cache }
 
-// finishPrefetch tears down an iteration's prefetch pipeline: Close blocks
-// until every in-flight read has been charged to the device, so the
-// iteration's I/O snapshot is exact, then the wasted read-ahead is
-// accumulated for IterStats.
-func (e *Engine) finishPrefetch(pf *blockstore.Prefetcher) {
-	pf.Close()
-	e.prefetchUnused.Add(pf.UnusedBytes())
+// copSkipFunc returns COP's block-level selective-scheduling predicate for
+// this frontier, or nil when the ablation is off. The same closure builds
+// the read plan and drives the executor's skip decisions, so they can
+// never diverge.
+func (e *Engine) copSkipFunc(frontier *bitset.Frontier) func(int) bool {
+	if !e.cfg.COPBlockSkip {
+		return nil
+	}
+	l := e.ds.Layout
+	return func(j int) bool {
+		jlo, jhi := l.Bounds(j)
+		return frontier.CountIn(jlo, jhi) == 0
+	}
+}
+
+// provisionalPlan returns the next iteration's provisional read plan
+// generator for cross-barrier speculation, or nil when this barrier cannot
+// be speculated safely:
+//
+//   - After a dense COP iteration the α shortcut keeps choosing COP, whose
+//     plan is frontier-independent — the provisional plan is exact unless
+//     the frontier collapses below the threshold (then it is invalidated).
+//   - After a monotone ROP iteration the next frontier only grows, so rows
+//     already active when the gate fires are certainly in the final plan;
+//     the closure probes the frontier being built with atomic reads.
+//   - Everything else (additive finalization rebuilding the frontier after
+//     the gate, forced models contradicting the speculated one, COP block
+//     skipping making the plan frontier-dependent) speculates nothing.
+func (e *Engine) provisionalPlan(prog Program, model Model, frontier, next *bitset.Frontier) ioplan.ProvisionalFunc {
+	if e.cfg.PipelineIters <= 0 {
+		return nil
+	}
+	l := e.ds.Layout
+	switch model {
+	case ModelCOP:
+		if e.cfg.Model == ModelROP || e.cfg.COPBlockSkip {
+			return nil
+		}
+		if e.cfg.Model != ModelCOP && float64(frontier.Count()) <= e.cfg.Alpha*float64(l.NumVertices) {
+			return nil
+		}
+		plan := ioplan.COPKeys(l, nil)
+		return func() []blockstore.BlockKey { return plan }
+	case ModelROP:
+		if prog.Kind() != Monotone || e.cfg.Model == ModelCOP {
+			return nil
+		}
+		return func() []blockstore.BlockKey {
+			plan := make([]blockstore.BlockKey, 0, l.P*l.P)
+			for i := 0; i < l.P; i++ {
+				lo, hi := l.Bounds(i)
+				if !next.AnyInAtomic(lo, hi) {
+					continue
+				}
+				for j := 0; j < l.P; j++ {
+					if e.ds.BlockEdgeCount[i][j] != 0 {
+						plan = append(plan, blockstore.BlockKey{Kind: blockstore.KindOutIndex, I: i, J: j})
+					}
+				}
+			}
+			return plan
+		}
+	}
+	return nil
+}
+
+// loadOutRun loads byte range [s, end) of out-block(i,j), serving it from
+// the run-granular cache when possible. Device-loaded runs are copied into
+// the cache; when a block's cumulative run reads cross the promotion
+// density, its whole payload is read once sequentially and cached under
+// KindOutBlock, making every later run a memory slice.
+func (e *Engine) loadOutRun(i, j int, s, end uint32, sc *blockstore.Scratch) ([]byte, error) {
+	if e.cache == nil {
+		return e.ds.LoadOutRunScratch(i, j, s, end, sc)
+	}
+	if data, ok := e.cache.GetRun(i, j, s, end); ok {
+		return data, nil
+	}
+	buf, err := e.ds.LoadOutRunScratch(i, j, s, end, sc)
+	if err != nil {
+		return nil, err
+	}
+	if promote := e.cache.PutRun(i, j, s, end, append([]byte(nil), buf...), e.ds.OutBlockBytes[i][j]); promote {
+		// Promotion is an optimization read: a failure here just leaves
+		// runs being served from the device (the claim is one-shot, so a
+		// faulty block is not re-attempted every run).
+		if payload, perr := e.ds.LoadOutPayload(i, j); perr == nil {
+			e.cache.Put(blockstore.BlockKey{Kind: blockstore.KindOutBlock, I: i, J: j}, &blockstore.CachedBlock{Payload: payload})
+		}
+	}
+	return buf, nil
 }
 
 // activeOutEdges sums the out-degrees of the frontier: the paper's
@@ -278,6 +435,23 @@ func (e *Engine) predict(f *bitset.Frontier) (crop, ccop time.Duration) {
 				continue
 			}
 			b := e.ds.OutBlockBytes[i][j]
+			// Run-granular cache residency: a promoted out-block serves
+			// every run from memory; partial run residency discounts the
+			// block's cost proportionally (resident runs are re-read
+			// free, and resident bytes correlate with re-touched ranges).
+			discount := 1.0
+			if e.cache != nil {
+				if e.cache.Peek(blockstore.BlockKey{Kind: blockstore.KindOutBlock, I: i, J: j}) {
+					continue
+				}
+				if rb := e.cache.RunBytesResident(i, j); rb > 0 {
+					frac := float64(rb) / float64(b)
+					if frac > 1 {
+						frac = 1
+					}
+					discount = 1 - frac
+				}
+			}
 			// Useful bytes in this block, assuming the row's active
 			// edges spread proportionally to block sizes.
 			useful := float64(rowActive) * float64(b) / float64(rowEdges)
@@ -288,10 +462,10 @@ func (e *Engine) predict(f *bitset.Frontier) (crop, ccop time.Duration) {
 			gap := (float64(b) - useful) / float64(kEff)
 			if gap <= float64(coalesce) {
 				// Dense regime: ranges merge into (nearly) one scan.
-				crop += prof.RandTime(b, 1)
+				crop += time.Duration(discount * float64(prof.RandTime(b, 1)))
 			} else {
 				// Sparse regime: one positioning per active vertex.
-				crop += prof.RandTime(int64(useful), kEff)
+				crop += time.Duration(discount * float64(prof.RandTime(int64(useful), kEff)))
 			}
 		}
 		// Indices of the row's P out-blocks and the vertex working set

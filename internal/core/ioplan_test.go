@@ -1,0 +1,142 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"husgraph/internal/storage"
+)
+
+// Cross-iteration pipelining tests: speculation across the barrier may move
+// *when* blocks are read, never what the run computes or how the cost is
+// attributed.
+
+func TestPipelineBitIdenticalValuesAndModels(t *testing.T) {
+	g := prefetchTestGraph()
+	for _, model := range []Model{ModelROP, ModelCOP, ModelHybrid} {
+		run := func(pipeline int) *Result {
+			ds := buildStore(t, g, 4, storage.HDD)
+			cfg := Config{Model: model, Threads: 4, PrefetchDepth: 2,
+				CacheBudgetBytes: 64 << 20, PipelineIters: pipeline}
+			res, err := New(ds, cfg).Run(testBFS{})
+			if err != nil {
+				t.Fatalf("%v pipeline=%d: %v", model, pipeline, err)
+			}
+			return res
+		}
+		ref, piped := run(0), run(1)
+		if piped.NumIterations() != ref.NumIterations() {
+			t.Fatalf("%v: %d iterations pipelined, %d without", model, piped.NumIterations(), ref.NumIterations())
+		}
+		for it := range ref.Iterations {
+			if piped.Iterations[it].Model != ref.Iterations[it].Model {
+				t.Fatalf("%v iter %d: pipelining changed the model choice to %v", model, it, piped.Iterations[it].Model)
+			}
+		}
+		for v := range ref.Values {
+			if piped.Values[v] != ref.Values[v] {
+				t.Fatalf("%v: pipelining changed value[%d]: %v vs %v", model, v, piped.Values[v], ref.Values[v])
+			}
+		}
+	}
+}
+
+func TestPipelineKeepsPerIterationCacheAttribution(t *testing.T) {
+	// The speculative pipeline runs quiet and the window replays hits,
+	// misses and inserts at consume time — so per-iteration cache counters
+	// and the final snapshot must be identical with pipelining on and off,
+	// even though the reads themselves moved across the barrier.
+	g := prefetchTestGraph()
+	run := func(pipeline int) *Result {
+		ds := buildStore(t, g, 4, storage.HDD)
+		res, err := New(ds, Config{Model: ModelCOP, Threads: 4, MaxIters: 3, PrefetchDepth: 2,
+			CacheBudgetBytes: 64 << 20, PipelineIters: pipeline}).Run(testCount{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	ref, piped := run(0), run(1)
+	for it := range ref.Iterations {
+		r, p := ref.Iterations[it], piped.Iterations[it]
+		if p.CacheHits != r.CacheHits || p.CacheMisses != r.CacheMisses || p.CacheEvictions != r.CacheEvictions {
+			t.Fatalf("iter %d: cache deltas moved across the barrier: pipelined %d/%d/%d, reference %d/%d/%d",
+				it, p.CacheHits, p.CacheMisses, p.CacheEvictions, r.CacheHits, r.CacheMisses, r.CacheEvictions)
+		}
+	}
+	if piped.Cache != ref.Cache {
+		t.Fatalf("final cache snapshots diverged:\n  pipelined %+v\n  reference %+v", piped.Cache, ref.Cache)
+	}
+}
+
+func TestPipelineKeepsPerIterationIOForStablePlans(t *testing.T) {
+	// Forced COP with no cache: every barrier speculates the full column
+	// scan and every batch is fully adopted, so per-iteration I/O must stay
+	// byte-identical to the unpipelined run — speculative reads are charged
+	// to the iteration that consumes them, not the one that issued them.
+	g := prefetchTestGraph()
+	run := func(pipeline int) *Result {
+		ds := buildStore(t, g, 4, storage.HDD)
+		res, err := New(ds, Config{Model: ModelCOP, Threads: 4, MaxIters: 4, PrefetchDepth: 2,
+			PipelineIters: pipeline}).Run(testCount{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	ref, piped := run(0), run(1)
+	var specBytes int64
+	for it := range ref.Iterations {
+		r, p := ref.Iterations[it], piped.Iterations[it]
+		if p.IO != r.IO {
+			t.Fatalf("iter %d: attribution leaked across the barrier:\n  pipelined %+v\n  reference %+v", it, p.IO, r.IO)
+		}
+		if p.IOTime != r.IOTime {
+			t.Fatalf("iter %d: IOTime %v, reference %v", it, p.IOTime, r.IOTime)
+		}
+		specBytes += p.SpecReadBytes
+		if r.SpecReadBytes != 0 {
+			t.Fatalf("iter %d: unpipelined run reported speculative reads", it)
+		}
+		// Fully-adopted batches waste nothing inside the run; only the
+		// orphan batch speculated past the MaxIters bound may (it lands in
+		// the run total, not in any iteration).
+		if p.PrefetchUnusedBytes != 0 {
+			t.Fatalf("iter %d: stable plan wasted %d speculative bytes", it, p.PrefetchUnusedBytes)
+		}
+	}
+	// With no cache to absorb them, adopted speculative reads hit the
+	// device; the attribution above is only meaningful if some occurred.
+	if specBytes == 0 {
+		t.Fatal("no speculative reads were adopted across 3 barriers")
+	}
+}
+
+func TestPipelineConfigDefaults(t *testing.T) {
+	if got := (Config{PipelineIters: 1}).withDefaults().PrefetchDepth; got != 2 {
+		t.Fatalf("PipelineIters without PrefetchDepth resolved depth %d, want 2", got)
+	}
+	if got := (Config{}).withDefaults().PrefetchDepth; got != 0 {
+		t.Fatalf("plain config grew a prefetch depth: %d", got)
+	}
+	if got := (Config{PipelineIters: 1, PrefetchDepth: 5}).withDefaults().PrefetchDepth; got != 5 {
+		t.Fatalf("explicit depth overridden: %d", got)
+	}
+}
+
+func TestPipelineSurfacesPermanentFaults(t *testing.T) {
+	// A permanent fault must fail the run promptly with pipelining enabled
+	// too — speculative pipelines are torn down, never hung (the test
+	// completing is the no-hang assertion).
+	for _, model := range []Model{ModelCOP, ModelROP} {
+		ds, fs := faultyStore(t, 300, 4, 1)
+		fs.Inject(storage.Fault{Op: storage.OpRead, Kind: storage.FaultPermanent, After: 2})
+		_, err := New(ds, Config{Model: model, Threads: 4, PrefetchDepth: 2, PipelineIters: 1}).Run(testBFS{})
+		if err == nil {
+			t.Fatalf("%v: injected permanent fault not surfaced", model)
+		}
+		if !errors.Is(err, storage.ErrPermanent) {
+			t.Fatalf("%v: error chain lost the cause: %v", model, err)
+		}
+	}
+}

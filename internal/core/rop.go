@@ -7,6 +7,7 @@ import (
 	"husgraph/internal/bitset"
 	"husgraph/internal/blockstore"
 	"husgraph/internal/graph"
+	"husgraph/internal/ioplan"
 )
 
 // runROP executes one Row-oriented Push iteration (paper Alg. 2).
@@ -26,7 +27,7 @@ import (
 // are applied and synchronized once at the end of the iteration (see the
 // package comment for why). Returns the largest per-vertex value change
 // (non-Monotone only).
-func (e *Engine) runROP(prog Program, s, d []float64, frontier, next *bitset.Frontier) (float64, error) {
+func (e *Engine) runROP(prog Program, s, d []float64, frontier, next *bitset.Frontier, win *ioplan.Window) (float64, error) {
 	l := e.ds.Layout
 	dev := e.ds.Device()
 	monotone := prog.Kind() == Monotone
@@ -50,29 +51,14 @@ func (e *Engine) runROP(prog Program, s, d []float64, frontier, next *bitset.Fro
 		errMu.Unlock()
 	}
 
-	// The out-index traversal order is known once the frontier is fixed:
-	// every nonempty block of every active row, row-major. The prefetch
-	// pipeline reads ahead across block — and row — boundaries while the
-	// workers compute; each row's workers claim their indices by key
-	// (Take), which is safe because together they drain the row's
-	// contiguous schedule window before the next row starts. The selective
-	// random record loads stay on the consume path: their ranges depend on
-	// the out-index just delivered.
-	sched := make([]blockstore.BlockKey, 0, l.P*l.P)
-	for i := 0; i < l.P; i++ {
-		lo, hi := l.Bounds(i)
-		if frontier.CountIn(lo, hi) == 0 {
-			continue
-		}
-		for j := 0; j < l.P; j++ {
-			if e.ds.BlockEdgeCount[i][j] != 0 {
-				sched = append(sched, blockstore.BlockKey{Kind: blockstore.KindOutIndex, I: i, J: j})
-			}
-		}
-	}
-	pf := e.ds.NewPrefetcher(sched, e.cfg.PrefetchDepth, e.cache)
-	defer e.finishPrefetch(pf)
-
+	// The window's plan (ioplan.ROPKeys) mirrors this traversal exactly:
+	// every nonempty block of every active row, row-major. The scheduler
+	// reads ahead across block — and row — boundaries while the workers
+	// compute; each row's workers claim their indices by key (Take), which
+	// is safe because together they drain the row's contiguous schedule
+	// window before the next row starts. The selective random record loads
+	// stay on the consume path: their ranges depend on the out-index just
+	// delivered, and go through the run-granular cache.
 	coalesce := dev.Profile().CoalesceBytes()
 	for i := 0; i < l.P; i++ {
 		lo, hi := l.Bounds(i)
@@ -92,7 +78,7 @@ func (e *Engine) runROP(prog Program, s, d []float64, frontier, next *bitset.Fro
 			}
 			sc := e.scratch.Get().(*blockstore.Scratch)
 			defer e.scratch.Put(sc)
-			res := pf.Take(blockstore.BlockKey{Kind: blockstore.KindOutIndex, I: i, J: j})
+			res := win.Take(blockstore.BlockKey{Kind: blockstore.KindOutIndex, I: i, J: j})
 			if res.Err != nil {
 				setErr(res.Err)
 				return
@@ -134,7 +120,7 @@ func (e *Engine) runROP(prog Program, s, d []float64, frontier, next *bitset.Fro
 					loaded = false
 				}
 				if !loaded {
-					runBytes, err = e.ds.LoadOutRunScratch(i, j, runs[ri].s, runs[ri].e, sc) // one random access per run
+					runBytes, err = e.loadOutRun(i, j, runs[ri].s, runs[ri].e, sc) // one access per run, or a cached slice
 					if err != nil {
 						setErr(err)
 						return

@@ -51,8 +51,23 @@ type IterStats struct {
 	CacheMisses    int64
 	CacheEvictions int64
 	// PrefetchUnusedBytes counts bytes the prefetch pipeline read ahead
-	// but discarded unconsumed (an aborted or truncated traversal).
+	// but discarded unconsumed (an aborted or truncated traversal, or
+	// invalidated cross-iteration speculation).
 	PrefetchUnusedBytes int64
+	// PrefetchStall is the wall time consumers spent blocked on reads
+	// that had not completed when requested — the residual I/O latency
+	// the pipelines failed to hide.
+	PrefetchStall time.Duration
+	// SpecReadBytes and SpecIOTime describe the speculative reads issued
+	// across the previous iteration barrier and consumed here; both are
+	// attributed to this iteration (IO includes them), not the iteration
+	// that issued them.
+	SpecReadBytes int64
+	SpecIOTime    time.Duration
+	// OverlapCredit is the portion of IOTime already hidden behind the
+	// previous iteration's idle compute tail by cross-iteration
+	// pipelining; Runtime is max(IOTime − OverlapCredit, ComputeModeled).
+	OverlapCredit time.Duration
 }
 
 // RecoveryStats reports what the durability machinery did during a run:

@@ -21,10 +21,13 @@ import (
 type BenchEntry struct {
 	// Config names the engine configuration: "sync" (no prefetch, no
 	// cache), "prefetch" (PrefetchDepth=2), "prefetch+cache"
-	// (PrefetchDepth=2 plus the block cache).
+	// (PrefetchDepth=2 plus the block cache), "pipeline" (prefetch+cache
+	// plus cross-iteration speculation and TinyLFU admission).
 	Config           string `json:"config"`
 	PrefetchDepth    int    `json:"prefetch_depth"`
 	CacheBudgetBytes int64  `json:"cache_budget_bytes"`
+	PipelineIters    int    `json:"pipeline_iters,omitempty"`
+	CacheAdmission   string `json:"cache_admission,omitempty"`
 	Iterations       int    `json:"iterations"`
 	// NsPerIter is the modeled runtime per iteration on the simulated
 	// device (max of I/O and modeled compute, §3.5) — the deterministic
@@ -54,10 +57,12 @@ type BenchReport struct {
 
 	Entries []BenchEntry `json:"entries"`
 
-	// SpeedupPrefetch and SpeedupPrefetchCache are sync modeled-runtime
-	// divided by the variant's modeled runtime (>1 is faster).
+	// SpeedupPrefetch, SpeedupPrefetchCache and SpeedupPipeline are sync
+	// modeled-runtime divided by the variant's modeled runtime (>1 is
+	// faster).
 	SpeedupPrefetch      float64 `json:"speedup_prefetch"`
 	SpeedupPrefetchCache float64 `json:"speedup_prefetch_cache"`
+	SpeedupPipeline      float64 `json:"speedup_pipeline,omitempty"`
 	// ValuesIdentical reports that every configuration produced
 	// bit-identical per-vertex values.
 	ValuesIdentical bool `json:"values_identical"`
@@ -87,14 +92,22 @@ func (r *Runner) RunHUSWithConfig(d gen.Dataset, a Algo, prof storage.Profile, c
 	return eng.Run(a.New(r.Graph(d, false)))
 }
 
-// BenchDataset measures one dataset across the three bench configurations
-// and assembles the report.
+// BenchDataset measures one dataset under PageRank across the bench
+// configurations and assembles the report.
 func (r *Runner) BenchDataset(dataset string, prof storage.Profile) (*BenchReport, error) {
+	return r.BenchDatasetAlgo(dataset, "PageRank", prof)
+}
+
+// BenchDatasetAlgo measures one dataset/algorithm pair across the four
+// bench configurations and assembles the report. Traversal algorithms
+// (BFS, WCC) exercise the ROP executor's run-granular cache and the
+// monotone provisional plans; PageRank exercises the COP column pipeline.
+func (r *Runner) BenchDatasetAlgo(dataset, algo string, prof storage.Profile) (*BenchReport, error) {
 	d, err := r.Dataset(dataset)
 	if err != nil {
 		return nil, err
 	}
-	a, err := AlgoByName("PageRank")
+	a, err := AlgoByName(algo)
 	if err != nil {
 		return nil, err
 	}
@@ -105,6 +118,7 @@ func (r *Runner) BenchDataset(dataset string, prof storage.Profile) (*BenchRepor
 		{"sync", core.Config{}},
 		{"prefetch", core.Config{PrefetchDepth: 2}},
 		{"prefetch+cache", core.Config{PrefetchDepth: 2, CacheBudgetBytes: BenchCacheBudget}},
+		{"pipeline", core.Config{PrefetchDepth: 2, CacheBudgetBytes: BenchCacheBudget, PipelineIters: 1, CacheAdmission: "tinylfu"}},
 	}
 	rep := &BenchReport{
 		Dataset: d.Name,
@@ -130,6 +144,8 @@ func (r *Runner) BenchDataset(dataset string, prof storage.Profile) (*BenchRepor
 			Config:              c.name,
 			PrefetchDepth:       c.cfg.PrefetchDepth,
 			CacheBudgetBytes:    c.cfg.CacheBudgetBytes,
+			PipelineIters:       c.cfg.PipelineIters,
+			CacheAdmission:      c.cfg.CacheAdmission,
 			Iterations:          res.NumIterations(),
 			NsPerIter:           res.TotalRuntime().Nanoseconds() / int64(iters),
 			WallNsPerIter:       res.TotalComputeTime().Nanoseconds() / int64(iters),
@@ -152,38 +168,74 @@ func (r *Runner) BenchDataset(dataset string, prof storage.Profile) (*BenchRepor
 			}
 		}
 	}
-	base := float64(rep.Entries[0].NsPerIter)
-	if pf := float64(rep.Entries[1].NsPerIter); pf > 0 {
+	byName := make(map[string]BenchEntry, len(rep.Entries))
+	for _, e := range rep.Entries {
+		byName[e.Config] = e
+	}
+	base := float64(byName["sync"].NsPerIter)
+	if pf := float64(byName["prefetch"].NsPerIter); pf > 0 {
 		rep.SpeedupPrefetch = base / pf
 	}
-	if pc := float64(rep.Entries[2].NsPerIter); pc > 0 {
+	if pc := float64(byName["prefetch+cache"].NsPerIter); pc > 0 {
 		rep.SpeedupPrefetchCache = base / pc
+	}
+	if pl := float64(byName["pipeline"].NsPerIter); pl > 0 {
+		rep.SpeedupPipeline = base / pl
 	}
 	return rep, nil
 }
 
+// benchExtraAlgos lists (dataset, algo) artifacts written beyond the
+// default PageRank-per-dataset set: ROP-heavy traversal algorithms on the
+// largest dataset, where run-granular caching and cross-iteration
+// pipelining have the most to hide.
+var benchExtraAlgos = []struct{ Dataset, Algo string }{
+	{"ukunion-sim", "BFS"},
+	{"ukunion-sim", "WCC"},
+}
+
 // WriteBenchJSON benches each dataset and writes BENCH_<dataset>.json files
-// into dir, returning the paths written.
+// (PageRank) into dir — plus BENCH_<dataset>_<algo>.json for the
+// benchExtraAlgos pairs whose dataset was requested — returning the paths
+// written.
 func (r *Runner) WriteBenchJSON(dir string, datasets []string, prof storage.Profile) ([]string, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, err
 	}
 	var paths []string
+	writeReport := func(rep *BenchReport, name string) error {
+		buf, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return err
+		}
+		path := filepath.Join(dir, name)
+		//lint:ignore huslint/rawio bench artifacts are CI reports, not graph data; they never pass through storage.Store
+		if err := os.WriteFile(path, append(buf, '\n'), 0o644); err != nil {
+			return err
+		}
+		paths = append(paths, path)
+		return nil
+	}
 	for _, name := range datasets {
 		rep, err := r.BenchDataset(name, prof)
 		if err != nil {
 			return nil, err
 		}
-		buf, err := json.MarshalIndent(rep, "", "  ")
-		if err != nil {
+		if err := writeReport(rep, fmt.Sprintf("BENCH_%s.json", rep.Dataset)); err != nil {
 			return nil, err
 		}
-		path := filepath.Join(dir, fmt.Sprintf("BENCH_%s.json", rep.Dataset))
-		//lint:ignore huslint/rawio bench artifacts are CI reports, not graph data; they never pass through storage.Store
-		if err := os.WriteFile(path, append(buf, '\n'), 0o644); err != nil {
-			return nil, err
+		for _, ex := range benchExtraAlgos {
+			if ex.Dataset != name {
+				continue
+			}
+			rep, err := r.BenchDatasetAlgo(ex.Dataset, ex.Algo, prof)
+			if err != nil {
+				return nil, err
+			}
+			if err := writeReport(rep, fmt.Sprintf("BENCH_%s_%s.json", rep.Dataset, rep.Algo)); err != nil {
+				return nil, err
+			}
 		}
-		paths = append(paths, path)
 	}
 	return paths, nil
 }

@@ -20,7 +20,7 @@ func TestBenchDatasetSpeedupAndIdentity(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(rep.Entries) != 3 {
+	if len(rep.Entries) != 4 {
 		t.Fatalf("entries: %d", len(rep.Entries))
 	}
 	if !rep.ValuesIdentical {
@@ -29,7 +29,15 @@ func TestBenchDatasetSpeedupAndIdentity(t *testing.T) {
 	if rep.SpeedupPrefetchCache <= 1.0 {
 		t.Fatalf("prefetch+cache speedup = %v, want > 1", rep.SpeedupPrefetchCache)
 	}
+	if rep.SpeedupPipeline <= 1.0 {
+		t.Fatalf("pipeline speedup = %v, want > 1", rep.SpeedupPipeline)
+	}
 	sync, cached := rep.Entries[0], rep.Entries[2]
+	// Cross-iteration pipelining can only hide I/O behind the previous
+	// iteration's idle compute tail — never add modeled time.
+	if pl := rep.Entries[3]; pl.NsPerIter > cached.NsPerIter {
+		t.Fatalf("pipeline ns/iter %d exceeds prefetch+cache %d", pl.NsPerIter, cached.NsPerIter)
+	}
 	if cached.BytesRead >= sync.BytesRead {
 		t.Fatalf("cached run read %d bytes, sync %d", cached.BytesRead, sync.BytesRead)
 	}

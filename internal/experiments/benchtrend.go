@@ -25,6 +25,7 @@ const BenchRegressionThreshold = 1.20
 // the same configuration.
 type BenchTrend struct {
 	Dataset   string
+	Algo      string
 	Config    string
 	OldNs     int64   // committed modeled ns/iter
 	NewNs     int64   // freshly measured modeled ns/iter
@@ -74,7 +75,11 @@ func benchTrendReport(old *BenchReport, threshold float64) ([]BenchTrend, error)
 		return nil, err
 	}
 	r := NewRunner(Options{Threads: old.Threads, P: old.P, Quick: old.Quick})
-	fresh, err := r.BenchDataset(old.Dataset, prof)
+	algo := old.Algo
+	if algo == "" {
+		algo = "PageRank" // pre-algo artifacts
+	}
+	fresh, err := r.BenchDatasetAlgo(old.Dataset, algo, prof)
 	if err != nil {
 		return nil, err
 	}
@@ -90,6 +95,7 @@ func benchTrendReport(old *BenchReport, threshold float64) ([]BenchTrend, error)
 		}
 		row := BenchTrend{
 			Dataset: old.Dataset,
+			Algo:    algo,
 			Config:  oe.Config,
 			OldNs:   oe.NsPerIter,
 			NewNs:   ne.NsPerIter,

@@ -1,0 +1,276 @@
+package ioplan
+
+import (
+	"testing"
+	"time"
+
+	"husgraph/internal/bitset"
+	"husgraph/internal/blockstore"
+	"husgraph/internal/graph"
+	"husgraph/internal/storage"
+)
+
+// testStore builds a P=2 store over 10 vertices whose out-block (0,1) is
+// empty — so plan constructors have one hole to skip.
+func testStore(t *testing.T) *blockstore.DualStore {
+	t.Helper()
+	g := graph.New(10)
+	for _, e := range [][2]int{
+		{0, 1}, {2, 3}, // block (0,0)
+		{5, 0}, {6, 2}, {9, 4}, // block (1,0)
+		{5, 6}, {7, 8}, {9, 9}, // block (1,1); (0,1) stays empty
+	} {
+		g.AddEdge(graph.VertexID(e[0]), graph.VertexID(e[1]))
+	}
+	ds, err := blockstore.Build(storage.NewMemStore(storage.NewDevice(storage.HDD)), g, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+func frontierOf(n int, members ...int) *bitset.Frontier {
+	f := bitset.NewFrontier(n)
+	for _, v := range members {
+		f.Add(v)
+	}
+	return f
+}
+
+func TestROPKeysSkipsInactiveRowsAndEmptyBlocks(t *testing.T) {
+	ds := testStore(t)
+	l, be := ds.Layout, ds.BlockEdgeCount
+
+	key := func(i, j int) blockstore.BlockKey {
+		return blockstore.BlockKey{Kind: blockstore.KindOutIndex, I: i, J: j}
+	}
+	cases := []struct {
+		name    string
+		members []int
+		want    []blockstore.BlockKey
+	}{
+		{"empty frontier", nil, nil},
+		{"row 0 only", []int{0, 3}, []blockstore.BlockKey{key(0, 0)}}, // (0,1) empty
+		{"row 1 only", []int{7}, []blockstore.BlockKey{key(1, 0), key(1, 1)}},
+		{"both rows, row-major", []int{4, 5}, []blockstore.BlockKey{key(0, 0), key(1, 0), key(1, 1)}},
+	}
+	for _, tc := range cases {
+		got := ROPKeys(l, be, frontierOf(10, tc.members...))
+		if len(got) != len(tc.want) {
+			t.Fatalf("%s: plan %v, want %v", tc.name, got, tc.want)
+		}
+		for i := range got {
+			if got[i] != tc.want[i] {
+				t.Fatalf("%s: plan %v, want %v", tc.name, got, tc.want)
+			}
+		}
+	}
+}
+
+func TestCOPKeysColumnMajorWithSkip(t *testing.T) {
+	ds := testStore(t)
+	l := ds.Layout
+
+	// nil skip: every in-block, column by column, key {KindInBlock, I: j, J: i}.
+	got := COPKeys(l, nil)
+	if len(got) != l.P*l.P {
+		t.Fatalf("full plan has %d keys, want %d", len(got), l.P*l.P)
+	}
+	n := 0
+	for i := 0; i < l.P; i++ {
+		for j := 0; j < l.P; j++ {
+			want := blockstore.BlockKey{Kind: blockstore.KindInBlock, I: j, J: i}
+			if got[n] != want {
+				t.Fatalf("key %d = %+v, want %+v", n, got[n], want)
+			}
+			n++
+		}
+	}
+	// Selective scheduling: skipped rows vanish from every column.
+	got = COPKeys(l, func(j int) bool { return j == 0 })
+	if len(got) != l.P*(l.P-1) {
+		t.Fatalf("skip plan has %d keys", len(got))
+	}
+	for _, k := range got {
+		if k.I == 0 {
+			t.Fatalf("skipped row leaked into plan: %+v", k)
+		}
+	}
+}
+
+// drain consumes the whole window in plan order, failing on any error.
+func drain(t *testing.T, w *Window) {
+	t.Helper()
+	for i := 0; i < len(w.plan); i++ {
+		res := w.Next()
+		if res.Err != nil {
+			t.Fatalf("key %d (%+v): %v", i, res.Key, res.Err)
+		}
+		if res.Key != w.plan[i] {
+			t.Fatalf("key %d = %+v, want plan order %+v", i, res.Key, w.plan[i])
+		}
+		res.Release()
+	}
+}
+
+// waitParked polls until the gate goroutine has parked speculation at the
+// barrier. The engine never needs this — an un-parked batch just means the
+// speculation window was missed — but tests need the determinism.
+func waitParked(t *testing.T, s *Scheduler) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		s.mu.Lock()
+		parked := s.pending != nil
+		s.mu.Unlock()
+		if parked {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("speculation never parked at the barrier")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestSchedulerWithoutPipeliningIgnoresProvisional(t *testing.T) {
+	ds := testStore(t)
+	for _, depth := range []int{0, 2} { // inline and pipelined main path
+		s := NewScheduler(ds, nil, Options{Depth: depth})
+		w := s.Begin(COPKeys(ds.Layout, nil), func() []blockstore.BlockKey {
+			t.Error("provisional consulted with pipelining off")
+			return nil
+		})
+		drain(t, w)
+		st := s.Finish(w)
+		if st.SpecBatch || st.SpecIO != (storage.Stats{}) || st.UnusedBytes != 0 {
+			t.Fatalf("depth=%d: speculation stats without speculation: %+v", depth, st)
+		}
+		if s.SpecIO() != (storage.Stats{}) {
+			t.Fatal("SpecIO nonzero with pipelining off")
+		}
+		if io, unused := s.Shutdown(); io != (storage.Stats{}) || unused != 0 {
+			t.Fatal("Shutdown found an orphan batch with pipelining off")
+		}
+	}
+}
+
+func TestSchedulerAdoptsSpeculationWithExactAttribution(t *testing.T) {
+	ds := testStore(t)
+	s := NewScheduler(ds, nil, Options{Depth: 2, PipelineIters: 1})
+	devBefore := ds.Device().Stats()
+
+	plan2 := ROPKeys(ds.Layout, ds.BlockEdgeCount, bitset.FullFrontier(10))
+	w1 := s.Begin(COPKeys(ds.Layout, nil), func() []blockstore.BlockKey { return plan2 })
+	drain(t, w1)
+	waitParked(t, s)
+	if st := s.Finish(w1); st.SpecBatch {
+		t.Fatalf("window 1 adopted a batch that did not exist at its Begin: %+v", st)
+	}
+	// The parked batch has started reading by now (more may still land
+	// before it retires; the retired batch's b.io captures all of it).
+	if s.SpecIO() == (storage.Stats{}) {
+		t.Fatal("speculative pipeline issued no device I/O (cache is nil)")
+	}
+
+	// The final plan matches the provisional plan exactly: full adoption.
+	w2 := s.Begin(plan2, nil)
+	if len(w2.specKeys) != len(plan2) {
+		t.Fatalf("adopted %d of %d planned keys", len(w2.specKeys), len(plan2))
+	}
+	drain(t, w2)
+	st := s.Finish(w2)
+	if !st.SpecBatch {
+		t.Fatal("window 2 did not report the adopted batch")
+	}
+	if st.UnusedBytes != 0 {
+		t.Fatalf("fully-adopted batch wasted %d bytes", st.UnusedBytes)
+	}
+	// Attribution closes exactly: the batch's I/O is the whole speculative
+	// tap (single batch), and device total = main-pipeline I/O + spec I/O.
+	if st.SpecIO != s.SpecIO() {
+		t.Fatalf("batch I/O %+v != cumulative spec tap %+v", st.SpecIO, s.SpecIO())
+	}
+	devDelta := ds.Device().Stats().Sub(devBefore)
+	if got := devDelta.Sub(st.SpecIO); got.SeqReadBytes < 0 || got.RandReadBytes < 0 {
+		t.Fatalf("spec I/O exceeds device I/O: device %+v spec %+v", devDelta, st.SpecIO)
+	}
+	if io, unused := s.Shutdown(); io != (storage.Stats{}) || unused != 0 {
+		t.Fatal("Shutdown found a batch after full adoption")
+	}
+}
+
+func TestSchedulerInvalidatesDivergentSpeculation(t *testing.T) {
+	ds := testStore(t)
+	s := NewScheduler(ds, nil, Options{Depth: 2, PipelineIters: 1})
+
+	full := ROPKeys(ds.Layout, ds.BlockEdgeCount, bitset.FullFrontier(10))
+	row0 := ROPKeys(ds.Layout, ds.BlockEdgeCount, frontierOf(10, 0))
+	if len(row0) >= len(full) {
+		t.Fatalf("fixture: row0 plan (%d keys) not a strict subset of full (%d)", len(row0), len(full))
+	}
+
+	// Speculate the full plan; the "real" next iteration only wants row 0.
+	w1 := s.Begin(COPKeys(ds.Layout, nil), func() []blockstore.BlockKey { return full })
+	drain(t, w1)
+	waitParked(t, s)
+	s.Finish(w1)
+
+	w2 := s.Begin(row0, nil)
+	if len(w2.specKeys) != len(row0) {
+		t.Fatalf("adopted %d keys, want the full row0 overlap %d", len(w2.specKeys), len(row0))
+	}
+	drain(t, w2)
+	st := s.Finish(w2)
+	if !st.SpecBatch {
+		t.Fatal("overlap not adopted")
+	}
+	if st.UnusedBytes == 0 {
+		t.Fatal("invalidated speculation reported zero unused bytes")
+	}
+	// The invalidated keys' device reads still live in this batch's I/O —
+	// the engine charges them to the consuming iteration.
+	if st.SpecIO != s.SpecIO() {
+		t.Fatalf("batch I/O %+v != spec tap %+v", st.SpecIO, s.SpecIO())
+	}
+}
+
+func TestSchedulerShutdownRetiresOrphanSpeculation(t *testing.T) {
+	ds := testStore(t)
+	s := NewScheduler(ds, nil, Options{Depth: 2, PipelineIters: 1})
+
+	plan := COPKeys(ds.Layout, nil)
+	w := s.Begin(plan, func() []blockstore.BlockKey { return plan })
+	drain(t, w)
+	waitParked(t, s)
+	s.Finish(w)
+
+	// The run converged: nothing adopts the parked batch.
+	io, unused := s.Shutdown()
+	if io.SeqReadBytes == 0 && io.RandReadBytes == 0 {
+		t.Fatal("orphan batch reported no device I/O")
+	}
+	if unused == 0 {
+		t.Fatal("orphan batch reported no unused bytes")
+	}
+	if io2, unused2 := s.Shutdown(); io2 != (storage.Stats{}) || unused2 != 0 {
+		t.Fatal("Shutdown is not idempotent")
+	}
+}
+
+func TestSchedulerEmptyProvisionalSkipsSpeculation(t *testing.T) {
+	ds := testStore(t)
+	s := NewScheduler(ds, nil, Options{Depth: 2, PipelineIters: 1})
+	w := s.Begin(COPKeys(ds.Layout, nil), func() []blockstore.BlockKey { return nil })
+	drain(t, w)
+	// Wait for the gate to run to completion so a (buggy) parked batch
+	// would be observable before Finish.
+	<-w.main.Drained()
+	s.Finish(w)
+	if s.SpecIO() != (storage.Stats{}) {
+		t.Fatal("empty provisional plan still issued speculative I/O")
+	}
+	if io, unused := s.Shutdown(); io != (storage.Stats{}) || unused != 0 {
+		t.Fatal("empty provisional plan parked a batch")
+	}
+}

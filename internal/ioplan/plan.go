@@ -1,0 +1,60 @@
+// Package ioplan plans and schedules all block I/O of the engine's
+// iterations in one place.
+//
+// Before this package, each executor hand-rolled its own Prefetcher
+// schedule: rop.go enumerated the out-indices of active rows, cop.go the
+// in-block columns, and neither could see past the end of its own
+// iteration. ioplan centralizes both: the plan constructors (ROPKeys,
+// COPKeys) turn a predictor decision plus a frontier into the ordered read
+// plan, and the Scheduler executes those plans iteration after iteration —
+// pipelining across the iteration barrier by speculatively reading the
+// *next* iteration's provisional plan while the current tail computes, and
+// reconciling (adopting or invalidating) the speculation once the real
+// plan is known. GraphMP's selective scheduling and PartitionedVC's
+// planned sub-block reads both argue for exactly this: one layer that owns
+// the whole I/O plan.
+package ioplan
+
+import (
+	"husgraph/internal/bitset"
+	"husgraph/internal/blockstore"
+)
+
+// ROPKeys returns the ordered read plan of a Row-oriented Push iteration:
+// the out-index of every nonempty block of every row containing active
+// vertices, row-major — exactly the traversal order of the ROP executor.
+// blockEdges is the store's BlockEdgeCount grid.
+func ROPKeys(l blockstore.Layout, blockEdges [][]int64, frontier *bitset.Frontier) []blockstore.BlockKey {
+	plan := make([]blockstore.BlockKey, 0, l.P*l.P)
+	for i := 0; i < l.P; i++ {
+		lo, hi := l.Bounds(i)
+		if frontier.CountIn(lo, hi) == 0 {
+			continue
+		}
+		for j := 0; j < l.P; j++ {
+			if blockEdges[i][j] != 0 {
+				plan = append(plan, blockstore.BlockKey{Kind: blockstore.KindOutIndex, I: i, J: j})
+			}
+		}
+	}
+	return plan
+}
+
+// COPKeys returns the ordered read plan of a Column-oriented Pull
+// iteration: column by column, each column's in-blocks top to bottom —
+// in-block (j, i) is keyed {KindInBlock, I: j, J: i}. skip, when non-nil,
+// mirrors the executor's block-level selective scheduling: rows j with
+// skip(j) true are omitted from every column, exactly as the COP loop
+// skips them.
+func COPKeys(l blockstore.Layout, skip func(j int) bool) []blockstore.BlockKey {
+	plan := make([]blockstore.BlockKey, 0, l.P*l.P)
+	for i := 0; i < l.P; i++ {
+		for j := 0; j < l.P; j++ {
+			if skip != nil && skip(j) {
+				continue
+			}
+			plan = append(plan, blockstore.BlockKey{Kind: blockstore.KindInBlock, I: j, J: i})
+		}
+	}
+	return plan
+}

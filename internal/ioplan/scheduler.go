@@ -1,0 +1,373 @@
+package ioplan
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"husgraph/internal/blockstore"
+	"husgraph/internal/storage"
+)
+
+// Options configures a Scheduler.
+type Options struct {
+	// Depth is the prefetch worker count / read-ahead bound handed to
+	// every pipeline the scheduler creates; <= 0 loads inline.
+	Depth int
+	// PipelineIters > 0 enables cross-iteration speculation: while
+	// iteration i's tail computes, the scheduler starts reading iteration
+	// i+1's provisional plan. Any value > 0 currently means one iteration
+	// of lookahead (deeper speculation would read plans the predictor
+	// cannot yet commit to).
+	PipelineIters int
+}
+
+// ProvisionalFunc produces the next iteration's provisional read plan. It
+// is called on the scheduler's gate goroutine once the current iteration's
+// own reads are all in flight — so implementations may consult state the
+// current iteration is still building (e.g. the monotone next-frontier via
+// its atomic probes). Returning nil or empty skips speculation for this
+// barrier.
+type ProvisionalFunc func() []blockstore.BlockKey
+
+// WindowStats summarizes one iteration window at Finish time.
+type WindowStats struct {
+	// UnusedBytes counts device bytes loaded by this window's pipelines
+	// but never consumed: aborted read-ahead plus invalidated speculation.
+	UnusedBytes int64
+	// Stall is the wall time consumers spent blocked on reads that had
+	// not completed when requested.
+	Stall time.Duration
+	// SpecIO is the device I/O the consumed speculative batch issued
+	// (zero when no batch was adopted); SpecBatch reports one existed.
+	SpecIO    storage.Stats
+	SpecBatch bool
+}
+
+// Scheduler owns the engine's iteration-spanning block I/O. One Scheduler
+// lives for the whole run; each iteration opens a Window over its final
+// read plan, consumes results through it, and Finishes it.
+//
+// Speculative reads are issued through a forked DualStore whose I/O passes
+// a storage.CountingStore tap, so their device charges can be measured
+// separately: the engine subtracts the speculation issued during iteration
+// i from i's device delta and adds the adopted batch's I/O to the
+// iteration that consumes it — keeping per-iteration attribution honest
+// across the barrier. Speculative pipelines run quiet (they neither count
+// cache hits nor insert), and the Window replays the cache interaction at
+// consume time, so cache statistics and contents evolve exactly as if the
+// read had happened in the consuming iteration.
+type Scheduler struct {
+	ds    *blockstore.DualStore
+	cache *blockstore.BlockCache
+	opts  Options
+
+	// tap and spec are non-nil only when pipelining is enabled.
+	tap  *storage.CountingStore
+	spec *blockstore.DualStore
+
+	mu      sync.Mutex
+	pending *batch // speculation parked at the barrier, awaiting adoption
+}
+
+// NewScheduler creates a scheduler over ds. Fork copies the retry policy in
+// force now, so install it with SetRetryPolicy before calling. cache may be
+// nil.
+func NewScheduler(ds *blockstore.DualStore, cache *blockstore.BlockCache, opts Options) *Scheduler {
+	s := &Scheduler{ds: ds, cache: cache, opts: opts}
+	if opts.PipelineIters > 0 && opts.Depth > 0 {
+		s.tap = storage.NewCountingStore(ds.Store())
+		s.spec = ds.Fork(s.tap)
+	}
+	return s
+}
+
+// SpecIO returns the cumulative device I/O issued by speculative reads
+// since the scheduler was created (zero when pipelining is off). The
+// engine snapshots it around iterations to subtract speculation from the
+// issuing iteration's device delta.
+func (s *Scheduler) SpecIO() storage.Stats {
+	if s.tap == nil {
+		return storage.Stats{}
+	}
+	return s.tap.Stats()
+}
+
+// batch is one speculative read pipeline spanning an iteration barrier.
+// Batches are strictly serialized: the gate waits for the previous batch to
+// retire before snapshotting the tap, so [tapStart, retire) windows never
+// overlap and b.io is exactly this batch's device I/O.
+type batch struct {
+	pf       *blockstore.Prefetcher
+	keys     []blockstore.BlockKey
+	keySet   map[blockstore.BlockKey]struct{}
+	tap      *storage.CountingStore
+	tapStart storage.Stats
+
+	remaining  atomic.Int64
+	retireOnce sync.Once
+	retired    chan struct{}
+	io         storage.Stats // valid once retired is closed
+}
+
+// noteConsumed records one key consumed; the last consumer retires the
+// batch off its own hot path.
+func (b *batch) noteConsumed() {
+	if b.remaining.Add(-1) == 0 {
+		go b.retire()
+	}
+}
+
+// retire closes the pipeline and snapshots its device I/O, exactly once.
+// Safe to call while consumers are still blocked in Take: Close fails
+// their requests rather than stranding them.
+func (b *batch) retire() {
+	b.retireOnce.Do(func() {
+		b.pf.Close()
+		b.io = b.tap.Stats().Sub(b.tapStart)
+		close(b.retired)
+	})
+}
+
+// Window is one iteration's view of the scheduler: the final read plan,
+// the main pipeline reading it, and the adopted slice of the previous
+// barrier's speculation.
+type Window struct {
+	sched *Scheduler
+	plan  []blockstore.BlockKey
+
+	main     *blockstore.Prefetcher
+	adopted  *batch
+	specKeys map[blockstore.BlockKey]struct{} // plan keys served by adopted
+
+	cursor int // Next() position in plan (single consumer)
+
+	quit     chan struct{}
+	gateDone chan struct{}
+	invDone  chan struct{}
+
+	unused    atomic.Int64 // invalidated speculative bytes
+	specStall atomic.Int64
+}
+
+// Begin opens the window for one iteration. plan is the final ordered read
+// plan; provisional, when non-nil, produces the next iteration's
+// provisional plan for cross-barrier speculation. Any speculation parked
+// at the barrier is reconciled now: keys also in plan are adopted (their
+// results served from the speculative pipeline, cache attribution replayed
+// at consume time), the rest are invalidated concurrently and counted as
+// unused bytes.
+func (s *Scheduler) Begin(plan []blockstore.BlockKey, provisional ProvisionalFunc) *Window {
+	w := &Window{
+		sched:    s,
+		plan:     plan,
+		quit:     make(chan struct{}),
+		gateDone: make(chan struct{}),
+		invDone:  make(chan struct{}),
+	}
+	s.mu.Lock()
+	b := s.pending
+	s.pending = nil
+	s.mu.Unlock()
+
+	mainSched := plan
+	if b != nil {
+		w.adopted = b
+		w.specKeys = make(map[blockstore.BlockKey]struct{}, len(b.keys))
+		for _, k := range plan {
+			if _, ok := b.keySet[k]; ok {
+				w.specKeys[k] = struct{}{}
+			}
+		}
+		invalid := make([]blockstore.BlockKey, 0, len(b.keys))
+		for _, k := range b.keys {
+			if _, ok := w.specKeys[k]; !ok {
+				invalid = append(invalid, k)
+			}
+		}
+		if len(w.specKeys) > 0 {
+			mainSched = make([]blockstore.BlockKey, 0, len(plan)-len(w.specKeys))
+			for _, k := range plan {
+				if _, ok := w.specKeys[k]; !ok {
+					mainSched = append(mainSched, k)
+				}
+			}
+		}
+		go w.invalidate(invalid)
+	} else {
+		close(w.invDone)
+	}
+
+	w.main = s.ds.NewPrefetcher(mainSched, s.opts.Depth, s.cache)
+
+	if s.spec != nil && provisional != nil && s.opts.Depth > 0 {
+		go w.gate(provisional)
+	} else {
+		close(w.gateDone)
+	}
+	return w
+}
+
+// invalidate drains the speculative results the final plan diverged from:
+// loaded bytes are wasted speculation, and every consumed key moves the
+// batch toward retirement. Bounded by len(invalid); Take can never hang
+// because the batch's Close fails unclaimed and refills drained requests.
+func (w *Window) invalidate(invalid []blockstore.BlockKey) {
+	defer close(w.invDone)
+	b := w.adopted
+	for _, k := range invalid {
+		res := b.pf.Take(k)
+		if res.Err == nil {
+			w.unused.Add(res.DataBytes())
+		}
+		res.Release()
+		b.noteConsumed()
+	}
+}
+
+// gate runs on its own goroutine and launches the next barrier's
+// speculation at the right moment: after this window's own reads are all
+// in flight (never competing with them for device time) and after the
+// previous batch has retired (so tap windows are exact). It then asks the
+// engine for the provisional plan and parks the new batch for the next
+// Begin to adopt.
+func (w *Window) gate(provisional ProvisionalFunc) {
+	defer close(w.gateDone)
+	s := w.sched
+	select {
+	case <-w.main.Drained():
+	case <-w.quit:
+		return
+	}
+	if w.adopted != nil {
+		select {
+		case <-w.adopted.retired:
+		case <-w.quit:
+			return
+		}
+	}
+	select { // don't launch speculation for a window being finished
+	case <-w.quit:
+		return
+	default:
+	}
+	keys := provisional()
+	if len(keys) == 0 {
+		return
+	}
+	b := &batch{
+		keys:     keys,
+		keySet:   make(map[blockstore.BlockKey]struct{}, len(keys)),
+		tap:      s.tap,
+		tapStart: s.tap.Stats(),
+		retired:  make(chan struct{}),
+	}
+	for _, k := range keys {
+		b.keySet[k] = struct{}{}
+	}
+	b.remaining.Store(int64(len(keys)))
+	b.pf = s.spec.NewPrefetcherOpts(keys, blockstore.PrefetchOpts{
+		Depth: s.opts.Depth,
+		Cache: s.cache,
+		Quiet: true,
+	})
+	s.mu.Lock()
+	s.pending = b
+	s.mu.Unlock()
+}
+
+// Take returns the result for key, from the adopted speculative batch when
+// it covers key, else from the main pipeline. Concurrent consumers follow
+// the Prefetcher.Take window contract.
+func (w *Window) Take(key blockstore.BlockKey) *blockstore.PrefetchResult {
+	if w.specKeys != nil {
+		if _, ok := w.specKeys[key]; ok {
+			return w.takeSpec(key)
+		}
+	}
+	return w.main.Take(key)
+}
+
+// Next returns the next result in plan order. Single consumer only.
+func (w *Window) Next() *blockstore.PrefetchResult {
+	if w.cursor >= len(w.plan) {
+		return w.main.Next() // surfaces the past-schedule-end error
+	}
+	key := w.plan[w.cursor]
+	w.cursor++
+	return w.Take(key)
+}
+
+// takeSpec consumes one adopted speculative result and replays the cache
+// interaction the quiet pipeline deferred: the hit/miss is counted — and a
+// loaded block inserted — now, in the iteration consuming the block, not
+// the iteration that issued the read. This is what keeps per-iteration
+// cache statistics identical with pipelining on and off.
+func (w *Window) takeSpec(key blockstore.BlockKey) *blockstore.PrefetchResult {
+	b := w.adopted
+	t0 := time.Now()
+	res := b.pf.Take(key)
+	w.specStall.Add(int64(time.Since(t0)))
+	b.noteConsumed()
+	if res.Err != nil {
+		return res
+	}
+	if cache := w.sched.cache; cache != nil {
+		if res.Cached {
+			cache.NoteHit(key)
+		} else {
+			cache.NoteMiss(key)
+			blk := &blockstore.CachedBlock{
+				Payload: append([]byte(nil), res.Payload...),
+				ByteIdx: append([]uint32(nil), res.ByteIdx...),
+				Recs:    append([]blockstore.Rec(nil), res.Recs...),
+				RecIdx:  append([]uint32(nil), res.RecIdx...),
+			}
+			if cache.Put(key, blk) {
+				res.AdoptCached(blk)
+			}
+		}
+	}
+	return res
+}
+
+// Finish closes the window: stops the gate, retires the adopted batch,
+// waits for the invalidator, closes the main pipeline, and returns the
+// window's I/O attribution. Call exactly once per Begin, after the
+// executor is done consuming (on success or error).
+func (s *Scheduler) Finish(w *Window) WindowStats {
+	var st WindowStats
+	close(w.quit)
+	<-w.gateDone
+	if b := w.adopted; b != nil {
+		b.retire()
+		<-b.retired
+		<-w.invDone
+		st.SpecIO = b.io
+		st.SpecBatch = true
+		st.UnusedBytes += b.pf.UnusedBytes()
+	} else {
+		<-w.invDone
+	}
+	w.main.Close()
+	st.UnusedBytes += w.main.UnusedBytes() + w.unused.Load()
+	st.Stall = w.main.StallTime() + time.Duration(w.specStall.Load())
+	return st
+}
+
+// Shutdown retires any speculation parked at the barrier with no iteration
+// left to adopt it (the run converged). It returns that orphan batch's
+// device I/O and its loaded-but-unused bytes; both are zero when nothing
+// was pending. Idempotent.
+func (s *Scheduler) Shutdown() (storage.Stats, int64) {
+	s.mu.Lock()
+	b := s.pending
+	s.pending = nil
+	s.mu.Unlock()
+	if b == nil {
+		return storage.Stats{}, 0
+	}
+	b.retire()
+	<-b.retired
+	return b.io, b.pf.UnusedBytes()
+}

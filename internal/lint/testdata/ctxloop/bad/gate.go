@@ -1,0 +1,25 @@
+// Fixture: barrier-gate shapes — goroutines that wait on pipeline state
+// across iteration barriers (drained channels, speculative result pumps)
+// must still cover their quit signal, or Finish deadlocks on them.
+package worker
+
+type gate struct {
+	quit    chan struct{}
+	drained chan struct{}
+	results chan int
+}
+
+func (g *gate) speculate() {}
+
+func (g *gate) waitLoop() {
+	for { // want "never consults its abort signal"
+		<-g.drained // want "blocking receive from g.drained"
+		g.speculate()
+	}
+}
+
+func (g *gate) pump(adopted chan int) {
+	for r := range g.results {
+		adopted <- r // want "blocking send on adopted"
+	}
+}

@@ -1,0 +1,44 @@
+// Fixture: the sanctioned barrier-gate shapes — a gate that races its wait
+// against quit, a bounded invalidation drain, and a non-blocking offer.
+package worker
+
+type gate struct {
+	quit    chan struct{}
+	drained chan struct{}
+	results chan int
+}
+
+func (g *gate) speculate() {}
+
+// The gate waits for the window's own reads to be in flight, then launches
+// speculation — always racing the quit signal, never blocking past it.
+func (g *gate) wait() {
+	for {
+		select {
+		case <-g.drained:
+			g.speculate()
+		case <-g.quit:
+			return
+		}
+	}
+}
+
+// An invalidation drain is bounded by the divergent key list; bounded loops
+// terminate on their own and are out of ctxloop's scope.
+func (g *gate) invalidate(keys []int, take func(int) int) int {
+	var unused int
+	for _, k := range keys {
+		unused += take(k)
+	}
+	return unused
+}
+
+// Opportunistic handoff: the default case makes the send non-blocking.
+func (g *gate) offer(adopted chan int) {
+	for r := range g.results {
+		select {
+		case adopted <- r:
+		default:
+		}
+	}
+}

@@ -1,0 +1,36 @@
+// Fixture: speculative-pipeline shapes — scratch buffers handed across an
+// iteration barrier outlive their Put in every one of these.
+package pool
+
+import "sync"
+
+var scratchPool = sync.Pool{New: func() any { return make([]byte, 0, 64) }}
+
+type result struct{ payload []byte }
+
+// Parking the pooled scratch inside the result that crosses the barrier:
+// the consumer on the far side races the pool's next Get.
+func returnsResultLiteral() *result {
+	v := scratchPool.Get().([]byte)
+	return &result{payload: v} // want "returning pooled v"
+}
+
+// A Put on one select arm kills the value on the merged fall-through path.
+func putInSelectThenUse(done chan struct{}) int {
+	v := scratchPool.Get().([]byte)
+	select {
+	case <-done:
+		scratchPool.Put(v)
+	default:
+	}
+	return len(v) // want "used after its Put"
+}
+
+type reqSlot struct{ sc []byte }
+
+// Stashing the scratch in a long-lived request slot retains it past the Put.
+func parkInRequest(req *reqSlot) {
+	v := scratchPool.Get().([]byte)
+	req.sc = v // want "stored into field sc"
+	scratchPool.Put(v)
+}

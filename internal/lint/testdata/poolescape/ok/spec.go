@@ -1,0 +1,28 @@
+// Fixture: the sanctioned speculative-pipeline patterns — only a copy of
+// the scratch's contents crosses the barrier, and a reassigned name is a
+// fresh value the pool has never seen.
+package pool
+
+import "sync"
+
+var scratchPool = sync.Pool{New: func() any { return make([]byte, 0, 64) }}
+
+type adopted struct{ payload []byte }
+
+// The barrier replay pattern: the consuming side copies the payload out of
+// the scratch before the Put; only the copy is retained.
+func replay(load func([]byte) []byte) *adopted {
+	v := scratchPool.Get().([]byte)
+	payload := append([]byte(nil), load(v)...)
+	scratchPool.Put(v)
+	return &adopted{payload: payload}
+}
+
+// Reassignment revives the name: the slice header now points at a fresh
+// allocation, so later uses are not uses of the pooled value.
+func revive() int {
+	v := scratchPool.Get().([]byte)
+	scratchPool.Put(v)
+	v = make([]byte, 8)
+	return len(v)
+}

@@ -1,0 +1,124 @@
+package storage
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// CountingStore wraps a Store and mirrors the simulated-device charges of
+// every operation issued through it into its own counters, leaving the
+// underlying device accounting untouched. The ioplan scheduler routes
+// speculative cross-iteration reads through one of these so their I/O can
+// be subtracted from the issuing iteration's device delta and credited to
+// the iteration that actually consumes the blocks.
+//
+// The mirrored charges recompute exactly what MemStore and FileStore charge
+// (sequential transfer for whole-blob reads and Put, one random access for
+// range reads), so tap deltas and device deltas cancel precisely. Failed
+// operations are not counted — a store that charges partially on failure
+// would skew attribution by at most the failed transfer.
+type CountingStore struct {
+	inner Store
+
+	seqReadBytes  atomic.Int64
+	randReadBytes atomic.Int64
+	seqWriteBytes atomic.Int64
+	randAccesses  atomic.Int64
+	seqOps        atomic.Int64
+	simIONanos    atomic.Int64
+}
+
+// NewCountingStore wraps inner with mirrored I/O accounting.
+func NewCountingStore(inner Store) *CountingStore {
+	return &CountingStore{inner: inner}
+}
+
+// Stats returns a snapshot of the I/O issued through this wrapper.
+func (c *CountingStore) Stats() Stats {
+	return Stats{
+		SeqReadBytes:  c.seqReadBytes.Load(),
+		RandReadBytes: c.randReadBytes.Load(),
+		SeqWriteBytes: c.seqWriteBytes.Load(),
+		RandAccesses:  c.randAccesses.Load(),
+		SeqOps:        c.seqOps.Load(),
+		SimIO:         time.Duration(c.simIONanos.Load()),
+	}
+}
+
+func (c *CountingStore) noteSeqRead(n int64) {
+	if n <= 0 {
+		return
+	}
+	c.seqReadBytes.Add(n)
+	c.seqOps.Add(1)
+	c.simIONanos.Add(int64(c.inner.Device().Profile().SeqTime(n)))
+}
+
+func (c *CountingStore) noteRandRead(n int64) {
+	if n > 0 {
+		c.randReadBytes.Add(n)
+	}
+	c.randAccesses.Add(1)
+	c.simIONanos.Add(int64(c.inner.Device().Profile().RandTime(n, 1)))
+}
+
+// Put implements Store.
+func (c *CountingStore) Put(name string, data []byte) error {
+	err := c.inner.Put(name, data)
+	if err == nil {
+		c.seqWriteBytes.Add(int64(len(data)))
+		c.seqOps.Add(1)
+		c.simIONanos.Add(int64(c.inner.Device().Profile().SeqTime(int64(len(data)))))
+	}
+	return err
+}
+
+// ReadAll implements Store.
+func (c *CountingStore) ReadAll(name string) ([]byte, error) {
+	b, err := c.inner.ReadAll(name)
+	if err == nil {
+		c.noteSeqRead(int64(len(b)))
+	}
+	return b, err
+}
+
+// ReadAllInto implements Store.
+func (c *CountingStore) ReadAllInto(name string, buf []byte) ([]byte, error) {
+	b, err := c.inner.ReadAllInto(name, buf)
+	if err == nil {
+		c.noteSeqRead(int64(len(b)))
+	}
+	return b, err
+}
+
+// ReadAt implements Store.
+func (c *CountingStore) ReadAt(name string, off, n int64) ([]byte, error) {
+	b, err := c.inner.ReadAt(name, off, n)
+	if err == nil {
+		c.noteRandRead(n)
+	}
+	return b, err
+}
+
+// ReadAtInto implements Store.
+func (c *CountingStore) ReadAtInto(name string, off, n int64, buf []byte) ([]byte, error) {
+	b, err := c.inner.ReadAtInto(name, off, n, buf)
+	if err == nil {
+		c.noteRandRead(n)
+	}
+	return b, err
+}
+
+// Size implements Store.
+func (c *CountingStore) Size(name string) (int64, error) { return c.inner.Size(name) }
+
+// Delete implements Store.
+func (c *CountingStore) Delete(name string) error { return c.inner.Delete(name) }
+
+// List implements Store.
+func (c *CountingStore) List() []string { return c.inner.List() }
+
+// Device implements Store.
+func (c *CountingStore) Device() *Device { return c.inner.Device() }
+
+var _ Store = (*CountingStore)(nil)

@@ -1,0 +1,97 @@
+package storage
+
+import (
+	"bytes"
+	"testing"
+)
+
+// The CountingStore tap must charge exactly what the device charges for the
+// same operations — the ioplan scheduler subtracts tap deltas from device
+// deltas, so any drift would corrupt per-iteration I/O attribution.
+func TestCountingStoreMirrorsDeviceCharges(t *testing.T) {
+	dev := NewDevice(HDD)
+	cs := NewCountingStore(NewMemStore(dev))
+
+	devBefore := dev.Stats()
+	tapBefore := cs.Stats()
+
+	blob := make([]byte, 4096)
+	for i := range blob {
+		blob[i] = byte(i)
+	}
+	if err := cs.Put("a", blob); err != nil {
+		t.Fatal(err)
+	}
+	if got, err := cs.ReadAll("a"); err != nil || !bytes.Equal(got, blob) {
+		t.Fatalf("ReadAll: %v", err)
+	}
+	if got, err := cs.ReadAllInto("a", make([]byte, 0, 8)); err != nil || !bytes.Equal(got, blob) {
+		t.Fatalf("ReadAllInto: %v", err)
+	}
+	if got, err := cs.ReadAt("a", 100, 50); err != nil || !bytes.Equal(got, blob[100:150]) {
+		t.Fatalf("ReadAt: %v", err)
+	}
+	if got, err := cs.ReadAtInto("a", 200, 16, nil); err != nil || !bytes.Equal(got, blob[200:216]) {
+		t.Fatalf("ReadAtInto: %v", err)
+	}
+
+	devDelta := dev.Stats().Sub(devBefore)
+	tapDelta := cs.Stats().Sub(tapBefore)
+	if devDelta != tapDelta {
+		t.Fatalf("tap drifted from device:\n  device %+v\n  tap    %+v", devDelta, tapDelta)
+	}
+	if tapDelta.SeqReadBytes != 2*4096 || tapDelta.RandReadBytes != 50+16 {
+		t.Fatalf("read accounting: %+v", tapDelta)
+	}
+	if tapDelta.SeqWriteBytes != 4096 || tapDelta.RandAccesses != 2 {
+		t.Fatalf("write/rand accounting: %+v", tapDelta)
+	}
+	if tapDelta.SimIO <= 0 {
+		t.Fatal("no simulated time accounted")
+	}
+}
+
+// Failed operations must charge nothing: the underlying stores only charge
+// successful I/O, and the tap has to follow suit.
+func TestCountingStoreSkipsFailedOps(t *testing.T) {
+	dev := NewDevice(HDD)
+	cs := NewCountingStore(NewMemStore(dev))
+	if err := cs.Put("a", []byte("abc")); err != nil {
+		t.Fatal(err)
+	}
+	before := cs.Stats()
+	if _, err := cs.ReadAll("missing"); err == nil {
+		t.Fatal("missing blob read succeeded")
+	}
+	if _, err := cs.ReadAt("a", 1, 99); err == nil {
+		t.Fatal("out-of-range ReadAt succeeded")
+	}
+	delta := cs.Stats().Sub(before)
+	if delta != (Stats{}) {
+		t.Fatalf("failed ops charged the tap: %+v", delta)
+	}
+}
+
+// The tap forwards the full Store surface unchanged.
+func TestCountingStoreForwards(t *testing.T) {
+	dev := NewDevice(RAM)
+	cs := NewCountingStore(NewMemStore(dev))
+	if cs.Device() != dev {
+		t.Fatal("Device not forwarded")
+	}
+	if err := cs.Put("x", []byte("1234")); err != nil {
+		t.Fatal(err)
+	}
+	if sz, err := cs.Size("x"); err != nil || sz != 4 {
+		t.Fatalf("Size = %d, %v", sz, err)
+	}
+	if names := cs.List(); len(names) != 1 || names[0] != "x" {
+		t.Fatalf("List = %v", names)
+	}
+	if err := cs.Delete("x"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cs.Size("x"); err == nil {
+		t.Fatal("deleted blob still present")
+	}
+}
