@@ -7,18 +7,24 @@
 //	husgraph -dataset twitter-sim -algo BFS [-system hus|graphchi|gridgraph|xstream]
 //	         [-model hybrid|rop|cop] [-device hdd|ssd|nvme|ram] [-threads N] [-p P]
 //	         [-trace] [-stats] [-input edges.txt] [-store DIR]
-//	         [-prefetch DEPTH] [-cache-mb MB] [-pipeline-iters N] [-cache-admission POLICY]
+//	         [-prefetch DEPTH] [-cache-mb MB] [-pipeline-depth K] [-cache-admission POLICY]
 //	         [-checkpoint N] [-resume] [-retries N] [-retry-backoff D]
 //	         [-fault-transient N] [-fault-bitflip N] [-fault-after N] [-fault-seed S]
 //
 // -prefetch enables the asynchronous block-prefetch pipeline (DEPTH worker
 // goroutines reading ahead of the executor); -cache-mb retains decoded hot
-// blocks across iterations under a byte budget; -pipeline-iters extends the
-// pipeline across iteration barriers (speculative reads of the next
-// iteration's provisional plan); -cache-admission selects the cache insert
-// policy under eviction pressure (tinylfu|lru). All of them leave results
-// bit-identical to the synchronous configuration; -stats prints the
-// per-iteration cache and pipeline numbers that validate them.
+// blocks across iterations under a byte budget; -pipeline-depth extends the
+// pipeline across iteration barriers, speculatively reading provisional
+// plans up to K iterations ahead (-pipeline-iters is the older spelling of
+// the same knob); -cache-admission selects the cache insert policy under
+// eviction pressure (tinylfu|lru). All of them leave results bit-identical
+// to the synchronous configuration; -stats prints the per-iteration cache
+// and pipeline numbers that validate them, including how many barriers
+// ahead each iteration's adopted speculation was issued ("depth").
+//
+// Pipelining rides on the async prefetch pipeline, so combining it with an
+// explicit -prefetch 0 or -cache-mb 0 is a contradiction and rejected at
+// startup rather than silently degraded.
 //
 // With -input, a whitespace edge list ("src dst [weight]" per line) is
 // processed instead of a registry dataset. With -store, the dual-block
@@ -72,7 +78,8 @@ func run() error {
 	resume := flag.Bool("resume", false, "resume from a persisted checkpoint when one exists (hus only)")
 	prefetch := flag.Int("prefetch", 0, "asynchronous block-prefetch depth overlapping I/O with compute (0 = synchronous loads; hus only)")
 	cacheMB := flag.Int64("cache-mb", 0, "hot-block cache budget in MiB, retaining decoded blocks across iterations (0 = off; hus only)")
-	pipelineIters := flag.Int("pipeline-iters", 0, "cross-iteration read pipelining: speculatively read the next iteration's provisional plan while this one computes (0 = off; >0 = one iteration of lookahead; hus only)")
+	pipelineIters := flag.Int("pipeline-iters", 0, "deprecated spelling of -pipeline-depth (hus only)")
+	pipelineDepth := flag.Int("pipeline-depth", 0, "cross-iteration read pipelining depth K: while an iteration computes, speculatively read provisional plans for up to the next K iterations (0 = off; hus only)")
 	cacheAdmission := flag.String("cache-admission", "tinylfu", "block-cache admission policy under eviction pressure: tinylfu|lru (hus only)")
 	stats := flag.Bool("stats", false, "print per-iteration cache and pipeline statistics (hit ratio, stall, speculation; hus only)")
 	retries := flag.Int("retries", 0, "retry reads failing with a transient fault up to N times each, with exponential backoff")
@@ -82,6 +89,13 @@ func run() error {
 	faultAfter := flag.Int64("fault-after", 10, "number of healthy reads before injected faults begin")
 	faultSeed := flag.Int64("fault-seed", 1, "seed for the deterministic fault injector")
 	flag.Parse()
+
+	explicit := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
+	pipeline, err := pipelineConfig(explicit, *pipelineIters, *pipelineDepth, *prefetch, *cacheMB)
+	if err != nil {
+		return err
+	}
 
 	prof, err := storage.ProfileByName(*deviceName)
 	if err != nil {
@@ -175,7 +189,7 @@ func run() error {
 			RetryBackoff:     *retryBackoff,
 			PrefetchDepth:    *prefetch,
 			CacheBudgetBytes: *cacheMB << 20,
-			PipelineIters:    *pipelineIters,
+			PipelineIters:    pipeline,
 			CacheAdmission:   *cacheAdmission,
 		})
 		if res, err = eng.Run(algo.New(g)); err != nil {
@@ -234,7 +248,7 @@ func run() error {
 		// I/O actually line up with the iterations the predictor priced
 		// them into.
 		t := report.NewTable("per-iteration cache/pipeline stats",
-			"iter", "model", "cache hits", "misses", "hit %", "stall", "spec MB", "overlap credit")
+			"iter", "model", "cache hits", "misses", "hit %", "stall", "spec MB", "depth", "overlap credit")
 		for _, it := range res.Iterations {
 			hitRate := 0.0
 			if total := it.CacheHits + it.CacheMisses; total > 0 {
@@ -248,6 +262,7 @@ func run() error {
 				fmt.Sprintf("%.1f", hitRate),
 				it.PrefetchStall.Round(time.Microsecond).String(),
 				report.MB(it.SpecReadBytes),
+				fmt.Sprintf("%d", it.SpecDepth),
 				it.OverlapCredit.Round(time.Microsecond).String(),
 			)
 		}
@@ -292,6 +307,10 @@ func run() error {
 				c.RunHits, c.RunMisses, c.Promotions, c.AdmissionRejected)
 		}
 	}
+	if pipeline > 0 {
+		fmt.Printf("  pipelining:     depth %d, %s MB speculative reads, %v I/O hidden behind earlier compute\n",
+			pipeline, report.MB(res.TotalSpecReadBytes()), res.TotalOverlapCredit().Round(time.Microsecond))
+	}
 	if *retries > 0 || *checkpointEvery > 0 || *resume {
 		rec := res.Recovery
 		fmt.Printf("  recovery:       %d read retries, %d checkpoint(s) written, resumed at iteration %d, %d corrupt generation(s) skipped\n",
@@ -301,4 +320,34 @@ func run() error {
 		fmt.Printf("  injected:       %v\n", faults.Counters())
 	}
 	return nil
+}
+
+// pipelineConfig resolves the cross-iteration pipelining depth from its two
+// flag spellings and rejects contradictory combinations. Pipelining rides on
+// the async prefetch pipeline and replays speculative reads through the
+// block cache, so explicitly zeroing either alongside it used to degrade the
+// run silently; now it is a startup error. `set` holds the flags the user
+// actually passed (flag.Visit), so the defaults — no -prefetch, no
+// -cache-mb — still auto-configure instead of erroring.
+func pipelineConfig(set map[string]bool, iters, depth, prefetch int, cacheMB int64) (int, error) {
+	if set["pipeline-iters"] && set["pipeline-depth"] {
+		return 0, fmt.Errorf("-pipeline-iters and -pipeline-depth are the same knob; pass only -pipeline-depth")
+	}
+	k, name := depth, "-pipeline-depth"
+	if set["pipeline-iters"] {
+		k, name = iters, "-pipeline-iters"
+	}
+	if k < 0 {
+		return 0, fmt.Errorf("%s %d: depth must be >= 0", name, k)
+	}
+	if k == 0 {
+		return 0, nil
+	}
+	if set["prefetch"] && prefetch <= 0 {
+		return 0, fmt.Errorf("%s %d needs the asynchronous prefetch pipeline, but -prefetch %d disables it; drop -prefetch (pipelining defaults it to 2) or set it > 0", name, k, prefetch)
+	}
+	if set["cache-mb"] && cacheMB <= 0 {
+		return 0, fmt.Errorf("%s %d replays adopted speculation through the block cache, but -cache-mb %d disables it; drop -cache-mb or set it > 0", name, k, cacheMB)
+	}
+	return k, nil
 }

@@ -80,3 +80,75 @@ func TestHybridPipelinedMatchesUnpipelinedRun(t *testing.T) {
 		}
 	}
 }
+
+func TestDepthTwoPipelinedAdditiveMatchesOracle(t *testing.T) {
+	// Depth-2 speculation on non-monotone programs leans on the value-delta
+	// heuristic (the frontier a speculated iteration needs is rebuilt only
+	// after the gate fires), so PageRank and PageRank-Delta are the
+	// workloads that exercise it end to end: two speculative windows in
+	// flight, per-depth adoption, delta-predicted ROP tails once the
+	// residual goes sparse. Under -race this also races the gate against
+	// interval finalization publishing into the delta tracker. The answers
+	// must still be the oracle's, and bit-identical to the unpipelined run.
+	rng := rand.New(rand.NewSource(29))
+	g := gen.Web(600, 4200, gen.WebParams{Alpha: 2.2, JumpFrac: 0.05}, rng)
+	depth2 := func(c *core.Config) {
+		c.PrefetchDepth = 3
+		c.CacheBudgetBytes = 32 << 20
+		c.PipelineIters = 2
+		c.CacheAdmission = "tinylfu"
+		c.Tolerance = 1e-12
+		c.MaxIters = 5000
+	}
+	res := run(t, g, &PageRank{}, 4, core.ModelHybrid, depth2)
+	if !res.Converged {
+		t.Fatal("PageRank did not converge")
+	}
+	wantClose(t, "PageRank", res.Values, OraclePageRank(g, 1e-12, 5000), 1e-8)
+
+	plain := run(t, g, &PageRank{}, 4, core.ModelHybrid, depth2, func(c *core.Config) {
+		c.PipelineIters = 0
+	})
+	if plain.NumIterations() != res.NumIterations() {
+		t.Fatalf("depth-2 speculation changed the trajectory: %d iterations vs %d",
+			res.NumIterations(), plain.NumIterations())
+	}
+	for v := range plain.Values {
+		if plain.Values[v] != res.Values[v] {
+			t.Fatalf("value[%d]: depth-2 %v vs unpipelined %v", v, res.Values[v], plain.Values[v])
+		}
+	}
+	maxDepth := 0
+	for _, it := range res.Iterations {
+		if it.SpecDepth > maxDepth {
+			maxDepth = it.SpecDepth
+		}
+	}
+	if maxDepth == 0 {
+		t.Fatal("no speculative batch was ever adopted across 2 pipelined barriers")
+	}
+	if maxDepth > 2 {
+		t.Fatalf("adopted a batch from depth %d with PipelineIters=2", maxDepth)
+	}
+
+	delta := run(t, g, &PageRankDelta{Epsilon: 1e-10}, 4, core.ModelHybrid, depth2)
+	deltaPlain := run(t, g, &PageRankDelta{Epsilon: 1e-10}, 4, core.ModelHybrid, depth2, func(c *core.Config) {
+		c.PipelineIters = 0
+	})
+	// PageRank-Delta values are unnormalized (fixed point r = (1-d) + d·Σ …);
+	// divide by n to compare against the oracle.
+	normalized := make([]float64, len(delta.Values))
+	for v := range normalized {
+		normalized[v] = delta.Values[v] / float64(g.NumVertices)
+	}
+	wantClose(t, "PageRank-Delta vs oracle", normalized, OraclePageRank(g, 1e-12, 5000), 1e-6)
+	if delta.NumIterations() != deltaPlain.NumIterations() {
+		t.Fatalf("PageRank-Delta trajectory changed: %d iterations vs %d",
+			delta.NumIterations(), deltaPlain.NumIterations())
+	}
+	for v := range deltaPlain.Values {
+		if delta.Values[v] != deltaPlain.Values[v] {
+			t.Fatalf("PageRank-Delta value[%d]: depth-2 %v vs unpipelined %v", v, delta.Values[v], deltaPlain.Values[v])
+		}
+	}
+}

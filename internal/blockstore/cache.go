@@ -422,7 +422,10 @@ func (c *BlockCache) GetRun(i, j int, s, e uint32) ([]byte, bool) {
 // the cache can own. The return value reports a promotion claim: true
 // exactly once per block, when its cumulative device-loaded run bytes cross
 // the density threshold — the caller should then load the whole payload
-// sequentially and Put it under KindOutBlock.
+// sequentially and Put it under KindOutBlock. The claiming call does not
+// insert its run: the whole payload is about to supersede every run entry,
+// and charging the triggering run against the budget first could evict
+// unrelated entries to make room for bytes dropped moments later.
 func (c *BlockCache) PutRun(i, j int, s, e uint32, data []byte, blockBytes int64) bool {
 	bk := BlockKey{Kind: KindOutBlock, I: i, J: j}
 	ck := cacheKey{BlockKey: bk, s: s, e: e}
@@ -441,7 +444,7 @@ func (c *BlockCache) PutRun(i, j int, s, e uint32, data []byte, blockBytes int64
 			}
 		}
 	}
-	if e <= s || sz == 0 {
+	if e <= s || sz == 0 || promote {
 		return promote
 	}
 	// Skip the insert when existing entries already cover the range.

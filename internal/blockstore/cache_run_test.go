@@ -234,3 +234,43 @@ func TestParseAdmission(t *testing.T) {
 		t.Fatal("NewBlockCache default changed")
 	}
 }
+
+func TestRunCachePromotionNeverExceedsBudget(t *testing.T) {
+	// Regression: the promotion-claiming PutRun used to insert its own run
+	// entry too, transiently charging both the accumulated runs and (after
+	// the caller's Put) the whole payload — overshooting the budget and
+	// evicting unrelated hot entries for bytes dropped moments later.
+	c := NewBlockCache(100)
+	hot := BlockKey{Kind: KindInBlock, I: 5, J: 5}
+	if !c.Put(hot, &CachedBlock{Payload: make([]byte, 10)}) {
+		t.Fatal("hot entry rejected")
+	}
+
+	const blockBytes = 80 // promotion threshold at 40 loaded bytes
+	if c.PutRun(0, 0, 0, 39, runBytes(0, 39), blockBytes) {
+		t.Fatal("49% density promoted early")
+	}
+	// This load crosses the density threshold: the claim must not charge
+	// the triggering run (10 hot + 39 + 55 would burst past the budget).
+	if !c.PutRun(0, 0, 100, 155, runBytes(100, 155), blockBytes) {
+		t.Fatal("117% density did not promote")
+	}
+	if used := c.Stats().BytesUsed; used > c.Budget() {
+		t.Fatalf("promotion claim charged %d bytes against budget %d", used, c.Budget())
+	}
+	// The caller completes the claim; run entries are dropped before the
+	// payload is charged, so the whole sequence fits.
+	if !c.Put(outBlockKey(0, 0), &CachedBlock{Payload: runBytes(0, blockBytes)}) {
+		t.Fatal("promoted payload rejected")
+	}
+	st := c.Stats()
+	if st.BytesUsed > c.Budget() {
+		t.Fatalf("peak charged bytes %d exceeds budget %d", st.BytesUsed, c.Budget())
+	}
+	if st.Evictions != 0 {
+		t.Fatalf("promotion evicted %d unrelated entries", st.Evictions)
+	}
+	if _, ok := c.Get(hot); !ok {
+		t.Fatal("unrelated hot entry evicted by transient promotion overcharge")
+	}
+}

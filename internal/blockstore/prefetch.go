@@ -37,10 +37,11 @@ import (
 // cause instead of being read — so a permanent fault surfaces as the
 // iteration error on every waiting consumer rather than a hang.
 type Prefetcher struct {
-	ds    *DualStore
-	cache *BlockCache
-	depth int
-	quiet bool
+	ds      *DualStore
+	cache   *BlockCache
+	depth   int
+	quiet   bool
+	pending func(BlockKey) bool
 
 	reqs  []*prefetchReq
 	byKey map[BlockKey]*prefetchReq
@@ -74,6 +75,14 @@ type PrefetchOpts struct {
 	// the consuming iteration can replay attribution (NoteHit/NoteMiss and
 	// the insert) when it actually takes each result.
 	Quiet bool
+	// Pending, when non-nil, marks keys expected to be cache-resident by
+	// the time this pipeline's results are consumed — inserted by a
+	// shallower pipeline whose consumption precedes this one's (depth-k
+	// speculation windows chain this way). A pending key that misses the
+	// cache is not read: the result carries Deferred=true and no data, and
+	// the consumer resolves it against the cache — or loads it inline — at
+	// consume time. Only meaningful together with Cache.
+	Pending func(BlockKey) bool
 }
 
 type prefetchReq struct {
@@ -97,6 +106,11 @@ type PrefetchResult struct {
 	// Cached reports the result was served from the block cache (no
 	// device I/O, no scratch to return).
 	Cached bool
+	// Deferred reports the load was skipped because the key is expected to
+	// be cache-resident by consume time (see PrefetchOpts.Pending): the
+	// result carries no data and no I/O happened — the consumer must
+	// resolve it from the cache or load it inline.
+	Deferred bool
 
 	sc *Scratch
 	pf *Prefetcher
@@ -139,9 +153,9 @@ func (r *PrefetchResult) AdoptCached(blk *CachedBlock) {
 func (r *PrefetchResult) DataBytes() int64 { return r.dataBytes() }
 
 // dataBytes estimates the loaded payload size, for unused-prefetch
-// accounting. Cache hits cost no I/O and count zero.
+// accounting. Cache hits and deferred loads cost no I/O and count zero.
 func (r *PrefetchResult) dataBytes() int64 {
-	if r.Cached || r.Err != nil {
+	if r.Cached || r.Deferred || r.Err != nil {
 		return 0
 	}
 	return (&CachedBlock{Payload: r.Payload, ByteIdx: r.ByteIdx, Recs: r.Recs, RecIdx: r.RecIdx}).Bytes()
@@ -165,6 +179,7 @@ func (d *DualStore) NewPrefetcherOpts(schedule []BlockKey, opts PrefetchOpts) *P
 		cache:   opts.Cache,
 		depth:   opts.Depth,
 		quiet:   opts.Quiet,
+		pending: opts.Pending,
 		reqs:    make([]*prefetchReq, len(schedule)),
 		byKey:   make(map[BlockKey]*prefetchReq, len(schedule)),
 		quit:    make(chan struct{}),
@@ -271,6 +286,11 @@ func (p *Prefetcher) load(key BlockKey) *PrefetchResult {
 				Recs: blk.Recs, RecIdx: blk.RecIdx,
 			}
 		}
+	}
+	if p.pending != nil && p.pending(key) {
+		// Expected resident by consume time: skip the read, let the
+		// consumer resolve it against the cache then.
+		return &PrefetchResult{Key: key, Deferred: true, pf: p}
 	}
 	sc := GetScratch()
 	res := &PrefetchResult{Key: key, sc: sc, pf: p}

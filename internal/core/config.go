@@ -111,17 +111,20 @@ type Config struct {
 	// least-recently-used blocks. Hit/miss/evict counts land in
 	// IterStats and Result.Cache.
 	CacheBudgetBytes int64
-	// PipelineIters enables cross-iteration read pipelining: once an
-	// iteration's own reads are all in flight, the scheduler starts
-	// speculatively reading the next iteration's provisional plan (the
-	// full column scan after a dense COP iteration, the rows already
-	// activated in a growing monotone frontier after ROP) so the device
-	// stays busy through the barrier. Speculation the final plan diverges
-	// from is invalidated and counted as unused read-ahead; consumed
-	// speculation is attributed — I/O and cache statistics both — to the
-	// iteration that consumes it. 0 disables; any positive value
-	// currently means one iteration of lookahead. Requires PrefetchDepth
-	// (defaulted to 2 when unset).
+	// PipelineIters enables cross-iteration read pipelining and sets its
+	// depth k: once an iteration's own reads are all in flight, the
+	// scheduler speculatively reads provisional plans for the next k
+	// iterations (the full column scan after a dense COP iteration, the
+	// rows already activated in a growing monotone frontier after ROP, the
+	// value-delta prediction for additive/incremental programs) so the
+	// device stays busy through the barriers. Up to k speculative batches
+	// wait parked at the barrier; each is adopted by the iteration it
+	// targeted. Speculation the final plan diverges from is invalidated
+	// and counted as unused read-ahead; consumed speculation is
+	// attributed — I/O and cache statistics both — to the iteration that
+	// consumes it, with IterStats.SpecDepth recording how many barriers
+	// early it was issued. 0 disables. Requires PrefetchDepth (defaulted
+	// to 2 when unset).
 	PipelineIters int
 	// CacheAdmission names the block-cache insert policy under eviction
 	// pressure: "tinylfu" (default — frequency-gated admission protecting

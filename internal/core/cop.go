@@ -142,15 +142,29 @@ func (e *Engine) runCOP(prog Program, s, d []float64, frontier, next *bitset.Fro
 				}
 			}
 		case Additive:
+			var sumD, maxD float64
+			var activated int64
 			for v := lo; v < hi; v++ {
 				newVal, activate := prog.Apply(graph.VertexID(v), s[v], d[v])
-				if delta := math.Abs(newVal - s[v]); delta > maxDelta {
-					maxDelta = delta
+				delta := math.Abs(newVal - s[v])
+				sumD += delta
+				if delta > maxD {
+					maxD = delta
 				}
 				s[v] = newVal
 				if activate {
 					next.Add(v)
+					activated++
 				}
+			}
+			if maxD > maxDelta {
+				maxDelta = maxD
+			}
+			if e.vd != nil {
+				// Publish this interval's deltas while later columns still
+				// stream: the speculation gate predicts the next frontier
+				// from them (valuedelta.go).
+				e.vd.noteInterval(i, sumD, maxD, activated)
 			}
 		case Incremental:
 			// Values synchronized after all columns.
@@ -160,14 +174,31 @@ func (e *Engine) runCOP(prog Program, s, d []float64, frontier, next *bitset.Fro
 		}
 	}
 	if prog.Kind() == Incremental {
-		for v := 0; v < l.NumVertices; v++ {
-			newVal, activate := prog.Apply(graph.VertexID(v), s[v], d[v])
-			if delta := math.Abs(newVal - s[v]); delta > maxDelta {
-				maxDelta = delta
+		// Interval by interval so the delta tracker sees per-interval
+		// totals; the gate mostly reads them through next iteration's prev
+		// mirror (this finalization runs after this window's gate fired).
+		for i := 0; i < l.P; i++ {
+			lo, hi := l.Bounds(i)
+			var sumD, maxD float64
+			var activated int64
+			for v := lo; v < hi; v++ {
+				newVal, activate := prog.Apply(graph.VertexID(v), s[v], d[v])
+				delta := math.Abs(newVal - s[v])
+				sumD += delta
+				if delta > maxD {
+					maxD = delta
+				}
+				s[v] = newVal
+				if activate {
+					next.Add(v)
+					activated++
+				}
 			}
-			s[v] = newVal
-			if activate {
-				next.Add(v)
+			if maxD > maxDelta {
+				maxDelta = maxD
+			}
+			if e.vd != nil {
+				e.vd.noteInterval(i, sumD, maxD, activated)
 			}
 		}
 	}

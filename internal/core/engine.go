@@ -37,11 +37,17 @@ type Engine struct {
 	// including the speculative reads that cross the iteration barrier
 	// when Config.PipelineIters is set.
 	sched *ioplan.Scheduler
-	// lastSpecIssued and lastSlack carry the overlap-credit inputs across
-	// one barrier: how much speculative device time the previous window
-	// issued, and how much idle compute tail it had to hide that I/O in.
-	lastSpecIssued time.Duration
-	lastSlack      time.Duration
+	// slackAvail is the overlap-credit slack pool: one entry per completed
+	// iteration holding its still-unclaimed idle compute tail
+	// (ComputeModeled − IOTime when positive). A batch adopted at depth d
+	// ran behind the last d iterations' compute, so it may hide its I/O in
+	// their pooled slack; claimed slack is consumed so overlapping windows
+	// never hide two batches behind the same idle time.
+	slackAvail []time.Duration
+	// vd tracks per-interval value deltas for non-monotone programs so the
+	// speculation gate can predict the coming frontier (valuedelta.go);
+	// nil when pipelining is off.
+	vd *deltaTracker
 
 	// ckptSlot is the next checkpoint generation slot (0 or 1) to write;
 	// loadCheckpoint points it away from the generation it resumed from.
@@ -81,6 +87,9 @@ func New(ds *blockstore.DualStore, cfg Config) *Engine {
 		Depth:         e.cfg.PrefetchDepth,
 		PipelineIters: e.cfg.PipelineIters,
 	})
+	if e.cfg.PipelineIters > 0 {
+		e.vd = newDeltaTracker(ds.Layout.P)
+	}
 	return e
 }
 
@@ -129,7 +138,7 @@ func (e *Engine) RunContext(ctx context.Context, prog Program) (*Result, error) 
 	}
 
 	dev := e.ds.Device()
-	e.lastSpecIssued, e.lastSlack = 0, 0
+	e.slackAvail = e.slackAvail[:0]
 	// Speculation parked at the barrier when the run ends (converged,
 	// cancelled, or failed) has no iteration left to adopt it; its device
 	// charges land in the device totals but no iteration's IO, and its
@@ -168,6 +177,12 @@ func (e *Engine) RunContext(ctx context.Context, prog Program) (*Result, error) 
 		st := IterStats{Iter: iter, ActiveVertices: frontier.Count()}
 		st.ActiveEdges = e.activeOutEdges(frontier)
 		st.Model = e.chooseModel(frontier, &st)
+		if e.vd != nil {
+			// Safe here: the previous window's gate goroutine is gone
+			// (Finish waited for it), so nothing reads the tracker while
+			// the completed iteration's deltas rotate into the prev mirror.
+			e.vd.rotate()
+		}
 
 		next := bitset.NewFrontier(n)
 		var plan []blockstore.BlockKey
@@ -207,28 +222,53 @@ func (e *Engine) RunContext(ctx context.Context, prog Program) (*Result, error) 
 		st.IOTime = st.IO.SimIO
 		st.SpecReadBytes = ws.SpecIO.ReadBytes()
 		st.SpecIOTime = ws.SpecIO.SimIO
+		st.SpecDepth = ws.SpecDepth
 		st.PrefetchStall = ws.Stall
-		// Overlap credit: the consumed speculation already ran behind the
-		// previous iteration's compute tail, so up to min(issued, idle
-		// tail) of this iteration's I/O time is hidden.
-		credit := e.lastSpecIssued
-		if e.lastSlack < credit {
-			credit = e.lastSlack
-		}
-		if st.IOTime < credit {
-			credit = st.IOTime
+		// Overlap credit: a batch adopted at depth d ran behind the last d
+		// iterations' compute, so up to min(its device time, their pooled
+		// idle tails) of this iteration's I/O time is already hidden.
+		// Claimed slack is consumed oldest-first so chained windows never
+		// hide two batches behind the same idle time.
+		var credit time.Duration
+		if d := ws.SpecDepth; d > 0 && ws.SpecIO.SimIO > 0 {
+			if d > len(e.slackAvail) {
+				d = len(e.slackAvail)
+			}
+			pool := e.slackAvail[len(e.slackAvail)-d:]
+			var hideable time.Duration
+			for _, sl := range pool {
+				hideable += sl
+			}
+			credit = ws.SpecIO.SimIO
+			if hideable < credit {
+				credit = hideable
+			}
+			if st.IOTime < credit {
+				credit = st.IOTime
+			}
+			rem := credit
+			for k := range pool {
+				take := pool[k]
+				if take > rem {
+					take = rem
+				}
+				pool[k] -= take
+				rem -= take
+				if rem == 0 {
+					break
+				}
+			}
 		}
 		st.OverlapCredit = credit
 		st.Runtime = st.IOTime - credit
 		if st.ComputeModeled > st.Runtime {
 			st.Runtime = st.ComputeModeled
 		}
-		e.lastSpecIssued = specIssued.SimIO
-		if slack := st.ComputeModeled - st.IOTime; slack > 0 {
-			e.lastSlack = slack
-		} else {
-			e.lastSlack = 0
+		slack := st.ComputeModeled - st.IOTime
+		if slack < 0 {
+			slack = 0
 		}
+		e.slackAvail = append(e.slackAvail, slack)
 		st.MaxDelta = maxDelta
 		st.Retries = e.ds.Retries() - retriesBefore
 		st.PrefetchUnusedBytes = e.prefetchUnused.Load() - unusedBefore
@@ -258,9 +298,18 @@ func (e *Engine) RunContext(ctx context.Context, prog Program) (*Result, error) 
 		res.Converged = true
 	}
 	// Retire any speculation the converged run left at the barrier before
-	// snapshotting totals (the deferred Shutdown then no-ops).
-	_, orphanUnused := e.sched.Shutdown()
+	// snapshotting totals (the deferred Shutdown then no-ops). A run that
+	// converges exactly at a window boundary leaves batches no iteration
+	// adopts; their device charges were subtracted from the issuing
+	// iterations' IO, so fold them into the last iteration's speculative
+	// counters or the Result totals silently under-report the run's reads.
+	orphanIO, orphanUnused := e.sched.Shutdown()
 	e.prefetchUnused.Add(orphanUnused)
+	if n := len(res.Iterations); n > 0 && orphanIO != (storage.Stats{}) {
+		last := &res.Iterations[n-1]
+		last.SpecReadBytes += orphanIO.ReadBytes()
+		last.SpecIOTime += orphanIO.SimIO
+	}
 	res.Values = s
 	res.Recovery.Retries = e.ds.Retries() - startRetries
 	if e.cache != nil {
@@ -288,19 +337,24 @@ func (e *Engine) copSkipFunc(frontier *bitset.Frontier) func(int) bool {
 	}
 }
 
-// provisionalPlan returns the next iteration's provisional read plan
-// generator for cross-barrier speculation, or nil when this barrier cannot
-// be speculated safely:
+// provisionalPlan returns the provisional read-plan generator for
+// cross-barrier speculation — called with depth 1..k for the coming
+// iterations — or nil when this barrier cannot be speculated safely:
 //
 //   - After a dense COP iteration the α shortcut keeps choosing COP, whose
-//     plan is frontier-independent — the provisional plan is exact unless
-//     the frontier collapses below the threshold (then it is invalidated).
+//     plan is frontier-independent — the provisional plan is exact at every
+//     depth unless the frontier collapses below the threshold (then it is
+//     invalidated).
 //   - After a monotone ROP iteration the next frontier only grows, so rows
 //     already active when the gate fires are certainly in the final plan;
-//     the closure probes the frontier being built with atomic reads.
-//   - Everything else (additive finalization rebuilding the frontier after
-//     the gate, forced models contradicting the speculated one, COP block
-//     skipping making the plan frontier-dependent) speculates nothing.
+//     the closure probes the frontier being built with atomic reads. Only
+//     depth 1 — the frontier after next does not exist to probe.
+//   - Non-monotone programs rebuild their frontier in finalization, after
+//     the gate fires; the value-delta heuristic (valuedelta.go) predicts
+//     it from the per-interval delta magnitudes instead of declining.
+//   - Everything else (forced models contradicting the speculated one, COP
+//     block skipping making the plan frontier-dependent) speculates
+//     nothing.
 func (e *Engine) provisionalPlan(prog Program, model Model, frontier, next *bitset.Frontier) ioplan.ProvisionalFunc {
 	if e.cfg.PipelineIters <= 0 {
 		return nil
@@ -312,15 +366,24 @@ func (e *Engine) provisionalPlan(prog Program, model Model, frontier, next *bits
 			return nil
 		}
 		if e.cfg.Model != ModelCOP && float64(frontier.Count()) <= e.cfg.Alpha*float64(l.NumVertices) {
-			return nil
+			// Below the α shortcut the next model is prediction-dependent;
+			// for non-monotone programs the value deltas still say which
+			// way it will go.
+			return e.valueDeltaProvisional(prog)
 		}
 		plan := ioplan.COPKeys(l, nil)
-		return func() []blockstore.BlockKey { return plan }
+		return func(int) []blockstore.BlockKey { return plan }
 	case ModelROP:
-		if prog.Kind() != Monotone || e.cfg.Model == ModelCOP {
+		if e.cfg.Model == ModelCOP {
 			return nil
 		}
-		return func() []blockstore.BlockKey {
+		if prog.Kind() != Monotone {
+			return e.valueDeltaProvisional(prog)
+		}
+		return func(depth int) []blockstore.BlockKey {
+			if depth > 1 {
+				return nil // no frontier to probe two barriers out
+			}
 			plan := make([]blockstore.BlockKey, 0, l.P*l.P)
 			for i := 0; i < l.P; i++ {
 				lo, hi := l.Bounds(i)

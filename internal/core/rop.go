@@ -177,16 +177,31 @@ func (e *Engine) runROP(prog Program, s, d []float64, frontier, next *bitset.Fro
 		return 0, nil
 	}
 	// Additive/Incremental finalization: apply and synchronize once,
-	// synchronously.
+	// synchronously — interval by interval so the delta tracker sees
+	// per-interval totals for next-frontier speculation (valuedelta.go).
 	var maxDelta float64
-	for v := 0; v < l.NumVertices; v++ {
-		newVal, activate := prog.Apply(graph.VertexID(v), s[v], d[v])
-		if delta := math.Abs(newVal - s[v]); delta > maxDelta {
-			maxDelta = delta
+	for i := 0; i < l.P; i++ {
+		lo, hi := l.Bounds(i)
+		var sumD, maxD float64
+		var activated int64
+		for v := lo; v < hi; v++ {
+			newVal, activate := prog.Apply(graph.VertexID(v), s[v], d[v])
+			delta := math.Abs(newVal - s[v])
+			sumD += delta
+			if delta > maxD {
+				maxD = delta
+			}
+			s[v] = newVal
+			if activate {
+				next.Add(v)
+				activated++
+			}
 		}
-		s[v] = newVal
-		if activate {
-			next.Add(v)
+		if maxD > maxDelta {
+			maxDelta = maxD
+		}
+		if e.vd != nil {
+			e.vd.noteInterval(i, sumD, maxD, activated)
 		}
 	}
 	if !e.cfg.SemiExternal {

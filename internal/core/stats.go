@@ -59,14 +59,24 @@ type IterStats struct {
 	// the pipelines failed to hide.
 	PrefetchStall time.Duration
 	// SpecReadBytes and SpecIOTime describe the speculative reads issued
-	// across the previous iteration barrier and consumed here; both are
+	// across an earlier iteration barrier and consumed here; both are
 	// attributed to this iteration (IO includes them), not the iteration
-	// that issued them.
+	// that issued them. When a run converges leaving speculation parked at
+	// the barrier, the orphan batches' reads are folded into the final
+	// iteration's SpecReadBytes/SpecIOTime (but not its IO — nothing
+	// consumed them) so the Result totals account for every speculative
+	// read the run issued.
 	SpecReadBytes int64
 	SpecIOTime    time.Duration
+	// SpecDepth is how many iteration barriers ahead the consumed
+	// speculative batch was issued (1 = speculated during the immediately
+	// preceding iteration, up to Config.PipelineIters; 0 when no batch was
+	// adopted this iteration).
+	SpecDepth int
 	// OverlapCredit is the portion of IOTime already hidden behind the
-	// previous iteration's idle compute tail by cross-iteration
-	// pipelining; Runtime is max(IOTime − OverlapCredit, ComputeModeled).
+	// idle compute tails of the SpecDepth iterations the consumed batch
+	// ran behind; Runtime is max(IOTime − OverlapCredit, ComputeModeled).
+	// Each iteration's idle tail is claimed at most once across the run.
 	OverlapCredit time.Duration
 }
 
@@ -163,6 +173,27 @@ func (r *Result) TotalComputeModeled() time.Duration {
 	var t time.Duration
 	for _, it := range r.Iterations {
 		t += it.ComputeModeled
+	}
+	return t
+}
+
+// TotalSpecReadBytes returns the summed speculative read bytes consumed
+// across iterations (including orphan speculation folded into the final
+// iteration).
+func (r *Result) TotalSpecReadBytes() int64 {
+	var t int64
+	for _, it := range r.Iterations {
+		t += it.SpecReadBytes
+	}
+	return t
+}
+
+// TotalOverlapCredit returns the summed I/O time hidden behind earlier
+// iterations' compute by cross-iteration pipelining.
+func (r *Result) TotalOverlapCredit() time.Duration {
+	var t time.Duration
+	for _, it := range r.Iterations {
+		t += it.OverlapCredit
 	}
 	return t
 }

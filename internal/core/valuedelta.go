@@ -1,0 +1,177 @@
+package core
+
+import (
+	"math"
+	"sync/atomic"
+
+	"husgraph/internal/blockstore"
+	"husgraph/internal/ioplan"
+)
+
+// deltaTracker accumulates per-interval value-delta statistics while an
+// iteration of a non-monotone (Additive/Incremental) program runs, so the
+// speculation gate can predict the coming iteration's frontier shape from
+// the values actually being produced instead of declining outright.
+//
+// Concurrency contract: the engine goroutine is the only writer — each
+// interval's finalization publishes its totals exactly once per iteration
+// via noteInterval, and rotate runs between iterations when no gate
+// goroutine is alive (Finish waits for it). The gate goroutine reads
+// concurrently with later intervals' writes; the per-interval done flag is
+// the release/acquire edge, so estimate only ever observes fully-published
+// intervals and falls back to the previous iteration's (immutable) mirror
+// for the rest.
+type deltaTracker struct {
+	p    int
+	live []intervalDelta
+	prev []intervalPrev
+	// prevValid reports that the previous iteration published every
+	// interval (a full non-monotone sweep, not a fresh run or an early
+	// abort), making prev usable as a fallback.
+	prevValid bool
+}
+
+// intervalDelta is one interval's live accumulator; float64s travel as
+// bits so the gate can read them atomically.
+type intervalDelta struct {
+	done    atomic.Bool
+	active  atomic.Int64
+	maxBits atomic.Uint64
+	sumBits atomic.Uint64
+}
+
+// intervalPrev mirrors the previous iteration's published values; written
+// only by rotate, read only by the gate, never concurrently.
+type intervalPrev struct {
+	active   int64
+	maxDelta float64
+	sumDelta float64
+}
+
+func newDeltaTracker(p int) *deltaTracker {
+	return &deltaTracker{
+		p:    p,
+		live: make([]intervalDelta, p),
+		prev: make([]intervalPrev, p),
+	}
+}
+
+// noteInterval publishes interval i's finalization totals for the running
+// iteration: the summed and largest |new − old| value change and how many
+// of its vertices activated for the next frontier.
+func (t *deltaTracker) noteInterval(i int, sum, max float64, active int64) {
+	d := &t.live[i]
+	d.active.Store(active)
+	d.maxBits.Store(math.Float64bits(max))
+	d.sumBits.Store(math.Float64bits(sum))
+	d.done.Store(true)
+}
+
+// rotate moves the completed iteration's live values into the prev mirror
+// and resets the live accumulators. Call between iterations, with no gate
+// goroutine running.
+func (t *deltaTracker) rotate() {
+	all := true
+	for i := range t.live {
+		d := &t.live[i]
+		if d.done.Load() {
+			t.prev[i] = intervalPrev{
+				active:   d.active.Load(),
+				maxDelta: math.Float64frombits(d.maxBits.Load()),
+				sumDelta: math.Float64frombits(d.sumBits.Load()),
+			}
+		} else {
+			all = false
+		}
+		d.done.Store(false)
+		d.active.Store(0)
+		d.maxBits.Store(0)
+		d.sumBits.Store(0)
+	}
+	t.prevValid = all
+}
+
+// deltaEstimate is the gate's view of the coming frontier: per-interval
+// activity plus global totals.
+type deltaEstimate struct {
+	active   int64   // predicted next-frontier size
+	maxDelta float64 // predicted largest per-vertex change
+	rows     []bool  // rows (source intervals) predicted active
+}
+
+// estimate predicts the next iteration's frontier from whatever intervals
+// the running iteration has already finalized, falling back to the
+// previous iteration's totals for the rest. It declines (ok=false) when
+// neither is available for some interval — the first iteration of a run,
+// before any interval finalizes.
+func (t *deltaTracker) estimate() (deltaEstimate, bool) {
+	est := deltaEstimate{rows: make([]bool, t.p)}
+	for i := range t.live {
+		var active int64
+		var max float64
+		if t.live[i].done.Load() {
+			active = t.live[i].active.Load()
+			max = math.Float64frombits(t.live[i].maxBits.Load())
+		} else if t.prevValid {
+			active = t.prev[i].active
+			max = t.prev[i].maxDelta
+		} else {
+			return deltaEstimate{}, false
+		}
+		est.active += active
+		if max > est.maxDelta {
+			est.maxDelta = max
+		}
+		est.rows[i] = active > 0
+	}
+	return est, true
+}
+
+// valueDeltaProvisional is the speculation generator for non-monotone
+// programs, whose next frontier is only known after finalization rebuilds
+// it: predict it from the value deltas instead (ISSUE 5's value-delta
+// heuristic). Broad predicted activity means the α shortcut will choose
+// the dense, frontier-independent COP scan; a sparse residual frontier
+// means a ROP row plan over the intervals still moving. A predicted
+// below-tolerance iteration declines — the run is about to converge and
+// speculation would only produce an orphan batch. Divergence costs nothing
+// correctness-wise: the next Begin invalidates non-overlapping keys
+// exactly as for every other provisional plan.
+func (e *Engine) valueDeltaProvisional(prog Program) ioplan.ProvisionalFunc {
+	if e.vd == nil || prog.Kind() == Monotone {
+		return nil
+	}
+	l := e.ds.Layout
+	return func(depth int) []blockstore.BlockKey {
+		if depth > 1 {
+			// Value predictions are one barrier fresh: depth 2 would need
+			// iteration i+1's deltas, which do not exist yet.
+			return nil
+		}
+		est, ok := e.vd.estimate()
+		if !ok || est.active == 0 {
+			return nil
+		}
+		if e.cfg.Tolerance > 0 && est.maxDelta < e.cfg.Tolerance {
+			return nil // converging: the next iteration will not run
+		}
+		if e.cfg.Model != ModelROP && float64(est.active) > e.cfg.Alpha*float64(l.NumVertices) {
+			// Broad deltas: the α shortcut will pick the dense COP scan.
+			return ioplan.COPKeys(l, nil)
+		}
+		// Sparse residual frontier: a ROP row plan over the intervals whose
+		// values are still moving.
+		plan := make([]blockstore.BlockKey, 0, l.P*l.P)
+		for i := 0; i < l.P; i++ {
+			if !est.rows[i] {
+				continue
+			}
+			for j := 0; j < l.P; j++ {
+				if e.ds.BlockEdgeCount[i][j] != 0 {
+					plan = append(plan, blockstore.BlockKey{Kind: blockstore.KindOutIndex, I: i, J: j})
+				}
+			}
+		}
+		return plan
+	}
+}

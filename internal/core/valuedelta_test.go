@@ -1,0 +1,135 @@
+package core
+
+import (
+	"testing"
+
+	"husgraph/internal/blockstore"
+	"husgraph/internal/ioplan"
+	"husgraph/internal/storage"
+)
+
+func TestDeltaTrackerLifecycle(t *testing.T) {
+	vd := newDeltaTracker(3)
+
+	// A fresh tracker has no published intervals and no previous
+	// iteration: it must decline rather than guess.
+	if _, ok := vd.estimate(); ok {
+		t.Fatal("fresh tracker produced an estimate")
+	}
+
+	// Partially-published live data with no prev fallback still declines —
+	// an estimate missing intervals would systematically under-predict.
+	vd.noteInterval(0, 5, 2.5, 4)
+	if _, ok := vd.estimate(); ok {
+		t.Fatal("partial live data without a prev mirror produced an estimate")
+	}
+
+	// A full sweep estimates from live data alone.
+	vd.noteInterval(1, 0, 0, 0)
+	vd.noteInterval(2, 1, 1, 2)
+	est, ok := vd.estimate()
+	if !ok {
+		t.Fatal("full live sweep declined")
+	}
+	if est.active != 6 || est.maxDelta != 2.5 {
+		t.Fatalf("live estimate = %+v", est)
+	}
+	if !est.rows[0] || est.rows[1] || !est.rows[2] {
+		t.Fatalf("live rows = %v", est.rows)
+	}
+
+	// rotate moves live into prev; the next iteration's early gate (no
+	// intervals finalized yet) estimates from the mirror.
+	vd.rotate()
+	est, ok = vd.estimate()
+	if !ok || est.active != 6 || est.maxDelta != 2.5 {
+		t.Fatalf("prev-mirror estimate = %+v ok=%v", est, ok)
+	}
+
+	// Fresh live data shadows the mirror per interval as it lands.
+	vd.noteInterval(0, 0, 0, 0) // interval 0 went quiet this iteration
+	est, ok = vd.estimate()
+	if !ok || est.active != 2 || est.rows[0] {
+		t.Fatalf("mixed estimate = %+v ok=%v", est, ok)
+	}
+
+	// rotating after an incomplete sweep (e.g. a monotone iteration that
+	// never finalizes intervals) invalidates the mirror.
+	vd.rotate()
+	if _, ok := vd.estimate(); ok {
+		t.Fatal("mirror survived an incomplete sweep")
+	}
+}
+
+func TestValueDeltaProvisionalShapes(t *testing.T) {
+	g := prefetchTestGraph()
+	ds := buildStore(t, g, 4, storage.HDD)
+
+	mk := func(cfg Config) *Engine {
+		cfg.PrefetchDepth = 2
+		cfg.PipelineIters = 2
+		return New(ds, cfg)
+	}
+
+	// Monotone programs use frontier probes, never value deltas.
+	if e := mk(Config{}); e.valueDeltaProvisional(testBFS{}) != nil {
+		t.Fatal("monotone program got a value-delta provisional")
+	}
+
+	// Broad deltas predict the dense COP scan the α shortcut will choose.
+	e := mk(Config{})
+	for i := 0; i < ds.Layout.P; i++ {
+		vd := e.vd
+		lo, hi := ds.Layout.Bounds(i)
+		vd.noteInterval(i, float64(hi-lo), 1, int64(hi-lo))
+	}
+	pf := e.valueDeltaProvisional(testCount{})
+	if pf == nil {
+		t.Fatal("additive program declined")
+	}
+	dense := pf(1)
+	if want := ioplan.COPKeys(ds.Layout, nil); len(dense) != len(want) {
+		t.Fatalf("broad-delta plan has %d keys, want the dense scan's %d", len(dense), len(want))
+	}
+	// Depth 2 declines: value predictions are one barrier fresh.
+	if got := pf(2); got != nil {
+		t.Fatalf("depth-2 value prediction returned %d keys", len(got))
+	}
+
+	// A sparse residual frontier predicts a ROP row plan over the moving
+	// intervals only.
+	e = mk(Config{})
+	e.vd.noteInterval(0, 3, 0.5, 3)
+	for i := 1; i < ds.Layout.P; i++ {
+		e.vd.noteInterval(i, 0, 0, 0)
+	}
+	sparse := e.valueDeltaProvisional(testCount{})(1)
+	if len(sparse) == 0 {
+		t.Fatal("sparse residual frontier declined")
+	}
+	for _, k := range sparse {
+		if k.Kind != blockstore.KindOutIndex || k.I != 0 {
+			t.Fatalf("sparse plan strayed outside row 0: %+v", k)
+		}
+	}
+
+	// A predicted below-tolerance iteration declines — the run is about to
+	// converge and would only orphan the batch.
+	e = mk(Config{Tolerance: 1.0})
+	e.vd.noteInterval(0, 3, 0.5, 3)
+	for i := 1; i < ds.Layout.P; i++ {
+		e.vd.noteInterval(i, 0, 0, 0)
+	}
+	if got := e.valueDeltaProvisional(testCount{})(1); got != nil {
+		t.Fatalf("converging run still speculated %d keys", len(got))
+	}
+
+	// No predicted activity declines.
+	e = mk(Config{})
+	for i := 0; i < ds.Layout.P; i++ {
+		e.vd.noteInterval(i, 0, 0, 0)
+	}
+	if got := e.valueDeltaProvisional(testCount{})(1); got != nil {
+		t.Fatalf("dead frontier still speculated %d keys", len(got))
+	}
+}

@@ -20,7 +20,7 @@ func TestBenchDatasetSpeedupAndIdentity(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(rep.Entries) != 4 {
+	if len(rep.Entries) != 6 {
 		t.Fatalf("entries: %d", len(rep.Entries))
 	}
 	if !rep.ValuesIdentical {
@@ -48,6 +48,21 @@ func TestBenchDatasetSpeedupAndIdentity(t *testing.T) {
 	// identical bytes and identical modeled time.
 	if pf := rep.Entries[1]; pf.BytesRead != sync.BytesRead || pf.NsPerIter != sync.NsPerIter {
 		t.Fatalf("prefetch-only changed the modeled run: sync %+v prefetch %+v", sync, pf)
+	}
+	// Depth-2 pipelining is still only hiding I/O: no added modeled time,
+	// and a recorded speedup for each depth configuration.
+	if d2 := rep.Entries[4]; d2.NsPerIter > cached.NsPerIter {
+		t.Fatalf("pipeline-depth2 ns/iter %d exceeds prefetch+cache %d", d2.NsPerIter, cached.NsPerIter)
+	}
+	for _, name := range []string{"pipeline-depth2", "pipeline-depth2-nocache"} {
+		if s, ok := rep.SpeedupDepth[name]; !ok || s <= 0 {
+			t.Fatalf("speedup_depth[%s] = %v (present=%v)", name, s, ok)
+		}
+	}
+	// Without a cache every adopted speculative read hits the device, so the
+	// uncached depth-2 run must report the speculation it performed.
+	if nc := rep.Entries[5]; nc.SpecReadBytes == 0 {
+		t.Fatal("pipeline-depth2-nocache recorded no speculative reads")
 	}
 }
 

@@ -37,8 +37,8 @@ func TestCheckBenchTrendCleanOnFreshArtifact(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(trends) != 4 {
-		t.Fatalf("trend rows = %d, want 4 (sync, prefetch, prefetch+cache, pipeline)", len(trends))
+	if len(trends) != 6 {
+		t.Fatalf("trend rows = %d, want 6 (sync, prefetch, prefetch+cache, pipeline, pipeline-depth2, pipeline-depth2-nocache)", len(trends))
 	}
 	for _, tr := range trends {
 		if tr.Regressed {

@@ -113,31 +113,37 @@ func drain(t *testing.T, w *Window) {
 	}
 }
 
-// waitParked polls until the gate goroutine has parked speculation at the
-// barrier. The engine never needs this — an un-parked batch just means the
-// speculation window was missed — but tests need the determinism.
-func waitParked(t *testing.T, s *Scheduler) {
+// waitParkedN polls until the gate goroutines have parked n speculation
+// batches at the barrier. The engine never needs this — an un-parked batch
+// just means the speculation window was missed — but tests need the
+// determinism.
+func waitParkedN(t *testing.T, s *Scheduler, n int) {
 	t.Helper()
 	deadline := time.Now().Add(5 * time.Second)
 	for {
 		s.mu.Lock()
-		parked := s.pending != nil
+		parked := len(s.parked)
 		s.mu.Unlock()
-		if parked {
+		if parked >= n {
 			return
 		}
 		if time.Now().After(deadline) {
-			t.Fatal("speculation never parked at the barrier")
+			t.Fatalf("only %d of %d speculation batches parked at the barrier", parked, n)
 		}
 		time.Sleep(time.Millisecond)
 	}
+}
+
+func waitParked(t *testing.T, s *Scheduler) {
+	t.Helper()
+	waitParkedN(t, s, 1)
 }
 
 func TestSchedulerWithoutPipeliningIgnoresProvisional(t *testing.T) {
 	ds := testStore(t)
 	for _, depth := range []int{0, 2} { // inline and pipelined main path
 		s := NewScheduler(ds, nil, Options{Depth: depth})
-		w := s.Begin(COPKeys(ds.Layout, nil), func() []blockstore.BlockKey {
+		w := s.Begin(COPKeys(ds.Layout, nil), func(int) []blockstore.BlockKey {
 			t.Error("provisional consulted with pipelining off")
 			return nil
 		})
@@ -161,7 +167,7 @@ func TestSchedulerAdoptsSpeculationWithExactAttribution(t *testing.T) {
 	devBefore := ds.Device().Stats()
 
 	plan2 := ROPKeys(ds.Layout, ds.BlockEdgeCount, bitset.FullFrontier(10))
-	w1 := s.Begin(COPKeys(ds.Layout, nil), func() []blockstore.BlockKey { return plan2 })
+	w1 := s.Begin(COPKeys(ds.Layout, nil), func(int) []blockstore.BlockKey { return plan2 })
 	drain(t, w1)
 	waitParked(t, s)
 	if st := s.Finish(w1); st.SpecBatch {
@@ -211,7 +217,7 @@ func TestSchedulerInvalidatesDivergentSpeculation(t *testing.T) {
 	}
 
 	// Speculate the full plan; the "real" next iteration only wants row 0.
-	w1 := s.Begin(COPKeys(ds.Layout, nil), func() []blockstore.BlockKey { return full })
+	w1 := s.Begin(COPKeys(ds.Layout, nil), func(int) []blockstore.BlockKey { return full })
 	drain(t, w1)
 	waitParked(t, s)
 	s.Finish(w1)
@@ -240,7 +246,7 @@ func TestSchedulerShutdownRetiresOrphanSpeculation(t *testing.T) {
 	s := NewScheduler(ds, nil, Options{Depth: 2, PipelineIters: 1})
 
 	plan := COPKeys(ds.Layout, nil)
-	w := s.Begin(plan, func() []blockstore.BlockKey { return plan })
+	w := s.Begin(plan, func(int) []blockstore.BlockKey { return plan })
 	drain(t, w)
 	waitParked(t, s)
 	s.Finish(w)
@@ -261,7 +267,7 @@ func TestSchedulerShutdownRetiresOrphanSpeculation(t *testing.T) {
 func TestSchedulerEmptyProvisionalSkipsSpeculation(t *testing.T) {
 	ds := testStore(t)
 	s := NewScheduler(ds, nil, Options{Depth: 2, PipelineIters: 1})
-	w := s.Begin(COPKeys(ds.Layout, nil), func() []blockstore.BlockKey { return nil })
+	w := s.Begin(COPKeys(ds.Layout, nil), func(int) []blockstore.BlockKey { return nil })
 	drain(t, w)
 	// Wait for the gate to run to completion so a (buggy) parked batch
 	// would be observable before Finish.
@@ -273,4 +279,165 @@ func TestSchedulerEmptyProvisionalSkipsSpeculation(t *testing.T) {
 	if io, unused := s.Shutdown(); io != (storage.Stats{}) || unused != 0 {
 		t.Fatal("empty provisional plan parked a batch")
 	}
+}
+
+func TestSchedulerDepthTwoChainAdoptsPerDepth(t *testing.T) {
+	ds := testStore(t)
+	s := NewScheduler(ds, nil, Options{Depth: 2, PipelineIters: 2})
+
+	plan1 := COPKeys(ds.Layout, nil)
+	plan2 := ROPKeys(ds.Layout, ds.BlockEdgeCount, bitset.FullFrontier(10))
+	plan3 := COPKeys(ds.Layout, func(j int) bool { return j == 0 })
+	w1 := s.Begin(plan1, func(depth int) []blockstore.BlockKey {
+		switch depth {
+		case 1:
+			return plan2
+		case 2:
+			return plan3
+		default:
+			t.Errorf("provisional consulted at depth %d with k=2", depth)
+			return nil
+		}
+	})
+	drain(t, w1)
+	waitParkedN(t, s, 2)
+	if st := s.Finish(w1); st.SpecBatch || st.SpecDepth != 0 {
+		t.Fatalf("window 1 adopted a batch that did not exist at its Begin: %+v", st)
+	}
+
+	// The head of the queue serves the next barrier at depth 1...
+	w2 := s.Begin(plan2, nil)
+	if len(w2.specKeys) != len(plan2) {
+		t.Fatalf("depth-1 batch: adopted %d of %d keys", len(w2.specKeys), len(plan2))
+	}
+	drain(t, w2)
+	st2 := s.Finish(w2)
+	if !st2.SpecBatch || st2.SpecDepth != 1 {
+		t.Fatalf("depth-1 adoption: %+v", st2)
+	}
+	if st2.UnusedBytes != 0 {
+		t.Fatalf("fully-adopted depth-1 batch wasted %d bytes", st2.UnusedBytes)
+	}
+
+	// ...and the deeper batch waits its turn for the barrier after.
+	w3 := s.Begin(plan3, nil)
+	if len(w3.specKeys) != len(plan3) {
+		t.Fatalf("depth-2 batch: adopted %d of %d keys", len(w3.specKeys), len(plan3))
+	}
+	drain(t, w3)
+	st3 := s.Finish(w3)
+	if !st3.SpecBatch || st3.SpecDepth != 2 {
+		t.Fatalf("depth-2 adoption: %+v", st3)
+	}
+	if st3.UnusedBytes != 0 {
+		t.Fatalf("fully-adopted depth-2 batch wasted %d bytes", st3.UnusedBytes)
+	}
+	// Per-depth attribution closes exactly over the shared tap.
+	if got := st2.SpecIO.Add(st3.SpecIO); got != s.SpecIO() {
+		t.Fatalf("per-batch I/O %+v + %+v != spec tap %+v", st2.SpecIO, st3.SpecIO, s.SpecIO())
+	}
+	if io, unused := s.Shutdown(); io != (storage.Stats{}) || unused != 0 {
+		t.Fatal("Shutdown found a batch after the chain fully adopted")
+	}
+}
+
+func TestSchedulerInvalidatesMiddleOfChain(t *testing.T) {
+	ds := testStore(t)
+	s := NewScheduler(ds, nil, Options{Depth: 2, PipelineIters: 2})
+
+	full := ROPKeys(ds.Layout, ds.BlockEdgeCount, bitset.FullFrontier(10))
+	row0 := ROPKeys(ds.Layout, ds.BlockEdgeCount, frontierOf(10, 0))
+	cop := COPKeys(ds.Layout, nil)
+
+	// Chain [full@1, cop@2]; the real i+1 plan only wants row 0, so the
+	// depth-1 batch partially invalidates while the depth-2 batch must
+	// stay parked, unaffected, and fully adopt one barrier later.
+	w1 := s.Begin(cop, func(depth int) []blockstore.BlockKey {
+		if depth == 1 {
+			return full
+		}
+		return cop
+	})
+	drain(t, w1)
+	waitParkedN(t, s, 2)
+	s.Finish(w1)
+
+	w2 := s.Begin(row0, nil)
+	if len(w2.specKeys) != len(row0) {
+		t.Fatalf("adopted %d keys, want the full row0 overlap %d", len(w2.specKeys), len(row0))
+	}
+	drain(t, w2)
+	st2 := s.Finish(w2)
+	if !st2.SpecBatch || st2.SpecDepth != 1 {
+		t.Fatalf("depth-1 adoption: %+v", st2)
+	}
+	if st2.UnusedBytes == 0 {
+		t.Fatal("divergent depth-1 batch reported zero unused bytes")
+	}
+
+	w3 := s.Begin(cop, nil)
+	if len(w3.specKeys) != len(cop) {
+		t.Fatalf("depth-2 batch survived mid-chain invalidation with %d of %d keys", len(w3.specKeys), len(cop))
+	}
+	drain(t, w3)
+	st3 := s.Finish(w3)
+	if !st3.SpecBatch || st3.SpecDepth != 2 || st3.UnusedBytes != 0 {
+		t.Fatalf("depth-2 adoption after mid-chain invalidation: %+v", st3)
+	}
+	if got := st2.SpecIO.Add(st3.SpecIO); got != s.SpecIO() {
+		t.Fatalf("per-batch I/O %+v + %+v != spec tap %+v", st2.SpecIO, st3.SpecIO, s.SpecIO())
+	}
+}
+
+func TestSchedulerShutdownRetiresChainedOrphans(t *testing.T) {
+	ds := testStore(t)
+	s := NewScheduler(ds, nil, Options{Depth: 2, PipelineIters: 2})
+
+	plan := COPKeys(ds.Layout, nil)
+	w := s.Begin(plan, func(int) []blockstore.BlockKey { return plan })
+	drain(t, w)
+	waitParkedN(t, s, 2)
+	s.Finish(w)
+
+	// The run converged mid-chain: both parked batches are orphans.
+	io, unused := s.Shutdown()
+	if io.SeqReadBytes == 0 && io.RandReadBytes == 0 {
+		t.Fatal("orphan chain reported no device I/O")
+	}
+	if unused == 0 {
+		t.Fatal("orphan chain reported no unused bytes")
+	}
+	if io != s.SpecIO() {
+		t.Fatalf("orphan I/O %+v != spec tap %+v", io, s.SpecIO())
+	}
+	if io2, unused2 := s.Shutdown(); io2 != (storage.Stats{}) || unused2 != 0 {
+		t.Fatal("Shutdown is not idempotent")
+	}
+}
+
+func TestSchedulerChainStopsAtFirstDecline(t *testing.T) {
+	ds := testStore(t)
+	s := NewScheduler(ds, nil, Options{Depth: 2, PipelineIters: 3})
+
+	plan := COPKeys(ds.Layout, nil)
+	w := s.Begin(plan, func(depth int) []blockstore.BlockKey {
+		if depth == 2 {
+			return nil // decline: the chain must not probe depth 3
+		}
+		if depth > 2 {
+			t.Errorf("provisional consulted at depth %d past a decline", depth)
+		}
+		return plan
+	})
+	drain(t, w)
+	waitParkedN(t, s, 1)
+	s.Finish(w)
+
+	s.mu.Lock()
+	parked := len(s.parked)
+	s.mu.Unlock()
+	if parked != 1 {
+		t.Fatalf("chain parked %d batches past the declined depth", parked)
+	}
+	s.Shutdown()
 }

@@ -14,21 +14,23 @@ type Options struct {
 	// Depth is the prefetch worker count / read-ahead bound handed to
 	// every pipeline the scheduler creates; <= 0 loads inline.
 	Depth int
-	// PipelineIters > 0 enables cross-iteration speculation: while
-	// iteration i's tail computes, the scheduler starts reading iteration
-	// i+1's provisional plan. Any value > 0 currently means one iteration
-	// of lookahead (deeper speculation would read plans the predictor
-	// cannot yet commit to).
+	// PipelineIters > 0 enables cross-iteration speculation and sets its
+	// depth k: while iteration i's tail computes, the scheduler may read
+	// provisional plans for iterations i+1..i+k, keeping up to k batches
+	// parked at the barrier (the batch targeting i+1 is adopted by the
+	// next Begin; deeper batches wait their turn).
 	PipelineIters int
 }
 
-// ProvisionalFunc produces the next iteration's provisional read plan. It
-// is called on the scheduler's gate goroutine once the current iteration's
-// own reads are all in flight — so implementations may consult state the
-// current iteration is still building (e.g. the monotone next-frontier via
-// its atomic probes). Returning nil or empty skips speculation for this
-// barrier.
-type ProvisionalFunc func() []blockstore.BlockKey
+// ProvisionalFunc produces a provisional read plan for the iteration
+// `depth` barriers ahead of the current window (depth 1 is the very next
+// iteration). It is called on the scheduler's gate goroutine once the
+// current iteration's own reads are all in flight — so implementations may
+// consult state the current iteration is still building (e.g. the monotone
+// next-frontier via its atomic probes, or the additive value-delta
+// tracker). Returning nil or empty declines speculation at that depth and
+// stops the chain: deeper plans are not requested this barrier.
+type ProvisionalFunc func(depth int) []blockstore.BlockKey
 
 // WindowStats summarizes one iteration window at Finish time.
 type WindowStats struct {
@@ -42,32 +44,41 @@ type WindowStats struct {
 	// (zero when no batch was adopted); SpecBatch reports one existed.
 	SpecIO    storage.Stats
 	SpecBatch bool
+	// SpecDepth is the depth the adopted batch was speculated at: how many
+	// barriers ahead of its issuing window this window was (0 when no
+	// batch was adopted).
+	SpecDepth int
 }
 
 // Scheduler owns the engine's iteration-spanning block I/O. One Scheduler
 // lives for the whole run; each iteration opens a Window over its final
 // read plan, consumes results through it, and Finishes it.
 //
-// Speculative reads are issued through a forked DualStore whose I/O passes
-// a storage.CountingStore tap, so their device charges can be measured
-// separately: the engine subtracts the speculation issued during iteration
-// i from i's device delta and adds the adopted batch's I/O to the
-// iteration that consumes it — keeping per-iteration attribution honest
-// across the barrier. Speculative pipelines run quiet (they neither count
-// cache hits nor insert), and the Window replays the cache interaction at
-// consume time, so cache statistics and contents evolve exactly as if the
-// read had happened in the consuming iteration.
+// Speculative reads are issued through per-batch forked DualStores whose
+// I/O passes per-batch storage.CountingStore taps chained into one shared
+// tap, so each batch's device charges are exact without serializing
+// batches, and the shared tap still measures all speculation live: the
+// engine subtracts the speculation issued during iteration i from i's
+// device delta and adds the adopted batch's I/O to the iteration that
+// consumes it — keeping per-iteration attribution honest across the
+// barrier. Speculative pipelines run quiet (they neither count cache hits
+// nor insert), and the Window replays the cache interaction at consume
+// time, so cache statistics and contents evolve exactly as if the read had
+// happened in the consuming iteration. Batches deeper than 1 defer keys
+// that shallower batches (or the current window's own plan) will have
+// inserted into the cache by their consume time, instead of re-reading
+// them from the device (see blockstore.PrefetchOpts.Pending).
 type Scheduler struct {
 	ds    *blockstore.DualStore
 	cache *blockstore.BlockCache
 	opts  Options
 
-	// tap and spec are non-nil only when pipelining is enabled.
-	tap  *storage.CountingStore
-	spec *blockstore.DualStore
+	// tap is non-nil only when pipelining is enabled; every batch's
+	// per-batch tap forwards to it.
+	tap *storage.CountingStore
 
-	mu      sync.Mutex
-	pending *batch // speculation parked at the barrier, awaiting adoption
+	mu     sync.Mutex
+	parked []*batch // FIFO: parked[0] targets the next Begin, each later batch one barrier deeper
 }
 
 // NewScheduler creates a scheduler over ds. Fork copies the retry policy in
@@ -77,7 +88,6 @@ func NewScheduler(ds *blockstore.DualStore, cache *blockstore.BlockCache, opts O
 	s := &Scheduler{ds: ds, cache: cache, opts: opts}
 	if opts.PipelineIters > 0 && opts.Depth > 0 {
 		s.tap = storage.NewCountingStore(ds.Store())
-		s.spec = ds.Fork(s.tap)
 	}
 	return s
 }
@@ -93,16 +103,15 @@ func (s *Scheduler) SpecIO() storage.Stats {
 	return s.tap.Stats()
 }
 
-// batch is one speculative read pipeline spanning an iteration barrier.
-// Batches are strictly serialized: the gate waits for the previous batch to
-// retire before snapshotting the tap, so [tapStart, retire) windows never
-// overlap and b.io is exactly this batch's device I/O.
+// batch is one speculative read pipeline spanning one or more iteration
+// barriers. Its device I/O flows through its own tap, so b.io is exactly
+// this batch's charges even while sibling batches read concurrently.
 type batch struct {
-	pf       *blockstore.Prefetcher
-	keys     []blockstore.BlockKey
-	keySet   map[blockstore.BlockKey]struct{}
-	tap      *storage.CountingStore
-	tapStart storage.Stats
+	pf     *blockstore.Prefetcher
+	keys   []blockstore.BlockKey
+	keySet map[blockstore.BlockKey]struct{}
+	depth  int // barriers ahead of the launching window (1 = next iteration)
+	tap    *storage.CountingStore
 
 	remaining  atomic.Int64
 	retireOnce sync.Once
@@ -124,9 +133,35 @@ func (b *batch) noteConsumed() {
 func (b *batch) retire() {
 	b.retireOnce.Do(func() {
 		b.pf.Close()
-		b.io = b.tap.Stats().Sub(b.tapStart)
+		b.io = b.tap.Stats()
 		close(b.retired)
 	})
+}
+
+// launch starts one speculative batch over keys at the given depth.
+// pending, when non-nil, marks keys expected to be cache-resident by the
+// batch's consume time (inserted by the current window or a shallower
+// parked batch); those are deferred instead of read.
+func (s *Scheduler) launch(keys []blockstore.BlockKey, depth int, pending func(blockstore.BlockKey) bool) *batch {
+	bTap := storage.NewCountingStore(s.tap)
+	b := &batch{
+		keys:    keys,
+		keySet:  make(map[blockstore.BlockKey]struct{}, len(keys)),
+		depth:   depth,
+		tap:     bTap,
+		retired: make(chan struct{}),
+	}
+	for _, k := range keys {
+		b.keySet[k] = struct{}{}
+	}
+	b.remaining.Store(int64(len(keys)))
+	b.pf = s.ds.Fork(bTap).NewPrefetcherOpts(keys, blockstore.PrefetchOpts{
+		Depth:   s.opts.Depth,
+		Cache:   s.cache,
+		Quiet:   true,
+		Pending: pending,
+	})
+	return b
 }
 
 // Window is one iteration's view of the scheduler: the final read plan,
@@ -151,12 +186,13 @@ type Window struct {
 }
 
 // Begin opens the window for one iteration. plan is the final ordered read
-// plan; provisional, when non-nil, produces the next iteration's
-// provisional plan for cross-barrier speculation. Any speculation parked
-// at the barrier is reconciled now: keys also in plan are adopted (their
-// results served from the speculative pipeline, cache attribution replayed
-// at consume time), the rest are invalidated concurrently and counted as
-// unused bytes.
+// plan; provisional, when non-nil, produces provisional plans for the
+// coming iterations' cross-barrier speculation. The head of the parked
+// speculation queue — the batch launched for exactly this barrier — is
+// reconciled now: keys also in plan are adopted (their results served from
+// the speculative pipeline, cache attribution replayed at consume time),
+// the rest are invalidated concurrently and counted as unused bytes.
+// Deeper parked batches stay parked for the following Begins.
 func (s *Scheduler) Begin(plan []blockstore.BlockKey, provisional ProvisionalFunc) *Window {
 	w := &Window{
 		sched:    s,
@@ -166,8 +202,11 @@ func (s *Scheduler) Begin(plan []blockstore.BlockKey, provisional ProvisionalFun
 		invDone:  make(chan struct{}),
 	}
 	s.mu.Lock()
-	b := s.pending
-	s.pending = nil
+	var b *batch
+	if len(s.parked) > 0 {
+		b = s.parked[0]
+		s.parked = s.parked[1:]
+	}
 	s.mu.Unlock()
 
 	mainSched := plan
@@ -200,7 +239,7 @@ func (s *Scheduler) Begin(plan []blockstore.BlockKey, provisional ProvisionalFun
 
 	w.main = s.ds.NewPrefetcher(mainSched, s.opts.Depth, s.cache)
 
-	if s.spec != nil && provisional != nil && s.opts.Depth > 0 {
+	if s.tap != nil && provisional != nil && s.opts.Depth > 0 {
 		go w.gate(provisional)
 	} else {
 		close(w.gateDone)
@@ -225,55 +264,102 @@ func (w *Window) invalidate(invalid []blockstore.BlockKey) {
 	}
 }
 
-// gate runs on its own goroutine and launches the next barrier's
+// pendingOverlay snapshots the keys a batch launched now may assume will be
+// cache-resident by its consume time: this window's own plan (its pipeline
+// inserts as it loads, its adopted speculation replays inserts at consume)
+// plus every batch already parked ahead in the queue (consumed — and
+// replayed into the cache — strictly before the new batch's target
+// iteration). Returns nil when there is no cache to chain through.
+func (w *Window) pendingOverlay() func(blockstore.BlockKey) bool {
+	s := w.sched
+	if s.cache == nil {
+		return nil
+	}
+	set := make(map[blockstore.BlockKey]struct{}, len(w.plan))
+	for _, k := range w.plan {
+		set[k] = struct{}{}
+	}
+	s.mu.Lock()
+	for _, b := range s.parked {
+		for k := range b.keySet {
+			set[k] = struct{}{}
+		}
+	}
+	s.mu.Unlock()
+	return func(k blockstore.BlockKey) bool {
+		_, ok := set[k]
+		return ok
+	}
+}
+
+// gate runs on its own goroutine and launches the coming barriers'
 // speculation at the right moment: after this window's own reads are all
 // in flight (never competing with them for device time) and after the
-// previous batch has retired (so tap windows are exact). It then asks the
-// engine for the provisional plan and parks the new batch for the next
-// Begin to adopt.
+// previous batch has retired (the current iteration is done re-reading
+// across the barrier). It then refills the parked queue up to depth k,
+// asking the engine for one provisional plan per depth. Each batch's
+// token-bounded pipeline keeps at most Depth of its reads in flight, so
+// chained batches throttle themselves; a parked batch's remaining reads
+// are only claimed as its consumer drains it after adoption. The chain
+// stops at the first declined (empty) plan, keeping the queue contiguous:
+// parked[0] always targets the very next Begin.
+//
+// quit (closed by Finish) only aborts a gate whose preconditions can no
+// longer be met — an errored window that left reads unclaimed or
+// speculative results unconsumed. A normally-finished window has already
+// satisfied both waits, and then the gate completes its launch chain even
+// if Finish is concurrently tearing the window down (Finish waits for it):
+// fast iterations would otherwise lose the race to the barrier every time
+// and speculation would silently never happen.
 func (w *Window) gate(provisional ProvisionalFunc) {
 	defer close(w.gateDone)
 	s := w.sched
 	select {
 	case <-w.main.Drained():
 	case <-w.quit:
-		return
+		// Finishing. Normal completion implies every main read was
+		// claimed; if Drained still hasn't fired the window was aborted.
+		select {
+		case <-w.main.Drained():
+		default:
+			return
+		}
 	}
 	if w.adopted != nil {
 		select {
 		case <-w.adopted.retired:
 		case <-w.quit:
-			return
+			if w.adopted.remaining.Load() > 0 {
+				return // aborted window: speculative results left unconsumed
+			}
+			// The last consumed key already triggered retirement; it
+			// completes momentarily on its own goroutine.
+			<-w.adopted.retired
 		}
 	}
-	select { // don't launch speculation for a window being finished
-	case <-w.quit:
-		return
-	default:
+	// The refill loop is bounded by the queue itself — each pass parks one
+	// more batch, so at most PipelineIters launches happen — and it
+	// deliberately does not watch quit: by this point both preconditions
+	// held, so the window finished normally and its launch chain must
+	// complete even while Finish tears the window down.
+	for depth := s.parkedDepth(); depth <= s.opts.PipelineIters; depth = s.parkedDepth() {
+		keys := provisional(depth)
+		if len(keys) == 0 {
+			return
+		}
+		b := s.launch(keys, depth, w.pendingOverlay())
+		s.mu.Lock()
+		s.parked = append(s.parked, b)
+		s.mu.Unlock()
 	}
-	keys := provisional()
-	if len(keys) == 0 {
-		return
-	}
-	b := &batch{
-		keys:     keys,
-		keySet:   make(map[blockstore.BlockKey]struct{}, len(keys)),
-		tap:      s.tap,
-		tapStart: s.tap.Stats(),
-		retired:  make(chan struct{}),
-	}
-	for _, k := range keys {
-		b.keySet[k] = struct{}{}
-	}
-	b.remaining.Store(int64(len(keys)))
-	b.pf = s.spec.NewPrefetcherOpts(keys, blockstore.PrefetchOpts{
-		Depth: s.opts.Depth,
-		Cache: s.cache,
-		Quiet: true,
-	})
+}
+
+// parkedDepth returns the depth the next launched batch would occupy: one
+// past the end of the parked queue.
+func (s *Scheduler) parkedDepth() int {
 	s.mu.Lock()
-	s.pending = b
-	s.mu.Unlock()
+	defer s.mu.Unlock()
+	return len(s.parked) + 1
 }
 
 // Take returns the result for key, from the adopted speculative batch when
@@ -301,7 +387,10 @@ func (w *Window) Next() *blockstore.PrefetchResult {
 // takeSpec consumes one adopted speculative result and replays the cache
 // interaction the quiet pipeline deferred: the hit/miss is counted — and a
 // loaded block inserted — now, in the iteration consuming the block, not
-// the iteration that issued the read. This is what keeps per-iteration
+// the iteration that issued the read. Deferred results (keys the batch
+// expected a shallower pipeline to insert) are resolved here the same way
+// an unpipelined iteration would: a cache hit when the prediction held, an
+// inline counted load when it did not. This is what keeps per-iteration
 // cache statistics identical with pipelining on and off.
 func (w *Window) takeSpec(key blockstore.BlockKey) *blockstore.PrefetchResult {
 	b := w.adopted
@@ -312,7 +401,31 @@ func (w *Window) takeSpec(key blockstore.BlockKey) *blockstore.PrefetchResult {
 	if res.Err != nil {
 		return res
 	}
-	if cache := w.sched.cache; cache != nil {
+	cache := w.sched.cache
+	if res.Deferred {
+		res.Release()
+		if cache != nil {
+			if blk, ok := cache.GetQuiet(key); ok {
+				cache.NoteHit(key)
+				return &blockstore.PrefetchResult{
+					Key: key, Cached: true,
+					Payload: blk.Payload, ByteIdx: blk.ByteIdx,
+					Recs: blk.Recs, RecIdx: blk.RecIdx,
+				}
+			}
+		}
+		// The prediction missed (evicted, or refused by admission): load
+		// inline with full cache interaction — the device charge, the
+		// counted miss and the insert all land in the consuming iteration,
+		// exactly as an unpipelined run's miss would.
+		t1 := time.Now()
+		ip := w.sched.ds.NewPrefetcher([]blockstore.BlockKey{key}, 0, cache)
+		r := ip.Next()
+		ip.Close()
+		w.specStall.Add(int64(time.Since(t1)))
+		return r
+	}
+	if cache != nil {
 		if res.Cached {
 			cache.NoteHit(key)
 		} else {
@@ -333,8 +446,9 @@ func (w *Window) takeSpec(key blockstore.BlockKey) *blockstore.PrefetchResult {
 
 // Finish closes the window: stops the gate, retires the adopted batch,
 // waits for the invalidator, closes the main pipeline, and returns the
-// window's I/O attribution. Call exactly once per Begin, after the
-// executor is done consuming (on success or error).
+// window's I/O attribution. Deeper batches the gate parked stay parked for
+// the following windows. Call exactly once per Begin, after the executor
+// is done consuming (on success or error).
 func (s *Scheduler) Finish(w *Window) WindowStats {
 	var st WindowStats
 	close(w.quit)
@@ -345,6 +459,7 @@ func (s *Scheduler) Finish(w *Window) WindowStats {
 		<-w.invDone
 		st.SpecIO = b.io
 		st.SpecBatch = true
+		st.SpecDepth = b.depth
 		st.UnusedBytes += b.pf.UnusedBytes()
 	} else {
 		<-w.invDone
@@ -355,19 +470,22 @@ func (s *Scheduler) Finish(w *Window) WindowStats {
 	return st
 }
 
-// Shutdown retires any speculation parked at the barrier with no iteration
-// left to adopt it (the run converged). It returns that orphan batch's
-// device I/O and its loaded-but-unused bytes; both are zero when nothing
-// was pending. Idempotent.
+// Shutdown retires every speculation batch parked at the barrier with no
+// iteration left to adopt it (the run converged mid-chain). It returns the
+// orphan batches' summed device I/O and loaded-but-unused bytes; both are
+// zero when nothing was pending. Idempotent.
 func (s *Scheduler) Shutdown() (storage.Stats, int64) {
 	s.mu.Lock()
-	b := s.pending
-	s.pending = nil
+	orphans := s.parked
+	s.parked = nil
 	s.mu.Unlock()
-	if b == nil {
-		return storage.Stats{}, 0
+	var io storage.Stats
+	var unused int64
+	for _, b := range orphans {
+		b.retire()
+		<-b.retired
+		io = io.Add(b.io)
+		unused += b.pf.UnusedBytes()
 	}
-	b.retire()
-	<-b.retired
-	return b.io, b.pf.UnusedBytes()
+	return io, unused
 }

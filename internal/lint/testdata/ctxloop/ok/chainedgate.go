@@ -1,0 +1,50 @@
+// Fixture: the chained barrier-gate shape — a gate goroutine that races its
+// precondition waits against quit, then refills a batch queue with a loop
+// bounded by the queue's own growth. The refill loop is a `for cond` loop
+// (each pass parks one more batch until the depth cap), so it terminates on
+// its own and needs no abort case; only the unbounded waits before it must
+// select on quit.
+package worker
+
+type chainedGate struct {
+	quit    chan struct{}
+	drained chan struct{}
+	retired chan struct{}
+	depth   int
+	parked  []int
+}
+
+func (g *chainedGate) launch(depth int) int { return depth }
+
+func (g *chainedGate) plan(depth int) []int {
+	if depth > g.depth {
+		return nil
+	}
+	return []int{depth}
+}
+
+// The precondition waits are unbounded, so each races quit; the launch chain
+// after them is bounded by the parked queue reaching the depth cap and runs
+// to completion without consulting quit.
+func (g *chainedGate) refill() {
+	select {
+	case <-g.drained:
+	case <-g.quit:
+		select {
+		case <-g.drained:
+		default:
+			return
+		}
+	}
+	select {
+	case <-g.retired:
+	case <-g.quit:
+		return
+	}
+	for depth := len(g.parked) + 1; depth <= g.depth; depth = len(g.parked) + 1 {
+		if len(g.plan(depth)) == 0 {
+			return
+		}
+		g.parked = append(g.parked, g.launch(depth))
+	}
+}
