@@ -8,8 +8,10 @@
 //	         [-model hybrid|rop|cop] [-device hdd|ssd|nvme|ram] [-threads N] [-p P]
 //	         [-trace] [-stats] [-input edges.txt] [-store DIR]
 //	         [-prefetch DEPTH] [-cache-mb MB] [-pipeline-depth K] [-cache-admission POLICY]
-//	         [-checkpoint N] [-resume] [-retries N] [-retry-backoff D]
-//	         [-fault-transient N] [-fault-bitflip N] [-fault-after N] [-fault-seed S]
+//	         [-checkpoint N] [-resume] [-retries N] [-retry-backoff D] [-retry-jitter J]
+//	         [-read-deadline D] [-hedge] [-degrade] [-degrade-window D] [-degrade-rate R]
+//	         [-fault-transient N] [-fault-bitflip N] [-fault-delay N] [-fault-stall N]
+//	         [-fault-after N] [-fault-seed S]
 //
 // -prefetch enables the asynchronous block-prefetch pipeline (DEPTH worker
 // goroutines reading ahead of the executor); -cache-mb retains decoded hot
@@ -34,11 +36,27 @@
 // only, after the store is built) to demonstrate the durability machinery:
 // -fault-transient faults are ridden out by -retries, while -fault-bitflip
 // corruption is caught by the per-block checksums and fails the run rather
-// than producing wrong values.
+// than producing wrong values. -fault-delay slows reads past -read-deadline
+// so hedged duplicates (and the -degrade ladder) engage, and -fault-stall
+// hangs reads forever — only a hedge completes those.
+//
+// -read-deadline bounds every block/index read attempt: one still pending
+// at the deadline gets a hedged duplicate read, first response wins
+// (-hedge=false keeps the deadline as a latency signal without the
+// duplicate). -degrade arms the adaptive degradation ladder: under
+// sustained fault/latency pressure the run sheds speculation depth, then
+// the pipeline, then prefetch, then cache reads — and re-arms one rung per
+// clear window, always with bit-identical results.
+//
+// Exit codes classify the outcome for wrappers: 0 success, 1 generic
+// failure, 2 transient-fault retry budget exhausted, 3 permanent device
+// error, 4 corrupt data (checksum mismatch), 5 completed correctly but
+// degraded along the way.
 package main
 
 import (
 	"bufio"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -54,13 +72,36 @@ import (
 )
 
 func main() {
-	if err := run(); err != nil {
+	res, err := run()
+	if err != nil {
 		fmt.Fprintf(os.Stderr, "husgraph: %v\n", err)
-		os.Exit(1)
+		os.Exit(exitCode(err))
+	}
+	if res != nil && len(res.Recovery.DegradeEvents) > 0 {
+		// Correct results, but the run shed optimism along the way —
+		// distinguishable for wrappers that watch fleet health.
+		os.Exit(5)
 	}
 }
 
-func run() error {
+// exitCode classifies a run error by fault class: corrupt data beats a
+// permanent device error beats an exhausted transient budget beats
+// anything else. Classification is by errors.Is over the storage
+// taxonomy, never by error text.
+func exitCode(err error) int {
+	switch {
+	case errors.Is(err, storage.ErrCorrupt):
+		return 4
+	case errors.Is(err, storage.ErrPermanent):
+		return 3
+	case errors.Is(err, storage.ErrTransient):
+		return 2
+	default:
+		return 1
+	}
+}
+
+func run() (*core.Result, error) {
 	dataset := flag.String("dataset", "livejournal-sim", "registry dataset name (see husgen -list)")
 	input := flag.String("input", "", "edge-list file to load instead of a registry dataset")
 	algoName := flag.String("algo", "PageRank", "algorithm: PageRank|BFS|WCC|SSSP|PageRank-Delta|KCore|PPR")
@@ -84,8 +125,17 @@ func run() error {
 	stats := flag.Bool("stats", false, "print per-iteration cache and pipeline statistics (hit ratio, stall, speculation; hus only)")
 	retries := flag.Int("retries", 0, "retry reads failing with a transient fault up to N times each, with exponential backoff")
 	retryBackoff := flag.Duration("retry-backoff", 0, "initial backoff before the first read retry (0 = 1ms default)")
+	retryJitter := flag.Float64("retry-jitter", 0, "multiplicative jitter fraction on retry backoff, factor drawn from [1-j, 1+j) (0 = 0.2 default; pass 0 explicitly to disable)")
+	readDeadline := flag.Duration("read-deadline", 0, "per-attempt read deadline; an attempt still pending at the deadline gets a hedged duplicate (0 = unbounded)")
+	hedge := flag.Bool("hedge", true, "issue hedged duplicate reads when -read-deadline expires (false keeps the deadline as a latency signal only)")
+	degrade := flag.Bool("degrade", false, "arm the adaptive degradation ladder: shed speculation, pipelining, prefetch and cache reads under sustained fault/latency pressure, re-arming when it clears")
+	degradeWindow := flag.Duration("degrade-window", 0, "observation window for the degradation circuit breaker (0 = 100ms default)")
+	degradeRate := flag.Float64("degrade-rate", 0, "fault/slow-read fraction within the window that trips one ladder rung (0 = 0.5 default)")
 	faultTransient := flag.Int("fault-transient", 0, "inject N transient read faults (demonstrates -retries)")
 	faultBitflip := flag.Int("fault-bitflip", 0, "inject N single-bit read corruptions (demonstrates checksum detection)")
+	faultDelay := flag.Int("fault-delay", 0, "inject N delayed reads (demonstrates -read-deadline hedging and the -degrade ladder)")
+	faultDelayBy := flag.Duration("fault-delay-by", 5*time.Millisecond, "latency added to each -fault-delay read")
+	faultStall := flag.Int("fault-stall", 0, "inject N reads hung forever (requires -read-deadline with hedging to complete)")
 	faultAfter := flag.Int64("fault-after", 10, "number of healthy reads before injected faults begin")
 	faultSeed := flag.Int64("fault-seed", 1, "seed for the deterministic fault injector")
 	flag.Parse()
@@ -94,33 +144,42 @@ func run() error {
 	flag.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
 	pipeline, err := pipelineConfig(explicit, *pipelineIters, *pipelineDepth, *prefetch, *cacheMB)
 	if err != nil {
-		return err
+		return nil, err
+	}
+	if *faultStall > 0 && (*readDeadline <= 0 || !*hedge) {
+		// A stalled read never returns; without a deadline-armed hedge the
+		// run would hang rather than fail. Reject the combination up front.
+		return nil, fmt.Errorf("-fault-stall requires -read-deadline > 0 with hedging enabled, or the run will hang")
+	}
+	jitter := *retryJitter
+	if explicit["retry-jitter"] && jitter == 0 {
+		jitter = -1 // engine treats 0 as "default"; negative disables
 	}
 
 	prof, err := storage.ProfileByName(*deviceName)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	algo, err := experiments.AlgoByName(*algoName)
 	if err != nil {
-		return err
+		return nil, err
 	}
 
 	var g *graph.Graph
 	if *input != "" {
 		f, err := os.Open(*input)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		defer f.Close()
 		if g, err = graph.ReadEdgeList(f, 0); err != nil {
-			return err
+			return nil, err
 		}
 		fmt.Printf("loaded %s: %d vertices, %d edges\n", *input, g.NumVertices, g.NumEdges())
 	} else {
 		d, err := gen.ByName(*dataset)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		g = d.Build()
 		fmt.Printf("generated %s: %d vertices, %d edges\n", d.Name, g.NumVertices, g.NumEdges())
@@ -133,10 +192,10 @@ func run() error {
 	if sysName == "hus" {
 		model, err := core.ParseModel(*modelName)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		if _, err := blockstore.ParseAdmission(*cacheAdmission); err != nil {
-			return err
+			return nil, err
 		}
 		input := g
 		if algo.Symmetric {
@@ -146,14 +205,14 @@ func run() error {
 		dev := storage.NewDevice(prof)
 		if *storeDir != "" {
 			if st, err = storage.NewFileStore(dev, *storeDir); err != nil {
-				return err
+				return nil, err
 			}
 		} else {
 			st = storage.NewMemStore(dev)
 		}
 		format, err := blockstore.ParseFormat(*formatName)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		partitions := *p
 		if *memBudget > 0 {
@@ -162,9 +221,9 @@ func run() error {
 		}
 		ds, err := blockstore.BuildOpts(st, input, blockstore.Options{P: partitions, Format: format, Weighted: algo.Weighted})
 		if err != nil {
-			return err
+			return nil, err
 		}
-		if *faultTransient > 0 || *faultBitflip > 0 {
+		if *faultTransient > 0 || *faultBitflip > 0 || *faultDelay > 0 || *faultStall > 0 {
 			// Wrap the built store so faults hit the run's reads, not the
 			// preprocessing writes.
 			faults = storage.NewFaultStore(st, *faultSeed)
@@ -174,8 +233,17 @@ func run() error {
 			if *faultBitflip > 0 {
 				faults.Inject(storage.Fault{Op: storage.OpRead, Kind: storage.FaultBitFlip, After: *faultAfter, Count: int64(*faultBitflip)})
 			}
+			if *faultDelay > 0 {
+				faults.Inject(storage.Fault{Op: storage.OpRead, Kind: storage.FaultDelay, After: *faultAfter, Count: int64(*faultDelay), Delay: *faultDelayBy})
+			}
+			if *faultStall > 0 {
+				faults.Inject(storage.Fault{Op: storage.OpRead, Kind: storage.FaultStall, After: *faultAfter, Count: int64(*faultStall)})
+			}
+			// Losing hedge attempts stay parked on the stall gate; unpark
+			// them on the way out so the process exits cleanly.
+			defer faults.ReleaseStalled()
 			if ds, err = blockstore.Open(faults); err != nil {
-				return err
+				return nil, err
 			}
 		}
 		dev.Reset() // exclude preprocessing from the run accounting
@@ -187,13 +255,19 @@ func run() error {
 			Resume:           *resume,
 			ReadRetries:      *retries,
 			RetryBackoff:     *retryBackoff,
+			RetryJitter:      jitter,
+			ReadDeadline:     *readDeadline,
+			NoHedge:          !*hedge,
+			Degrade:          *degrade,
+			DegradeWindow:    *degradeWindow,
+			DegradeRate:      *degradeRate,
 			PrefetchDepth:    *prefetch,
 			CacheBudgetBytes: *cacheMB << 20,
 			PipelineIters:    pipeline,
 			CacheAdmission:   *cacheAdmission,
 		})
 		if res, err = eng.Run(algo.New(g)); err != nil {
-			return err
+			return nil, err
 		}
 	} else {
 		r := experiments.NewRunner(experiments.Options{Threads: *threads, P: *p})
@@ -206,17 +280,17 @@ func run() error {
 		case "xstream":
 			full = "X-Stream"
 		default:
-			return fmt.Errorf("unknown system %q (want hus|graphchi|gridgraph|xstream)", sysName)
+			return nil, fmt.Errorf("unknown system %q (want hus|graphchi|gridgraph|xstream)", sysName)
 		}
 		if *input != "" {
-			return fmt.Errorf("-input currently supports -system hus only")
+			return nil, fmt.Errorf("-input currently supports -system hus only")
 		}
 		d, err := gen.ByName(*dataset)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		if res, err = r.RunBaseline(full, d, algo, prof, *threads); err != nil {
-			return err
+			return nil, err
 		}
 	}
 	wall := time.Since(start)
@@ -237,7 +311,7 @@ func run() error {
 			)
 		}
 		if err := t.Render(os.Stdout); err != nil {
-			return err
+			return nil, err
 		}
 		fmt.Println()
 	}
@@ -248,7 +322,7 @@ func run() error {
 		// I/O actually line up with the iterations the predictor priced
 		// them into.
 		t := report.NewTable("per-iteration cache/pipeline stats",
-			"iter", "model", "cache hits", "misses", "hit %", "stall", "spec MB", "depth", "overlap credit")
+			"iter", "model", "cache hits", "misses", "hit %", "stall", "spec MB", "depth", "overlap credit", "hedges", "level")
 		for _, it := range res.Iterations {
 			hitRate := 0.0
 			if total := it.CacheHits + it.CacheMisses; total > 0 {
@@ -264,10 +338,12 @@ func run() error {
 				report.MB(it.SpecReadBytes),
 				fmt.Sprintf("%d", it.SpecDepth),
 				it.OverlapCredit.Round(time.Microsecond).String(),
+				fmt.Sprintf("%d", it.Hedges),
+				it.DegradeLevel.String(),
 			)
 		}
 		if err := t.Render(os.Stdout); err != nil {
-			return err
+			return nil, err
 		}
 		fmt.Println()
 	}
@@ -275,7 +351,7 @@ func run() error {
 	if *valuesOut != "" {
 		f, err := os.Create(*valuesOut)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		w := bufio.NewWriter(f)
 		for v, val := range res.Values {
@@ -283,10 +359,10 @@ func run() error {
 		}
 		if err := w.Flush(); err != nil {
 			f.Close()
-			return err
+			return nil, err
 		}
 		if err := f.Close(); err != nil {
-			return err
+			return nil, err
 		}
 		fmt.Printf("wrote %d values to %s\n", len(res.Values), *valuesOut)
 	}
@@ -311,15 +387,21 @@ func run() error {
 		fmt.Printf("  pipelining:     depth %d, %s MB speculative reads, %v I/O hidden behind earlier compute\n",
 			pipeline, report.MB(res.TotalSpecReadBytes()), res.TotalOverlapCredit().Round(time.Microsecond))
 	}
-	if *retries > 0 || *checkpointEvery > 0 || *resume {
+	if *retries > 0 || *checkpointEvery > 0 || *resume || *readDeadline > 0 {
 		rec := res.Recovery
-		fmt.Printf("  recovery:       %d read retries, %d checkpoint(s) written, resumed at iteration %d, %d corrupt generation(s) skipped\n",
-			rec.Retries, rec.CheckpointsWritten, rec.ResumedIter, rec.CheckpointFallbacks)
+		fmt.Printf("  recovery:       %d read retries, %d hedged read(s), %d checkpoint(s) written, resumed at iteration %d, %d corrupt generation(s) skipped\n",
+			rec.Retries, rec.Hedges, rec.CheckpointsWritten, rec.ResumedIter, rec.CheckpointFallbacks)
+	}
+	if evs := res.Recovery.DegradeEvents; len(evs) > 0 {
+		fmt.Printf("  degradation:    %d transition(s), worst rung %v\n", len(evs), res.MaxDegradeLevel())
+		for _, ev := range evs {
+			fmt.Printf("    %v\n", ev)
+		}
 	}
 	if faults != nil {
 		fmt.Printf("  injected:       %v\n", faults.Counters())
 	}
-	return nil
+	return res, nil
 }
 
 // pipelineConfig resolves the cross-iteration pipelining depth from its two

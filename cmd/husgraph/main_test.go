@@ -1,9 +1,38 @@
 package main
 
 import (
+	"errors"
+	"fmt"
 	"strings"
 	"testing"
+
+	"husgraph/internal/storage"
 )
+
+// TestExitCode pins the fault-class → exit-code mapping wrappers rely on:
+// classification is by errors.Is over wrapped sentinels, and the most
+// specific class wins when an error chain carries several.
+func TestExitCode(t *testing.T) {
+	cases := []struct {
+		name string
+		err  error
+		want int
+	}{
+		{"generic", errors.New("flag parse"), 1},
+		{"transient wrapped", fmt.Errorf("read ib/0.0: %w", storage.ErrTransient), 2},
+		{"permanent wrapped", fmt.Errorf("device: %w", storage.ErrPermanent), 3},
+		{"corrupt wrapped", fmt.Errorf("block ob/1.2: %w", storage.ErrCorrupt), 4},
+		{"corrupt beats permanent", fmt.Errorf("%w after %w", storage.ErrCorrupt, storage.ErrPermanent), 4},
+		{"permanent beats transient", fmt.Errorf("%w then %w", storage.ErrTransient, storage.ErrPermanent), 3},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := exitCode(tc.err); got != tc.want {
+				t.Fatalf("exitCode(%v) = %d, want %d", tc.err, got, tc.want)
+			}
+		})
+	}
+}
 
 func TestPipelineConfig(t *testing.T) {
 	cases := []struct {

@@ -135,7 +135,7 @@ func decodeMeta(buf []byte) (*DualStore, error) {
 	if len(buf) != want {
 		return fail(fmt.Sprintf("length %d, want %d", len(buf), want))
 	}
-	d := &DualStore{Layout: Layout{NumVertices: n, P: p}, Format: format, Weighted: weighted == 1, retries: new(atomic.Int64)}
+	d := &DualStore{Layout: Layout{NumVertices: n, P: p}, Format: format, Weighted: weighted == 1, retries: new(atomic.Int64), hedges: new(atomic.Int64)}
 	d.OutDegrees = make([]int32, n)
 	d.InDegrees = make([]int32, n)
 	off := 36

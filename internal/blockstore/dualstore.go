@@ -3,6 +3,7 @@ package blockstore
 import (
 	"errors"
 	"fmt"
+	"math/rand"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -24,6 +25,48 @@ type RetryPolicy struct {
 	MaxBackoff time.Duration
 	// Sleep replaces time.Sleep (tests); nil uses time.Sleep.
 	Sleep func(time.Duration)
+	// Jitter scatters each backoff sleep uniformly over
+	// [1-Jitter, 1+Jitter) of its nominal value (clamped to [0,1]), so N
+	// prefetch workers retrying the same fault don't hammer a recovering
+	// device in lockstep. 0 keeps the deterministic doubling sequence.
+	Jitter float64
+	// Rand supplies uniform [0,1) samples for jitter; nil uses a locked
+	// package-level seeded source. Tests inject a deterministic sequence.
+	Rand func() float64
+	// Abort, when non-nil, ends backoff sleeps early once it is closed
+	// (the prefetcher wires its quit channel here): the in-progress sleep
+	// returns immediately and the read resolves with its last error
+	// instead of walking the rest of the ladder. Ignored when Sleep is
+	// injected.
+	Abort <-chan struct{}
+}
+
+// HedgePolicy bounds read-attempt latency. With a Deadline set, every
+// blob/range read attempt that has not completed by the deadline gets a
+// hedged duplicate issued against the same store; the first response wins
+// and the loser's buffer is discarded when it eventually arrives.
+type HedgePolicy struct {
+	// Deadline is the soft per-attempt deadline; 0 disables deadlines and
+	// hedging entirely (reads block until the store answers).
+	Deadline time.Duration
+	// NoHedge keeps the deadline as an observation signal (feeding the
+	// read observer / resilience breaker) but suppresses the duplicate
+	// read — a genuinely hung operation then blocks until the store
+	// completes it.
+	NoHedge bool
+}
+
+// jitterRng is the fallback jitter source when RetryPolicy.Rand is nil,
+// locked because concurrent prefetch workers draw from it.
+var (
+	jitterMu  sync.Mutex
+	jitterRng = rand.New(rand.NewSource(0x68757367))
+)
+
+func jitterFloat() float64 {
+	jitterMu.Lock()
+	defer jitterMu.Unlock()
+	return jitterRng.Float64()
 }
 
 // DualStore is a graph materialized in the dual-block representation on a
@@ -42,6 +85,14 @@ type DualStore struct {
 	// retry accounting covers speculative readers too.
 	retry   RetryPolicy
 	retries *atomic.Int64
+	// hedge is the soft read-deadline / hedged-duplicate policy; hedges
+	// counts duplicate reads actually issued, shared by pointer across
+	// Fork copies like retries. observe, when non-nil, is called once per
+	// resolved read attempt with its wall latency and outcome error — the
+	// resilience breaker's feed.
+	hedge   HedgePolicy
+	hedges  *atomic.Int64
+	observe func(time.Duration, error)
 	// Format is the on-disk record encoding of every block.
 	Format Format
 	// Weighted records carry edge weights; unweighted drop them (decoded
@@ -102,7 +153,7 @@ func BuildOpts(store storage.Store, g *graph.Graph, opts Options) (*DualStore, e
 	}
 	layout := NewLayout(g.NumVertices, opts.P)
 	p := layout.P
-	d := &DualStore{store: store, Layout: layout, Format: format, Weighted: opts.Weighted, framed: !opts.NoChecksums, retries: new(atomic.Int64)}
+	d := &DualStore{store: store, Layout: layout, Format: format, Weighted: opts.Weighted, framed: !opts.NoChecksums, retries: new(atomic.Int64), hedges: new(atomic.Int64)}
 	d.OutDegrees = make([]int32, g.NumVertices)
 	d.InDegrees = make([]int32, g.NumVertices)
 	d.BlockEdgeCount = alloc2D(p)
@@ -240,10 +291,35 @@ func (d *DualStore) Fork(store storage.Store) *DualStore {
 // are in flight.
 func (d *DualStore) SetRetryPolicy(p RetryPolicy) { d.retry = p }
 
+// SetHedgePolicy installs the read-deadline/hedging policy used by every
+// read path. Call before running (and before Fork, which inherits the
+// policy in force); it must not change while loads are in flight.
+func (d *DualStore) SetHedgePolicy(p HedgePolicy) { d.hedge = p }
+
+// SetReadObserver installs fn to be called once per resolved read attempt
+// with its wall latency and outcome error — the feed for a latency/fault
+// circuit breaker. Install before Fork so speculative readers report too;
+// fn must be safe for concurrent use.
+func (d *DualStore) SetReadObserver(fn func(time.Duration, error)) { d.observe = fn }
+
+// WithAbort returns a view of d whose retry-backoff sleeps end early once
+// ch is closed — the prefetcher hands its workers one of these wired to
+// its quit channel so Close isn't delayed by a full backoff ladder. The
+// view shares metadata and counters with d exactly like Fork.
+func (d *DualStore) WithAbort(ch <-chan struct{}) *DualStore {
+	f := *d
+	f.retry.Abort = ch
+	return &f
+}
+
 // Retries returns the cumulative number of retry attempts issued by read
 // paths since the store was created. The engine snapshots it around
 // iterations to attribute retries in IterStats.
 func (d *DualStore) Retries() int64 { return d.retries.Load() }
+
+// Hedges returns the cumulative number of hedged duplicate reads issued
+// since the store was created, shared across Fork copies like Retries.
+func (d *DualStore) Hedges() int64 { return d.hedges.Load() }
 
 // putBlob writes a durable blob, framing it unless the store is legacy.
 func (d *DualStore) putBlob(name string, payload []byte) error {
@@ -253,36 +329,125 @@ func (d *DualStore) putBlob(name string, payload []byte) error {
 	return d.store.Put(name, payload)
 }
 
-// withRetry runs read until it succeeds, fails non-transiently, or the
-// retry budget is exhausted. Each retry sleeps the exponentially grown
-// backoff first.
-func (d *DualStore) withRetry(read func() ([]byte, error)) ([]byte, error) {
-	buf, err := read()
+// withRetry runs attempts of read until one succeeds, fails
+// non-transiently, or the retry budget is exhausted. Each retry sleeps
+// the exponentially grown (optionally jittered) backoff first; a closed
+// Abort channel ends the ladder with the last error. Each attempt is
+// deadline-bounded and hedged per the hedge policy.
+func (d *DualStore) withRetry(buf []byte, read func([]byte) ([]byte, error)) ([]byte, error) {
+	res, err := d.attempt(buf, read)
 	backoff := d.retry.Backoff
 	for attempt := 0; attempt < d.retry.MaxRetries && errors.Is(err, storage.ErrTransient); attempt++ {
 		d.retries.Add(1)
 		if backoff > 0 {
-			sleep := d.retry.Sleep
-			if sleep == nil {
-				sleep = time.Sleep
+			if aborted := d.sleepBackoff(d.jittered(backoff)); aborted {
+				return res, err
 			}
-			sleep(backoff)
 			backoff *= 2
 			if d.retry.MaxBackoff > 0 && backoff > d.retry.MaxBackoff {
 				backoff = d.retry.MaxBackoff
 			}
 		}
-		buf, err = read()
+		res, err = d.attempt(buf, read)
 	}
-	return buf, err
+	return res, err
+}
+
+// jittered scatters one backoff sleep per the policy's Jitter/Rand.
+func (d *DualStore) jittered(backoff time.Duration) time.Duration {
+	j := d.retry.Jitter
+	if j <= 0 {
+		return backoff
+	}
+	if j > 1 {
+		j = 1
+	}
+	r := jitterFloat
+	if d.retry.Rand != nil {
+		r = d.retry.Rand
+	}
+	return time.Duration(float64(backoff) * (1 - j + 2*j*r()))
+}
+
+// sleepBackoff sleeps dur, returning early (aborted=true) if the policy's
+// Abort channel closes first.
+func (d *DualStore) sleepBackoff(dur time.Duration) (aborted bool) {
+	if d.retry.Sleep != nil {
+		d.retry.Sleep(dur)
+		return false
+	}
+	if d.retry.Abort == nil {
+		time.Sleep(dur)
+		return false
+	}
+	t := time.NewTimer(dur)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return false
+	case <-d.retry.Abort:
+		return true
+	}
+}
+
+// attempt performs one read attempt, applying the hedge policy. Without a
+// deadline the read runs inline into buf. With a deadline, every attempt
+// reads into a fresh buffer on its own goroutine so a late-arriving loser
+// can never scribble over a buffer the winner's caller now owns; on
+// deadline expiry a duplicate read races the original, first response
+// wins. Result channels are buffered for both attempts, so losers finish
+// their send and exit instead of leaking.
+func (d *DualStore) attempt(buf []byte, read func([]byte) ([]byte, error)) ([]byte, error) {
+	deadline := d.hedge.Deadline
+	if deadline <= 0 {
+		if d.observe == nil {
+			return read(buf)
+		}
+		start := time.Now()
+		b, err := read(buf)
+		d.observe(time.Since(start), err)
+		return b, err
+	}
+	start := time.Now()
+	type outcome struct {
+		b   []byte
+		err error
+	}
+	ch := make(chan outcome, 2)
+	go func() {
+		b, err := read(nil)
+		ch <- outcome{b, err}
+	}()
+	timer := time.NewTimer(deadline)
+	defer timer.Stop()
+	var o outcome
+	select {
+	case o = <-ch:
+	case <-timer.C:
+		if d.hedge.NoHedge {
+			o = <-ch
+		} else {
+			d.hedges.Add(1)
+			go func() {
+				b, err := read(nil)
+				ch <- outcome{b, err}
+			}()
+			o = <-ch
+		}
+	}
+	if d.observe != nil {
+		d.observe(time.Since(start), o.err)
+	}
+	return o.b, o.err
 }
 
 // readBlob loads a whole blob into buf with transient-fault retries, and
 // on framed stores validates and strips the checksum frame. The returned
-// payload aliases the read buffer.
+// payload aliases the read buffer (or, under a read deadline, a fresh
+// buffer the caller adopts).
 func (d *DualStore) readBlob(name string, buf []byte) ([]byte, error) {
-	raw, err := d.withRetry(func() ([]byte, error) {
-		return d.store.ReadAllInto(name, buf)
+	raw, err := d.withRetry(buf, func(b []byte) ([]byte, error) {
+		return d.store.ReadAllInto(name, b)
 	})
 	if err != nil {
 		return nil, err
@@ -301,8 +466,8 @@ func (d *DualStore) readRange(name string, off, n int64, buf []byte) ([]byte, er
 	if d.framed {
 		off += frameHeaderLen
 	}
-	return d.withRetry(func() ([]byte, error) {
-		return d.store.ReadAtInto(name, off, n, buf)
+	return d.withRetry(buf, func(b []byte) ([]byte, error) {
+		return d.store.ReadAtInto(name, off, n, b)
 	})
 }
 

@@ -185,6 +185,9 @@ func (d *DualStore) NewPrefetcherOpts(schedule []BlockKey, opts PrefetchOpts) *P
 		quit:    make(chan struct{}),
 		drained: make(chan struct{}),
 	}
+	// Workers read through a view whose retry backoff aborts when quit
+	// closes, so Close is never delayed by a worker mid-backoff-ladder.
+	p.ds = d.WithAbort(p.quit)
 	for i, key := range schedule {
 		req := &prefetchReq{key: key, ch: make(chan *PrefetchResult, 1)}
 		p.reqs[i] = req

@@ -1,0 +1,138 @@
+package blockstore
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"husgraph/internal/storage"
+)
+
+// openFaulty builds a small grid on a fresh MemStore and reopens it behind
+// a FaultStore so tests can inject latency and hangs.
+func openFaulty(t *testing.T) (*DualStore, *storage.FaultStore) {
+	t.Helper()
+	mem := storage.NewMemStore(storage.NewDevice(storage.RAM))
+	if _, err := Build(mem, chain(64), 4); err != nil {
+		t.Fatal(err)
+	}
+	fs := storage.NewFaultStore(mem, 1)
+	d, err := Open(fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d, fs
+}
+
+func TestHedgedReadCompletesAroundHungRead(t *testing.T) {
+	d, fs := openFaulty(t)
+	defer fs.ReleaseStalled() // unpark the losing attempt at teardown
+	d.SetHedgePolicy(HedgePolicy{Deadline: 5 * time.Millisecond})
+	// The first in-block read hangs forever; the hedge (attempt #2 at the
+	// fault store, past Count) reads healthily and must win the race.
+	fs.Inject(storage.Fault{Op: storage.OpRead, Kind: storage.FaultStall, Name: "ib/", Count: 1})
+
+	done := make(chan error, 1)
+	go func() {
+		blk, err := d.LoadInBlock(0, 1)
+		if err == nil && len(blk.Recs) == 0 {
+			err = errors.New("hedged load decoded empty")
+		}
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("hedged read failed: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("hedging did not rescue the hung read")
+	}
+	if got := d.Hedges(); got != 1 {
+		t.Fatalf("Hedges() = %d, want 1", got)
+	}
+	if got := d.Retries(); got != 0 {
+		t.Fatalf("Retries() = %d, want 0 (hedges are not retries)", got)
+	}
+}
+
+func TestNoHedgeWaitsOutSlowRead(t *testing.T) {
+	d, fs := openFaulty(t)
+	d.SetHedgePolicy(HedgePolicy{Deadline: time.Millisecond, NoHedge: true})
+	fs.Inject(storage.Fault{Op: storage.OpRead, Kind: storage.FaultDelay, Name: "ib/", Count: 1, Delay: 10 * time.Millisecond})
+	if _, err := d.LoadInBlock(0, 1); err != nil {
+		t.Fatalf("slow read failed under NoHedge: %v", err)
+	}
+	if got := d.Hedges(); got != 0 {
+		t.Fatalf("Hedges() = %d, want 0 under NoHedge", got)
+	}
+}
+
+func TestReadObserverSeesLatencyAndFaults(t *testing.T) {
+	d, fs := openFaulty(t)
+	var ops, faults int
+	d.SetReadObserver(func(lat time.Duration, err error) {
+		ops++
+		if err != nil {
+			faults++
+		}
+		if lat < 0 {
+			t.Errorf("negative latency %v", lat)
+		}
+	})
+	fs.Inject(storage.Fault{Op: storage.OpRead, Kind: storage.FaultTransient, Name: "ib/", Count: 1})
+	d.SetRetryPolicy(RetryPolicy{MaxRetries: 1})
+	if _, err := d.LoadInBlock(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	// One faulted attempt + one healthy retry, both observed.
+	if ops < 2 || faults != 1 {
+		t.Fatalf("observer saw ops=%d faults=%d, want ops>=2 faults=1", ops, faults)
+	}
+}
+
+func TestJitteredBackoffDeterministicWithInjectedRand(t *testing.T) {
+	d, fs := openFaulty(t)
+	var slept []time.Duration
+	d.SetRetryPolicy(RetryPolicy{
+		MaxRetries: 3,
+		Backoff:    10 * time.Millisecond,
+		Jitter:     0.5,
+		Rand:       func() float64 { return 0 }, // bottom of [1-j, 1+j)
+		Sleep:      func(dur time.Duration) { slept = append(slept, dur) },
+	})
+	fs.Inject(storage.Fault{Op: storage.OpRead, Kind: storage.FaultTransient, Name: "ib/", Count: 2})
+	if _, err := d.LoadInBlock(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	// Nominal 10ms then 20ms; jitter factor pinned to 1-0.5 = 0.5.
+	want := []time.Duration{5 * time.Millisecond, 10 * time.Millisecond}
+	if len(slept) != len(want) || slept[0] != want[0] || slept[1] != want[1] {
+		t.Fatalf("jittered backoff = %v, want %v", slept, want)
+	}
+}
+
+func TestAbortCutsBackoffShort(t *testing.T) {
+	d, fs := openFaulty(t)
+	aborted := make(chan struct{})
+	close(aborted)
+	da := d.WithAbort(aborted)
+	da.SetRetryPolicy(RetryPolicy{
+		MaxRetries: 5,
+		Backoff:    time.Minute, // would hang the test if actually slept
+		Abort:      aborted,
+	})
+	fs.Inject(storage.Fault{Op: storage.OpRead, Kind: storage.FaultTransient, Name: "ib/"})
+	start := time.Now()
+	_, err := da.LoadInBlock(0, 1)
+	if !errors.Is(err, storage.ErrTransient) {
+		t.Fatalf("aborted retry: err = %v, want wrapped storage.ErrTransient", err)
+	}
+	if el := time.Since(start); el > 5*time.Second {
+		t.Fatalf("abort did not cut the backoff short (%v)", el)
+	}
+	// WithAbort shares counters with the parent.
+	if got := d.Retries(); got != 1 {
+		t.Fatalf("Retries() = %d, want 1 (abort fired during the first backoff)", got)
+	}
+}

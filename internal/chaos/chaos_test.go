@@ -1,0 +1,190 @@
+package chaos
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"testing"
+	"time"
+
+	"husgraph/internal/core"
+	"husgraph/internal/storage"
+)
+
+// runBounded executes one chaos scenario with a wall-clock watchdog: a
+// hung run (hedging failing to route around a stall) fails the test
+// instead of hanging the suite.
+func runBounded(t *testing.T, a Algo, tune Tuning, sched Schedule, limit time.Duration) *Report {
+	t.Helper()
+	type outcome struct {
+		rep *Report
+		err error
+	}
+	ch := make(chan outcome, 1)
+	go func() {
+		rep, err := Execute(a, tune, sched)
+		ch <- outcome{rep, err}
+	}()
+	select {
+	case o := <-ch:
+		if o.err != nil {
+			t.Fatalf("%s/%s: %v", a.Name, sched.Name, o.err)
+		}
+		return o.rep
+	case <-time.After(limit):
+		t.Fatalf("%s/%s: wall-clock bound %v exceeded — a read hung past the hedges", a.Name, sched.Name, limit)
+		return nil
+	}
+}
+
+// settleGoroutines waits for the goroutine count to return to (near) the
+// baseline, tolerating the runtime's own background workers.
+func settleGoroutines(t *testing.T, baseline int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		runtime.GC()
+		n := runtime.NumGoroutine()
+		if n <= baseline+2 {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			buf = buf[:runtime.Stack(buf, true)]
+			t.Fatalf("goroutine leak: %d live, baseline %d\n%s", n, baseline, buf)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// TestChaosMatrixSeeded is the CI smoke: three seeded schedules per
+// algorithm (each paired with a different update model), every run
+// verified for bit-identity, bounded wall-clock and exact recovery
+// accounting, and the whole matrix checked for goroutine leaks.
+func TestChaosMatrixSeeded(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+	models := []core.Model{core.ModelHybrid, core.ModelROP, core.ModelCOP}
+	for _, a := range Matrix() {
+		for i, seed := range []int64{1, 2, 3} {
+			a, model, seed := a, models[i%len(models)], seed
+			t.Run(fmt.Sprintf("%s/seed-%d", a.Name, seed), func(t *testing.T) {
+				sched := RandomSchedule(seed)
+				rep := runBounded(t, a, Tuning{Model: model, Degrade: true}, sched, 60*time.Second)
+				if err := Verify(rep); err != nil {
+					t.Fatal(err)
+				}
+				if rep.Counters.Injected() == 0 {
+					t.Fatalf("schedule %s injected nothing — the run was never under chaos", sched.Name)
+				}
+			})
+		}
+	}
+	settleGoroutines(t, baseline)
+}
+
+// TestChaosHungReadsCompleteViaHedging pins the tentpole liveness claim: a
+// schedule whose only faults are reads hung forever completes — within the
+// wall-clock bound — because every hung attempt is hedged, and each hedge
+// is accounted.
+func TestChaosHungReadsCompleteViaHedging(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+	sched := Schedule{
+		Name: "stalls-only",
+		Seed: 11,
+		Faults: []storage.Fault{
+			{Op: storage.OpRead, Kind: storage.FaultStall, After: 5, Count: 1},
+			{Op: storage.OpRead, Kind: storage.FaultStall, After: 60, Count: 1},
+			{Op: storage.OpRead, Kind: storage.FaultStall, After: 120, Count: 1},
+		},
+	}
+	a, err := AlgoByName("BFS")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := runBounded(t, a, Tuning{Model: core.ModelCOP}, sched, 60*time.Second)
+	if err := Verify(rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Counters.Stalls != 3 {
+		t.Fatalf("injected %d stalls, want 3", rep.Counters.Stalls)
+	}
+	if rep.Chaotic.Recovery.Hedges < 3 {
+		t.Fatalf("Recovery.Hedges = %d, want >= 3 (one per hung read)", rep.Chaotic.Recovery.Hedges)
+	}
+	settleGoroutines(t, baseline)
+}
+
+// TestChaosKillAndResume pins the crash path: a schedule that kills the
+// run mid-flight (with cross-iteration speculation enabled) must resume
+// from its checkpoint on a cold reopen and still produce bit-identical
+// values.
+func TestChaosKillAndResume(t *testing.T) {
+	sched := RandomSchedule(4)
+	sched.KillAtIter = 2 // force the kill regardless of the seed's coin flip
+	a, err := AlgoByName("BFS")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := runBounded(t, a, Tuning{Model: core.ModelCOP, Degrade: true}, sched, 60*time.Second)
+	if err := Verify(rep); err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Killed {
+		t.Fatal("schedule did not kill the run")
+	}
+	if !rep.Resumed || rep.Chaotic.Recovery.ResumedIter <= 0 {
+		t.Fatalf("killed run did not resume from a checkpoint (ResumedIter=%d)", rep.Chaotic.Recovery.ResumedIter)
+	}
+}
+
+// TestChaosDegradeLadderUnderSustainedFaults checks the ladder engages
+// under a schedule of sustained latency pressure and that the run still
+// verifies.
+func TestChaosDegradeLadderUnderSustainedFaults(t *testing.T) {
+	sched := Schedule{
+		Name: "latency-storm",
+		Seed: 21,
+		Faults: []storage.Fault{
+			{Op: storage.OpRead, Kind: storage.FaultDelay, After: 20, Count: 400, Delay: 3 * time.Millisecond},
+		},
+	}
+	a, err := AlgoByName("PageRank")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := runBounded(t, a, Tuning{Model: core.ModelCOP, Degrade: true, ReadDeadline: time.Millisecond}, sched, 120*time.Second)
+	if err := Verify(rep); err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Chaotic.Recovery.DegradeEvents) == 0 {
+		t.Fatal("sustained latency storm never moved the degradation ladder")
+	}
+}
+
+// TestChaosSoak is the long-haul entrypoint: CHAOS_SOAK=N go test -run
+// TestChaosSoak ./internal/chaos sweeps N random seeds per algorithm.
+// Skipped unless CHAOS_SOAK is set.
+func TestChaosSoak(t *testing.T) {
+	nStr := os.Getenv("CHAOS_SOAK")
+	if nStr == "" {
+		t.Skip("set CHAOS_SOAK=<seeds> to run the soak")
+	}
+	n, err := strconv.Atoi(nStr)
+	if err != nil || n <= 0 {
+		t.Fatalf("CHAOS_SOAK=%q is not a positive integer", nStr)
+	}
+	models := []core.Model{core.ModelHybrid, core.ModelROP, core.ModelCOP}
+	for _, a := range Matrix() {
+		for seed := int64(1); seed <= int64(n); seed++ {
+			a, seed := a, seed
+			t.Run(fmt.Sprintf("%s/seed-%d", a.Name, seed), func(t *testing.T) {
+				sched := RandomSchedule(seed)
+				rep := runBounded(t, a, Tuning{Model: models[seed%3], Degrade: true}, sched, 120*time.Second)
+				if err := Verify(rep); err != nil {
+					t.Fatal(err)
+				}
+			})
+		}
+	}
+}

@@ -95,6 +95,35 @@ type Config struct {
 	// RetryBackoffMax caps the exponential backoff growth; 0 with
 	// ReadRetries > 0 defaults to 250ms.
 	RetryBackoffMax time.Duration
+	// RetryJitter scatters each backoff sleep uniformly over
+	// [1-j, 1+j) of its nominal value so concurrent prefetch workers
+	// don't retry a recovering device in lockstep. 0 with ReadRetries > 0
+	// defaults to 0.2; negative disables jitter (deterministic doubling).
+	RetryJitter float64
+	// ReadDeadline is the soft deadline for every block/index/aux read
+	// attempt: an attempt still pending at the deadline gets a hedged
+	// duplicate read issued, first response wins (hedges are counted in
+	// IterStats.Hedges and Result.Recovery.Hedges). 0 disables deadlines
+	// and hedging — a hung read then blocks forever.
+	ReadDeadline time.Duration
+	// NoHedge keeps ReadDeadline as a latency-pressure signal for the
+	// degradation breaker but suppresses the hedged duplicate read.
+	NoHedge bool
+	// Degrade enables the adaptive degradation ladder: a windowed
+	// fault-rate/latency circuit breaker that sheds optimism under
+	// sustained I/O pressure (speculation depth → pipeline off → prefetch
+	// off → synchronous cache-bypass reads) and re-arms one rung per
+	// clear window. Transitions are recorded in Result.Recovery as
+	// DegradeEvents; the per-iteration rung lands in
+	// IterStats.DegradeLevel. Results stay bit-identical at every rung.
+	Degrade bool
+	// DegradeWindow is the breaker's observation window; 0 with Degrade
+	// defaults to 100ms.
+	DegradeWindow time.Duration
+	// DegradeRate is the windowed (faults+slow-reads)/ops fraction at or
+	// above which the ladder steps down one rung; 0 with Degrade defaults
+	// to 0.5.
+	DegradeRate float64
 	// PrefetchDepth is the number of asynchronous block-prefetch workers
 	// overlapping I/O with compute: while the engine processes one block,
 	// up to this many further blocks of the planned traversal are read,
@@ -140,6 +169,10 @@ type Config struct {
 	// block (off by default); enable to ablate the design gap between
 	// block-level and vertex-level selectivity.
 	COPBlockSkip bool
+
+	// degradeNow replaces time.Now inside the degradation breaker for
+	// deterministic ladder tests; nil uses time.Now.
+	degradeNow func() time.Time
 }
 
 // withDefaults resolves zero fields.
@@ -159,6 +192,20 @@ func (c Config) withDefaults() Config {
 		}
 		if c.RetryBackoffMax == 0 {
 			c.RetryBackoffMax = 250 * time.Millisecond
+		}
+		if c.RetryJitter == 0 {
+			c.RetryJitter = 0.2
+		}
+	}
+	if c.RetryJitter < 0 {
+		c.RetryJitter = 0
+	}
+	if c.Degrade {
+		if c.DegradeWindow <= 0 {
+			c.DegradeWindow = 100 * time.Millisecond
+		}
+		if c.DegradeRate <= 0 {
+			c.DegradeRate = 0.5
 		}
 	}
 	if c.PipelineIters > 0 && c.PrefetchDepth <= 0 {

@@ -2,6 +2,7 @@ package core
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -10,6 +11,7 @@ import (
 	"husgraph/internal/bitset"
 	"husgraph/internal/blockstore"
 	"husgraph/internal/ioplan"
+	"husgraph/internal/resilience"
 	"husgraph/internal/storage"
 )
 
@@ -52,6 +54,13 @@ type Engine struct {
 	// ckptSlot is the next checkpoint generation slot (0 or 1) to write;
 	// loadCheckpoint points it away from the generation it resumed from.
 	ckptSlot int
+
+	// breaker drives the adaptive degradation ladder when Config.Degrade
+	// is set; degradeLevel mirrors its rung at the current iteration's
+	// start (written between iterations on the engine goroutine, read by
+	// that iteration's workers — never concurrently with the write).
+	breaker      *resilience.Breaker
+	degradeLevel resilience.Level
 }
 
 // New creates an engine over the given store.
@@ -79,13 +88,38 @@ func New(ds *blockstore.DualStore, cfg Config) *Engine {
 			MaxRetries: e.cfg.ReadRetries,
 			Backoff:    e.cfg.RetryBackoff,
 			MaxBackoff: e.cfg.RetryBackoffMax,
+			Jitter:     e.cfg.RetryJitter,
 		})
 	}
+	if e.cfg.ReadDeadline > 0 {
+		ds.SetHedgePolicy(blockstore.HedgePolicy{
+			Deadline: e.cfg.ReadDeadline,
+			NoHedge:  e.cfg.NoHedge,
+		})
+	}
+	var degraded func() bool
+	if e.cfg.Degrade {
+		e.breaker = resilience.NewBreaker(resilience.Config{
+			Window:        e.cfg.DegradeWindow,
+			TripRate:      e.cfg.DegradeRate,
+			SlowThreshold: e.cfg.ReadDeadline,
+			Now:           e.cfg.degradeNow,
+		})
+		br := e.breaker
+		ds.SetReadObserver(func(lat time.Duration, err error) {
+			// Missing-blob probes (checkpoint-generation discovery) are
+			// answers, not failures — they must not pressure the breaker.
+			fault := err != nil && !errors.Is(err, storage.ErrNotFound)
+			br.Observe(lat, fault)
+		})
+		degraded = func() bool { return br.Level() >= resilience.LevelNoSpec }
+	}
 	// The scheduler forks the store for speculative reads, copying the
-	// retry policy just installed.
+	// retry/hedge policies and observer just installed.
 	e.sched = ioplan.NewScheduler(ds, e.cache, ioplan.Options{
 		Depth:         e.cfg.PrefetchDepth,
 		PipelineIters: e.cfg.PipelineIters,
+		Degraded:      degraded,
 	})
 	if e.cfg.PipelineIters > 0 {
 		e.vd = newDeltaTracker(ds.Layout.P)
@@ -122,6 +156,10 @@ func (e *Engine) RunContext(ctx context.Context, prog Program) (*Result, error) 
 	d := make([]float64, n)   // D: current-iteration values / accumulators
 	res := &Result{Values: s} // s is kept current; assigned again before return
 	startRetries := e.ds.Retries()
+	startHedges := e.ds.Hedges()
+	// Delta-based so a reused engine (kill → resume on the same instance)
+	// reports only this run's unused read-ahead, not its predecessors'.
+	startUnused := e.prefetchUnused.Load()
 	startIter := 0
 	if e.cfg.Resume {
 		ck, fallbacks, err := e.loadCheckpoint(prog)
@@ -147,6 +185,12 @@ func (e *Engine) RunContext(ctx context.Context, prog Program) (*Result, error) 
 		_, unused := e.sched.Shutdown()
 		e.prefetchUnused.Add(unused)
 	}()
+	if e.breaker != nil {
+		// The wall-clock ticker ages pressure out even while the engine is
+		// stuck inside one long iteration (e.g. every read hedging).
+		e.breaker.Start()
+		defer e.breaker.Stop()
+	}
 	for iter := startIter; iter < e.cfg.MaxIters; iter++ {
 		if err := ctx.Err(); err != nil {
 			// Best-effort final checkpoint: a cancelled job should resume
@@ -167,6 +211,7 @@ func (e *Engine) RunContext(ctx context.Context, prog Program) (*Result, error) 
 		ioBefore := dev.Stats()
 		specBefore := e.sched.SpecIO()
 		retriesBefore := e.ds.Retries()
+		hedgesBefore := e.ds.Hedges()
 		unusedBefore := e.prefetchUnused.Load()
 		var cacheBefore blockstore.CacheStats
 		if e.cache != nil {
@@ -174,7 +219,7 @@ func (e *Engine) RunContext(ctx context.Context, prog Program) (*Result, error) 
 		}
 		start := time.Now()
 
-		st := IterStats{Iter: iter, ActiveVertices: frontier.Count()}
+		st := IterStats{Iter: iter, ActiveVertices: frontier.Count(), DegradeLevel: e.applyDegradeLevel()}
 		st.ActiveEdges = e.activeOutEdges(frontier)
 		st.Model = e.chooseModel(frontier, &st)
 		if e.vd != nil {
@@ -193,7 +238,21 @@ func (e *Engine) RunContext(ctx context.Context, prog Program) (*Result, error) 
 			copSkip = e.copSkipFunc(frontier)
 			plan = ioplan.COPKeys(e.ds.Layout, copSkip)
 		}
-		win := e.sched.Begin(plan, e.provisionalPlan(prog, st.Model, frontier, next))
+		prov := e.provisionalPlan(prog, st.Model, frontier, next)
+		if prov != nil && e.breaker != nil {
+			// Re-check the ladder at gate time: it may step down while this
+			// iteration runs, and speculation launched then would amplify
+			// exactly the pressure the breaker is shedding.
+			inner, br := prov, e.breaker
+			prov = func(depth int) []blockstore.BlockKey {
+				lvl := br.Level()
+				if lvl >= resilience.LevelNoSpec || (lvl >= resilience.LevelShallowSpec && depth > 1) {
+					return nil
+				}
+				return inner(depth)
+			}
+		}
+		win := e.sched.Begin(plan, prov)
 		var maxDelta float64
 		var err error
 		if st.Model == ModelROP {
@@ -271,10 +330,17 @@ func (e *Engine) RunContext(ctx context.Context, prog Program) (*Result, error) 
 		e.slackAvail = append(e.slackAvail, slack)
 		st.MaxDelta = maxDelta
 		st.Retries = e.ds.Retries() - retriesBefore
+		st.Hedges = e.ds.Hedges() - hedgesBefore
 		st.PrefetchUnusedBytes = e.prefetchUnused.Load() - unusedBefore
 		if e.cache != nil {
 			delta := e.cache.Stats().Sub(cacheBefore)
 			st.CacheHits, st.CacheMisses, st.CacheEvictions = delta.Hits, delta.Misses, delta.Evictions
+		}
+		if e.breaker != nil {
+			for _, ev := range e.breaker.TakeEvents() {
+				ev.Iter = iter
+				res.Recovery.DegradeEvents = append(res.Recovery.DegradeEvents, ev)
+			}
 		}
 		res.Iterations = append(res.Iterations, st)
 		if e.cfg.OnIteration != nil {
@@ -310,13 +376,46 @@ func (e *Engine) RunContext(ctx context.Context, prog Program) (*Result, error) 
 		last.SpecReadBytes += orphanIO.ReadBytes()
 		last.SpecIOTime += orphanIO.SimIO
 	}
+	if e.breaker != nil {
+		// Transitions evaluated after the last iteration's drain (e.g. the
+		// final re-arm steps) stamp as the last executed iteration.
+		lastIter := startIter
+		if n := len(res.Iterations); n > 0 {
+			lastIter = res.Iterations[n-1].Iter
+		}
+		for _, ev := range e.breaker.TakeEvents() {
+			ev.Iter = lastIter
+			res.Recovery.DegradeEvents = append(res.Recovery.DegradeEvents, ev)
+		}
+	}
 	res.Values = s
 	res.Recovery.Retries = e.ds.Retries() - startRetries
+	res.Recovery.Hedges = e.ds.Hedges() - startHedges
 	if e.cache != nil {
 		res.Cache = e.cache.Stats()
 	}
-	res.PrefetchUnusedBytes = e.prefetchUnused.Load()
+	res.PrefetchUnusedBytes = e.prefetchUnused.Load() - startUnused
 	return res, nil
+}
+
+// applyDegradeLevel reads the breaker between iterations, applies the
+// current rung to the live scheduler knobs, and records it for this
+// iteration's read paths. Without a breaker the run is always at
+// LevelNormal.
+func (e *Engine) applyDegradeLevel() resilience.Level {
+	if e.breaker == nil {
+		return resilience.LevelNormal
+	}
+	e.breaker.Tick()
+	lvl := e.breaker.Level()
+	depth := e.cfg.PrefetchDepth
+	if lvl >= resilience.LevelNoPrefetch {
+		depth = 0
+	}
+	e.sched.SetDepth(depth)
+	e.sched.SetBypassCache(lvl >= resilience.LevelBypass)
+	e.degradeLevel = lvl
+	return lvl
 }
 
 // Cache returns the engine's block cache, or nil when caching is disabled.
@@ -408,7 +507,7 @@ func (e *Engine) provisionalPlan(prog Program, model Model, frontier, next *bits
 // density, its whole payload is read once sequentially and cached under
 // KindOutBlock, making every later run a memory slice.
 func (e *Engine) loadOutRun(i, j int, s, end uint32, sc *blockstore.Scratch) ([]byte, error) {
-	if e.cache == nil {
+	if e.cache == nil || e.degradeLevel >= resilience.LevelBypass {
 		return e.ds.LoadOutRunScratch(i, j, s, end, sc)
 	}
 	if data, ok := e.cache.GetRun(i, j, s, end); ok {

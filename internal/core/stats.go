@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"husgraph/internal/blockstore"
+	"husgraph/internal/resilience"
 	"husgraph/internal/storage"
 )
 
@@ -44,6 +45,13 @@ type IterStats struct {
 	// Retries counts transient read faults retried by the store during
 	// this iteration (see Config.ReadRetries).
 	Retries int64
+	// Hedges counts hedged duplicate reads issued during this iteration —
+	// read attempts that blew Config.ReadDeadline and raced a second
+	// attempt to completion.
+	Hedges int64
+	// DegradeLevel is the degradation-ladder rung the iteration started
+	// on (resilience.LevelNormal when Config.Degrade is off).
+	DegradeLevel resilience.Level
 	// CacheHits, CacheMisses and CacheEvictions count block-cache
 	// activity during this iteration (zero when Config.CacheBudgetBytes
 	// is 0).
@@ -96,6 +104,13 @@ type RecoveryStats struct {
 	// CheckpointsWritten counts checkpoints persisted during the run,
 	// including a best-effort final checkpoint on cancellation.
 	CheckpointsWritten int
+	// Hedges is the total number of hedged duplicate reads issued across
+	// the run, including those spent loading checkpoints.
+	Hedges int64
+	// DegradeEvents records every degradation-ladder transition of the
+	// run in order, stamped with the iteration it happened during. Empty
+	// unless Config.Degrade is set.
+	DegradeEvents []resilience.DegradeEvent
 }
 
 // Result summarizes a completed run.
@@ -125,6 +140,27 @@ func (r *Result) TotalRetries() int64 {
 		t += it.Retries
 	}
 	return t
+}
+
+// TotalHedges returns the summed per-iteration hedged duplicate reads.
+func (r *Result) TotalHedges() int64 {
+	var t int64
+	for _, it := range r.Iterations {
+		t += it.Hedges
+	}
+	return t
+}
+
+// MaxDegradeLevel returns the deepest ladder rung any iteration started
+// on — LevelNormal for an undegraded run.
+func (r *Result) MaxDegradeLevel() resilience.Level {
+	var m resilience.Level
+	for _, it := range r.Iterations {
+		if it.DegradeLevel > m {
+			m = it.DegradeLevel
+		}
+	}
+	return m
 }
 
 // NumIterations returns the number of iterations executed.

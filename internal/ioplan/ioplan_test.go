@@ -173,10 +173,14 @@ func TestSchedulerAdoptsSpeculationWithExactAttribution(t *testing.T) {
 	if st := s.Finish(w1); st.SpecBatch {
 		t.Fatalf("window 1 adopted a batch that did not exist at its Begin: %+v", st)
 	}
-	// The parked batch has started reading by now (more may still land
-	// before it retires; the retired batch's b.io captures all of it).
-	if s.SpecIO() == (storage.Stats{}) {
-		t.Fatal("speculative pipeline issued no device I/O (cache is nil)")
+	// The parked batch reads asynchronously; wait for its first device
+	// I/O to land rather than racing it (more may still land before it
+	// retires; the retired batch's b.io captures all of it).
+	for deadline := time.Now().Add(5 * time.Second); s.SpecIO() == (storage.Stats{}); {
+		if time.Now().After(deadline) {
+			t.Fatal("speculative pipeline issued no device I/O (cache is nil)")
+		}
+		time.Sleep(time.Millisecond)
 	}
 
 	// The final plan matches the provisional plan exactly: full adoption.

@@ -20,6 +20,11 @@ type Options struct {
 	// parked at the barrier (the batch targeting i+1 is adopted by the
 	// next Begin; deeper batches wait their turn).
 	PipelineIters int
+	// Degraded, when non-nil, is consulted by the gate before refilling
+	// the speculation queue: while it reports true no new batches are
+	// launched, so a degradation ladder can drain cross-iteration
+	// speculation without tearing down the scheduler.
+	Degraded func() bool
 }
 
 // ProvisionalFunc produces a provisional read plan for the iteration
@@ -77,6 +82,12 @@ type Scheduler struct {
 	// per-batch tap forwards to it.
 	tap *storage.CountingStore
 
+	// depth is the live prefetch read-ahead bound (initially opts.Depth)
+	// and bypass the live cache-bypass switch; both are adjusted between
+	// iterations by the degradation ladder.
+	depth  atomic.Int32
+	bypass atomic.Bool
+
 	mu     sync.Mutex
 	parked []*batch // FIFO: parked[0] targets the next Begin, each later batch one barrier deeper
 }
@@ -86,11 +97,31 @@ type Scheduler struct {
 // nil.
 func NewScheduler(ds *blockstore.DualStore, cache *blockstore.BlockCache, opts Options) *Scheduler {
 	s := &Scheduler{ds: ds, cache: cache, opts: opts}
+	s.depth.Store(int32(opts.Depth))
 	if opts.PipelineIters > 0 && opts.Depth > 0 {
 		s.tap = storage.NewCountingStore(ds.Store())
 	}
 	return s
 }
+
+// SetDepth adjusts the prefetch read-ahead bound for windows opened from
+// now on (in-flight windows keep theirs); <= 0 loads inline. The
+// degradation ladder drops it to zero at LevelNoPrefetch and restores the
+// configured depth on re-arm.
+func (s *Scheduler) SetDepth(d int) {
+	if d < 0 {
+		d = 0
+	}
+	s.depth.Store(int32(d))
+}
+
+// Depth returns the live read-ahead bound.
+func (s *Scheduler) Depth() int { return int(s.depth.Load()) }
+
+// SetBypassCache toggles cache bypass for windows opened from now on:
+// while set, main pipelines neither consult nor fill the block cache —
+// LevelBypass's synchronous uncached read mode.
+func (s *Scheduler) SetBypassCache(v bool) { s.bypass.Store(v) }
 
 // SpecIO returns the cumulative device I/O issued by speculative reads
 // since the scheduler was created (zero when pipelining is off). The
@@ -155,8 +186,12 @@ func (s *Scheduler) launch(keys []blockstore.BlockKey, depth int, pending func(b
 		b.keySet[k] = struct{}{}
 	}
 	b.remaining.Store(int64(len(keys)))
+	pfDepth := s.Depth()
+	if pfDepth <= 0 {
+		pfDepth = s.opts.Depth // a batch must read ahead to be useful
+	}
 	b.pf = s.ds.Fork(bTap).NewPrefetcherOpts(keys, blockstore.PrefetchOpts{
-		Depth:   s.opts.Depth,
+		Depth:   pfDepth,
 		Cache:   s.cache,
 		Quiet:   true,
 		Pending: pending,
@@ -237,14 +272,23 @@ func (s *Scheduler) Begin(plan []blockstore.BlockKey, provisional ProvisionalFun
 		close(w.invDone)
 	}
 
-	w.main = s.ds.NewPrefetcher(mainSched, s.opts.Depth, s.cache)
+	cache := s.cache
+	if s.bypass.Load() {
+		cache = nil
+	}
+	w.main = s.ds.NewPrefetcher(mainSched, s.Depth(), cache)
 
-	if s.tap != nil && provisional != nil && s.opts.Depth > 0 {
+	if s.tap != nil && provisional != nil && s.Depth() > 0 && !s.degraded() {
 		go w.gate(provisional)
 	} else {
 		close(w.gateDone)
 	}
 	return w
+}
+
+// degraded reports whether the ladder is currently vetoing speculation.
+func (s *Scheduler) degraded() bool {
+	return s.opts.Degraded != nil && s.opts.Degraded()
 }
 
 // invalidate drains the speculative results the final plan diverged from:
@@ -343,6 +387,11 @@ func (w *Window) gate(provisional ProvisionalFunc) {
 	// held, so the window finished normally and its launch chain must
 	// complete even while Finish tears the window down.
 	for depth := s.parkedDepth(); depth <= s.opts.PipelineIters; depth = s.parkedDepth() {
+		if s.degraded() {
+			// The ladder stepped down while this window ran: stop
+			// refilling so parked speculation drains.
+			return
+		}
 		keys := provisional(depth)
 		if len(keys) == 0 {
 			return

@@ -1,0 +1,19 @@
+// Fixture: a wall-clock ticker goroutine that receives the tick plainly —
+// Stop would close quit and then hang up to a full period (or forever once
+// the ticker is stopped) waiting for a receive that never consults it.
+package worker
+
+import "time"
+
+type Breaker struct {
+	quit chan struct{}
+}
+
+func (b *Breaker) rotate() {}
+
+func (b *Breaker) tickLoop(t *time.Ticker) {
+	for { // want "never consults its abort signal"
+		<-t.C // want "blocking receive from t.C"
+		b.rotate()
+	}
+}

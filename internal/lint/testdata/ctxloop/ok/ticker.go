@@ -1,0 +1,23 @@
+// Fixture: the sanctioned wall-clock ticker goroutine — the circuit
+// breaker's window ticker selects on the tick and the quit signal in one
+// select, so Stop never waits on a goroutine wedged in a tick receive.
+package worker
+
+import "time"
+
+type Breaker struct {
+	quit chan struct{}
+}
+
+func (b *Breaker) rotate() {}
+
+func (b *Breaker) tickLoop(t *time.Ticker) {
+	for {
+		select {
+		case <-t.C:
+			b.rotate()
+		case <-b.quit:
+			return
+		}
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"math/rand"
 	"strings"
 	"sync"
+	"time"
 )
 
 // Error taxonomy for the storage path. Wrappers and substrates classify
@@ -69,6 +70,17 @@ const (
 	// the data reaches the underlying store and the Put reports success —
 	// the torn write a crash mid-os.WriteFile produces.
 	FaultTorn
+	// FaultDelay completes the operation successfully but only after
+	// sleeping the plan's Delay plus a seeded-random extra in
+	// [0, DelayJitter) — a congested controller or a device in thermal
+	// throttle. The injected latency is the only observable effect.
+	FaultDelay
+	// FaultStall blocks the operation indefinitely — a hung request that
+	// will never complete on its own. Stalled operations park until
+	// ReleaseStalled is called (after which they complete healthily, like
+	// a request finally drained from a wedged queue); deadline-bounded
+	// readers are expected to hedge around them instead of waiting.
+	FaultStall
 )
 
 // String names the fault kind.
@@ -82,6 +94,10 @@ func (k FaultKind) String() string {
 		return "bitflip"
 	case FaultTorn:
 		return "torn"
+	case FaultDelay:
+		return "delay"
+	case FaultStall:
+		return "stall"
 	default:
 		return fmt.Sprintf("FaultKind(%d)", int(k))
 	}
@@ -104,6 +120,11 @@ type Fault struct {
 	After int64
 	// Count bounds the number of injections; 0 means unlimited.
 	Count int64
+	// Delay is the base latency added by FaultDelay injections.
+	Delay time.Duration
+	// DelayJitter widens FaultDelay injections by a seeded-random extra
+	// in [0, DelayJitter).
+	DelayJitter time.Duration
 }
 
 // FaultCounters reports what a FaultStore observed and injected.
@@ -114,17 +135,21 @@ type FaultCounters struct {
 	// Transient, Permanent, BitFlips and TornWrites count injections
 	// actually performed, by kind.
 	Transient, Permanent, BitFlips, TornWrites int64
+	// Delays and Stalls count latency and hang injections actually
+	// performed. Both operations ultimately complete healthily, so these
+	// never correlate with error counters.
+	Delays, Stalls int64
 }
 
 // Injected returns the total number of injected faults of any kind.
 func (c FaultCounters) Injected() int64 {
-	return c.Transient + c.Permanent + c.BitFlips + c.TornWrites
+	return c.Transient + c.Permanent + c.BitFlips + c.TornWrites + c.Delays + c.Stalls
 }
 
 // String summarizes the counters for logs.
 func (c FaultCounters) String() string {
-	return fmt.Sprintf("reads=%d writes=%d transient=%d permanent=%d bitflips=%d torn=%d",
-		c.Reads, c.Writes, c.Transient, c.Permanent, c.BitFlips, c.TornWrites)
+	return fmt.Sprintf("reads=%d writes=%d transient=%d permanent=%d bitflips=%d torn=%d delays=%d stalls=%d",
+		c.Reads, c.Writes, c.Transient, c.Permanent, c.BitFlips, c.TornWrites, c.Delays, c.Stalls)
 }
 
 type faultPlan struct {
@@ -150,6 +175,13 @@ type FaultStore struct {
 	rng   *rand.Rand
 	plans []*faultPlan
 	c     FaultCounters
+
+	// stall is the gate FaultStall operations park on; ReleaseStalled
+	// closes it, after which stalls (past and future) pass straight
+	// through. Lazily created so a plain error-injection store pays
+	// nothing.
+	stallMu sync.Mutex
+	stall   chan struct{}
 }
 
 // NewFaultStore wraps s with a fault injector seeded for deterministic
@@ -176,9 +208,18 @@ func (f *FaultStore) Counters() FaultCounters {
 	return f.c
 }
 
-// decide records one matching operation and returns the fault to inject
-// (if any) plus a seeded random value for bit/tear positions.
-func (f *FaultStore) decide(op FaultOp, name string) (kind FaultKind, inject bool, r int64) {
+// injection is one decided fault: the kind, a seeded random value for
+// bit/tear positions, and the resolved sleep for FaultDelay.
+type injection struct {
+	kind  FaultKind
+	r     int64
+	delay time.Duration
+}
+
+// decide records one matching operation and returns the fault to inject,
+// if any. Random draws (bit position, tear point, delay jitter) happen
+// under the lock so the seeded sequence is stable per injection order.
+func (f *FaultStore) decide(op FaultOp, name string) (injection, bool) {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	if op == OpRead {
@@ -195,6 +236,7 @@ func (f *FaultStore) decide(op FaultOp, name string) (kind FaultKind, inject boo
 			continue
 		}
 		p.injected++
+		inj := injection{kind: p.Kind, r: f.rng.Int63()}
 		switch p.Kind {
 		case FaultTransient:
 			f.c.Transient++
@@ -204,10 +246,46 @@ func (f *FaultStore) decide(op FaultOp, name string) (kind FaultKind, inject boo
 			f.c.BitFlips++
 		case FaultTorn:
 			f.c.TornWrites++
+		case FaultDelay:
+			f.c.Delays++
+			inj.delay = p.Delay
+			if p.DelayJitter > 0 {
+				inj.delay += time.Duration(uint64(inj.r) % uint64(p.DelayJitter))
+			}
+		case FaultStall:
+			f.c.Stalls++
 		}
-		return p.Kind, true, f.rng.Int63()
+		return inj, true
 	}
-	return 0, false, 0
+	return injection{}, false
+}
+
+// stallGate returns the channel stalled operations block on.
+func (f *FaultStore) stallGate() chan struct{} {
+	f.stallMu.Lock()
+	defer f.stallMu.Unlock()
+	if f.stall == nil {
+		f.stall = make(chan struct{})
+	}
+	return f.stall
+}
+
+// ReleaseStalled unblocks every operation parked by a FaultStall
+// injection and turns any future stall injections into pass-throughs.
+// Harnesses call it at teardown so hedged-around losers can drain
+// instead of leaking goroutines. It is idempotent.
+func (f *FaultStore) ReleaseStalled() {
+	f.stallMu.Lock()
+	defer f.stallMu.Unlock()
+	if f.stall == nil {
+		f.stall = make(chan struct{})
+	}
+	select {
+	case <-f.stall:
+		// already released
+	default:
+		close(f.stall)
+	}
 }
 
 // faultErr builds the injected error for failing kinds.
@@ -228,31 +306,47 @@ func flipBit(data []byte, r int64) {
 	data[bit/8] ^= 1 << (bit % 8)
 }
 
+// hold applies the latency effect of a delay or stall injection; it must
+// be called outside f.mu. Stalled operations park on the gate until
+// ReleaseStalled, then proceed healthily.
+func (f *FaultStore) hold(inj injection) {
+	switch inj.kind {
+	case FaultDelay:
+		time.Sleep(inj.delay)
+	case FaultStall:
+		<-f.stallGate()
+	}
+}
+
 // readFault post-processes a completed read according to the decided
 // fault. The returned buffer is owned by the caller in every Store
 // implementation, so flipping in place is safe.
 func (f *FaultStore) readFault(name string, data []byte, err error) ([]byte, error) {
-	kind, inject, r := f.decide(OpRead, name)
-	if !inject {
+	inj, ok := f.decide(OpRead, name)
+	if !ok {
 		return data, err
 	}
-	switch kind {
+	switch inj.kind {
 	case FaultBitFlip:
 		if err == nil {
-			flipBit(data, r)
+			flipBit(data, inj.r)
 		}
 		return data, err
+	case FaultDelay, FaultStall:
+		f.hold(inj)
+		return data, err
 	default:
-		return nil, faultErr(kind, OpRead, name)
+		return nil, faultErr(inj.kind, OpRead, name)
 	}
 }
 
 // Put implements Store, subject to write-fault plans.
 func (f *FaultStore) Put(name string, data []byte) error {
-	kind, inject, r := f.decide(OpWrite, name)
-	if !inject {
+	inj, ok := f.decide(OpWrite, name)
+	if !ok {
 		return f.Store.Put(name, data)
 	}
+	kind, r := inj.kind, inj.r
 	switch kind {
 	case FaultTorn:
 		n := 0
@@ -267,6 +361,9 @@ func (f *FaultStore) Put(name string, data []byte) error {
 		cp := append([]byte(nil), data...)
 		flipBit(cp, r)
 		return f.Store.Put(name, cp)
+	case FaultDelay, FaultStall:
+		f.hold(inj)
+		return f.Store.Put(name, data)
 	default:
 		return faultErr(kind, OpWrite, name)
 	}

@@ -7,6 +7,7 @@ import (
 	"path/filepath"
 	"sync"
 	"testing"
+	"time"
 )
 
 func newFaultMem(t *testing.T, seed int64) (*FaultStore, *MemStore) {
@@ -250,5 +251,88 @@ func TestFileStoreListSkipsOrphanedTempFiles(t *testing.T) {
 	}
 	if got := fs.List(); len(got) != 1 || got[0] != "blob" {
 		t.Fatalf("List = %v, want [blob]", got)
+	}
+}
+
+func TestFaultStoreDelayCompletesHealthy(t *testing.T) {
+	fs, _ := newFaultMem(t, 1)
+	if err := fs.Put("a", []byte("payload")); err != nil {
+		t.Fatal(err)
+	}
+	fs.Inject(Fault{Op: OpRead, Kind: FaultDelay, Count: 2, Delay: 2 * time.Millisecond})
+	start := time.Now()
+	for i := 0; i < 2; i++ {
+		b, err := fs.ReadAll("a")
+		if err != nil || string(b) != "payload" {
+			t.Fatalf("delayed read %d = %q, %v", i, b, err)
+		}
+	}
+	if el := time.Since(start); el < 4*time.Millisecond {
+		t.Fatalf("two 2ms delay injections elapsed only %v", el)
+	}
+	// Plan exhausted: back to fast.
+	if _, err := fs.ReadAll("a"); err != nil {
+		t.Fatal(err)
+	}
+	if c := fs.Counters(); c.Delays != 2 || c.Stalls != 0 {
+		t.Fatalf("counters: %v", c)
+	}
+}
+
+func TestFaultStoreDelayJitterDeterministic(t *testing.T) {
+	// Same seed, same schedule → same resolved sleeps (observable only via
+	// determinism of the whole run; here we just assert both runs inject).
+	for _, seed := range []int64{7, 7} {
+		fs, _ := newFaultMem(t, seed)
+		if err := fs.Put("a", []byte("x")); err != nil {
+			t.Fatal(err)
+		}
+		fs.Inject(Fault{Op: OpRead, Kind: FaultDelay, Count: 1, Delay: time.Millisecond, DelayJitter: time.Millisecond})
+		if _, err := fs.ReadAll("a"); err != nil {
+			t.Fatal(err)
+		}
+		if c := fs.Counters(); c.Delays != 1 {
+			t.Fatalf("seed %d counters: %v", seed, c)
+		}
+	}
+}
+
+func TestFaultStoreStallParksUntilReleased(t *testing.T) {
+	fs, _ := newFaultMem(t, 1)
+	if err := fs.Put("a", []byte("stuck")); err != nil {
+		t.Fatal(err)
+	}
+	fs.Inject(Fault{Op: OpRead, Kind: FaultStall, Count: 1})
+
+	done := make(chan error, 1)
+	go func() {
+		b, err := fs.ReadAll("a")
+		if err == nil && string(b) != "stuck" {
+			err = errors.New("wrong payload after release")
+		}
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		t.Fatalf("stalled read returned early (err=%v)", err)
+	case <-time.After(20 * time.Millisecond):
+	}
+	fs.ReleaseStalled()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("released read failed: %v", err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("read still parked after ReleaseStalled")
+	}
+	// Idempotent, and future stalls pass straight through the open gate.
+	fs.ReleaseStalled()
+	fs.Inject(Fault{Op: OpRead, Kind: FaultStall, Count: 1})
+	if _, err := fs.ReadAll("a"); err != nil {
+		t.Fatalf("post-release stall did not pass through: %v", err)
+	}
+	if c := fs.Counters(); c.Stalls != 2 {
+		t.Fatalf("counters: %v", c)
 	}
 }
