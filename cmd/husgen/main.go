@@ -35,7 +35,8 @@ func run() error {
 	blocks := flag.String("blocks", "", "build the dual-block store under this directory")
 	p := flag.Int("p", 8, "partition count for -blocks")
 	symmetric := flag.Bool("symmetric", false, "symmetrize before writing (WCC input)")
-	blockFormat := flag.String("blockformat", "raw", "block record format for -blocks: raw|compressed")
+	blockFormat := flag.String("blockformat", "raw", "block record format for -blocks: raw|compressed|mixed")
+	compress := flag.Bool("compress", false, "shorthand for -blockformat mixed: per-block pick the cheaper of delta-varint and byte-RLE, raw where neither pays")
 	stream := flag.Bool("stream", false, "build -blocks with the bounded-memory streaming builder")
 	stats := flag.Bool("stats", false, "print structural statistics of the generated graph")
 	flag.Parse()
@@ -94,7 +95,14 @@ func run() error {
 		if err != nil {
 			return err
 		}
-		format, err := blockstore.ParseFormat(*blockFormat)
+		name := *blockFormat
+		if *compress {
+			if name != "raw" && name != "mixed" {
+				return fmt.Errorf("-compress means -blockformat mixed, which contradicts -blockformat %s", name)
+			}
+			name = "mixed"
+		}
+		format, err := blockstore.ParseFormat(name)
 		if err != nil {
 			return err
 		}
@@ -111,11 +119,68 @@ func run() error {
 		if err != nil {
 			return err
 		}
+		var written int64
+		for _, bn := range st.List() {
+			sz, err := st.Size(bn)
+			if err != nil {
+				return err
+			}
+			written += sz
+		}
 		fmt.Printf("built dual-block store under %s: P=%d, %d edges, %d blobs\n",
 			*blocks, ds.Layout.P, ds.NumEdges(), len(st.List()))
+		fmt.Print(buildSummary(ds, len(st.List()), written))
 	}
 	if *out == "" && *blocks == "" {
 		fmt.Println("(nothing written; pass -out and/or -blocks)")
 	}
 	return nil
+}
+
+// buildSummary formats the dual-block build report: block population,
+// bytes written, and the per-interval logical-vs-stored compression
+// ratio. Interval i covers its out-row (ob/i.*, oi/i.*) and in-column
+// (ib/*.i, ii/*.i), so every block and index is counted exactly once.
+// Raw stores report ratio 1.00 throughout.
+func buildSummary(ds *blockstore.DualStore, blobs int, written int64) string {
+	l := ds.Layout
+	step := int64(blockstore.RawRecordBytes(ds.Weighted))
+	var b bytes.Buffer
+	nonempty := 0
+	for i := 0; i < l.P; i++ {
+		for j := 0; j < l.P; j++ {
+			if ds.BlockEdgeCount[i][j] != 0 {
+				nonempty += 2 // the pair: out-block(i,j) and in-block(i,j)
+			}
+		}
+	}
+	fmt.Fprintf(&b, "build summary: %d blocks (%d nonempty), %d blobs, %d bytes written\n",
+		2*l.P*l.P, nonempty, blobs, written)
+	fmt.Fprintf(&b, "  %-8s %10s %12s %12s %7s\n", "interval", "edges", "logical B", "stored B", "ratio")
+	var totLogical, totStored, totEdges int64
+	for i := 0; i < l.P; i++ {
+		var logical, stored, edges int64
+		idxRaw := int64(l.Size(i)+1) * blockstore.IndexEntryBytes
+		for j := 0; j < l.P; j++ {
+			edges += ds.BlockEdgeCount[i][j]
+			logical += ds.BlockEdgeCount[i][j]*step + idxRaw
+			stored += ds.OutBlockBytes[i][j] + ds.OutIndexBytes(i, j)
+			logical += ds.BlockEdgeCount[j][i]*step + idxRaw
+			stored += ds.InBlockBytes[j][i] + ds.InIndexBytes(j, i)
+		}
+		fmt.Fprintf(&b, "  %-8d %10d %12d %12d %6.2fx\n", i, edges, logical, stored, ratio(logical, stored))
+		totLogical += logical
+		totStored += stored
+		totEdges += edges
+	}
+	fmt.Fprintf(&b, "  %-8s %10d %12d %12d %6.2fx\n", "total", totEdges, totLogical, totStored, ratio(totLogical, totStored))
+	return b.String()
+}
+
+// ratio guards the logical/stored division for degenerate empty stores.
+func ratio(logical, stored int64) float64 {
+	if stored == 0 {
+		return 1
+	}
+	return float64(logical) / float64(stored)
 }

@@ -1,0 +1,74 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"husgraph/internal/blockstore"
+	"husgraph/internal/graph"
+	"husgraph/internal/storage"
+)
+
+// summaryGraph is a small deterministic graph with both dense rows (the
+// hub) and sparse chain structure, so mixed builds exercise per-block
+// codec choice without randomness.
+func summaryGraph() *graph.Graph {
+	g := graph.New(32)
+	for i := 0; i+1 < 32; i++ {
+		g.AddEdge(graph.VertexID(i), graph.VertexID(i+1))
+	}
+	for i := 2; i < 32; i += 2 {
+		g.AddEdge(0, graph.VertexID(i))
+	}
+	return g
+}
+
+func buildFor(t *testing.T, format blockstore.Format) (*blockstore.DualStore, int, int64) {
+	t.Helper()
+	mem := storage.NewMemStore(storage.NewDevice(storage.RAM))
+	ds, err := blockstore.BuildWithFormat(mem, summaryGraph(), 4, format)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var written int64
+	for _, n := range mem.List() {
+		sz, err := mem.Size(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		written += sz
+	}
+	return ds, len(mem.List()), written
+}
+
+// TestBuildSummaryGolden pins the -blocks build report: husgen used to
+// print no summary at all, and this output (block population, bytes
+// written, per-interval compression ratio) is what operators size
+// datasets with.
+func TestBuildSummaryGolden(t *testing.T) {
+	ds, blobs, written := buildFor(t, blockstore.FormatMixed)
+	got := buildSummary(ds, blobs, written)
+	want := `build summary: 32 blocks (18 nonempty), 65 blobs, 2882 bytes written
+  interval      edges    logical B     stored B   ratio
+  0                23          552          237   2.33x
+  1                 8          448          172   2.60x
+  2                 8          448          172   2.60x
+  3                 7          440          167   2.63x
+  total            46         1888          748   2.52x
+`
+	if got != want {
+		t.Errorf("mixed summary drifted:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// TestBuildSummaryRawRatioIsOne checks the raw-format report prices
+// logical == stored (ratio 1.00) on every interval line.
+func TestBuildSummaryRawRatioIsOne(t *testing.T) {
+	ds, blobs, written := buildFor(t, blockstore.FormatRaw)
+	got := buildSummary(ds, blobs, written)
+	for _, line := range strings.Split(strings.TrimRight(got, "\n"), "\n")[2:] {
+		if !strings.HasSuffix(line, " 1.00x") {
+			t.Fatalf("raw summary line %q not at ratio 1.00:\n%s", line, got)
+		}
+	}
+}

@@ -6,6 +6,7 @@
 //
 //	husgraph -dataset twitter-sim -algo BFS [-system hus|graphchi|gridgraph|xstream]
 //	         [-model hybrid|rop|cop] [-device hdd|ssd|nvme|ram] [-threads N] [-p P]
+//	         [-format raw|compressed|mixed] [-sem] [-sem-budget-mb MB]
 //	         [-trace] [-stats] [-input edges.txt] [-store DIR]
 //	         [-prefetch DEPTH] [-cache-mb MB] [-pipeline-depth K] [-cache-admission POLICY]
 //	         [-checkpoint N] [-resume] [-retries N] [-retry-backoff D] [-retry-jitter J]
@@ -31,6 +32,14 @@
 // With -input, a whitespace edge list ("src dst [weight]" per line) is
 // processed instead of a registry dataset. With -store, the dual-block
 // representation is kept in real files under DIR instead of memory.
+//
+// -format mixed builds compressed edge blocks: each block independently
+// stores the smaller of delta-gap varint and byte-RLE (or stays raw when
+// neither pays), trading CPU decode for disk bandwidth. -sem enables
+// semi-external-memory mode (GraphMP's configuration): vertex arrays and
+// all out-indices are pinned in RAM — asserted to fit, failing fast with
+// a sizing message otherwise — so iterations charge only edge I/O. The
+// two compose: compression shrinks the remaining edge reads further.
 //
 // The fault flags wrap the store in a deterministic fault injector (reads
 // only, after the store is built) to demonstrate the durability machinery:
@@ -113,7 +122,9 @@ func run() (*core.Result, error) {
 	memBudget := flag.Int64("membudget", 0, "if > 0, choose P so one block's working set fits this many bytes (paper §3.2)")
 	trace := flag.Bool("trace", false, "print per-iteration statistics")
 	storeDir := flag.String("store", "", "keep the dual-block store in real files under this directory")
-	formatName := flag.String("format", "raw", "block record format: raw|compressed")
+	formatName := flag.String("format", "raw", "block record format: raw|compressed|mixed (mixed picks the cheaper of delta-varint and byte-RLE per block, falling back to raw where compression does not pay)")
+	sem := flag.Bool("sem", false, "semi-external-memory mode: pin vertex arrays and all out-indices in RAM, charging only edge I/O; fails fast with a sizing message when the residency exceeds -sem-budget-mb (hus only)")
+	semBudgetMB := flag.Int64("sem-budget-mb", 0, "memory budget in MiB the semi-external residency must fit in (0 = autodetect total system RAM; hus only)")
 	valuesOut := flag.String("valuesout", "", "write final vertex values to this file (one 'vertex value' line each)")
 	checkpointEvery := flag.Int("checkpoint", 0, "persist a resumable checkpoint every N iterations (0 = off; hus only)")
 	resume := flag.Bool("resume", false, "resume from a persisted checkpoint when one exists (hus only)")
@@ -247,8 +258,18 @@ func run() (*core.Result, error) {
 			}
 		}
 		dev.Reset() // exclude preprocessing from the run accounting
+		semBudget := int64(0)
+		if *sem {
+			semBudget = *semBudgetMB << 20
+			if semBudget == 0 {
+				// 0 leaves the check off on platforms without a RAM probe.
+				semBudget = core.SystemRAMBytes()
+			}
+		}
 		eng := core.New(ds, core.Config{
 			Model:            model,
+			SemiExternal:     *sem,
+			SemBudgetBytes:   semBudget,
 			Threads:          *threads,
 			MaxIters:         algo.MaxIters,
 			CheckpointEvery:  *checkpointEvery,
@@ -373,6 +394,11 @@ func run() (*core.Result, error) {
 	fmt.Printf("  modeled runtime:  %v (I/O %v, compute %v)\n",
 		res.TotalRuntime().Round(time.Microsecond), res.TotalIOTime().Round(time.Microsecond), res.TotalComputeModeled().Round(time.Microsecond))
 	fmt.Printf("  I/O amount:     %s MB (%s)\n", report.MB(res.TotalIO().TotalBytes()), res.TotalIO())
+	if db := res.TotalDecodedBytes(); db > 0 {
+		ratio := float64(db) / float64(res.TotalCompressedBytes())
+		fmt.Printf("  decode:         %s MB logical from %s MB stored (%.2fx), modeled decode %v\n",
+			report.MB(db), report.MB(res.TotalCompressedBytes()), ratio, res.TotalDecodeModeled().Round(time.Microsecond))
+	}
 	fmt.Printf("  wall time:      %v\n", wall.Round(time.Millisecond))
 	if *cacheMB > 0 || *prefetch > 0 {
 		c := res.Cache

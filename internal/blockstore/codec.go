@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 
 	"husgraph/internal/graph"
+	"husgraph/internal/storage"
 )
 
 // On-disk sizes. M and N follow the paper's Table 1: M is the size of an
@@ -46,7 +47,7 @@ func decodeIndex(buf []byte) ([]uint32, error) {
 // decodeIndexInto parses an offset index into idx, reusing its capacity.
 func decodeIndexInto(idx []uint32, buf []byte) ([]uint32, error) {
 	if len(buf)%IndexEntryBytes != 0 {
-		return nil, fmt.Errorf("blockstore: index payload length %d not a multiple of %d", len(buf), IndexEntryBytes)
+		return nil, fmt.Errorf("blockstore: index payload length %d not a multiple of %d: %w", len(buf), IndexEntryBytes, storage.ErrCorrupt)
 	}
 	n := len(buf) / IndexEntryBytes
 	if cap(idx) < n {
@@ -57,6 +58,69 @@ func decodeIndexInto(idx []uint32, buf []byte) ([]uint32, error) {
 		idx[i] = binary.LittleEndian.Uint32(buf[i*IndexEntryBytes:])
 	}
 	return idx, nil
+}
+
+// encodeIndexCodec serializes a per-vertex offset index with the given
+// codec. Index entries are non-decreasing byte offsets, so CodecVarint
+// stores the first entry absolute followed by uvarint deltas — typically
+// one or two bytes per entry against four raw. Indices are only ever read
+// whole (never range-read), so unlike block payloads they need no
+// self-contained sections.
+func encodeIndexCodec(idx []uint32, c Codec) []byte {
+	switch c {
+	case CodecNone:
+		return encodeIndex(idx)
+	case CodecVarint:
+		buf := make([]byte, 0, len(idx)*2)
+		prev := uint32(0)
+		for i, v := range idx {
+			if i == 0 {
+				buf = binary.AppendUvarint(buf, uint64(v))
+			} else {
+				if v < prev {
+					panic(fmt.Sprintf("blockstore: index offsets not monotone (%d after %d)", v, prev))
+				}
+				buf = binary.AppendUvarint(buf, uint64(v-prev))
+			}
+			prev = v
+		}
+		return buf
+	default:
+		panic("blockstore: unsupported index codec")
+	}
+}
+
+// decodeIndexCodecInto parses an offset index encoded with codec c into
+// idx, reusing its capacity. Malformed varint streams and offset overflow
+// yield storage.ErrCorrupt-class errors.
+func decodeIndexCodecInto(idx []uint32, buf []byte, c Codec) ([]uint32, error) {
+	switch c {
+	case CodecNone:
+		return decodeIndexInto(idx, buf)
+	case CodecVarint:
+		idx = idx[:0]
+		prev := uint64(0)
+		off := 0
+		for off < len(buf) {
+			delta, n := binary.Uvarint(buf[off:])
+			if n <= 0 {
+				return nil, fmt.Errorf("blockstore: corrupt index varint at offset %d: %w", off, storage.ErrCorrupt)
+			}
+			off += n
+			v := delta
+			if len(idx) > 0 {
+				v = prev + delta
+			}
+			if v > uint64(^uint32(0)) {
+				return nil, fmt.Errorf("blockstore: index offset %d overflows uint32: %w", v, storage.ErrCorrupt)
+			}
+			idx = append(idx, uint32(v))
+			prev = v
+		}
+		return idx, nil
+	default:
+		return nil, fmt.Errorf("blockstore: unknown index codec %d: %w", c, storage.ErrCorrupt)
+	}
 }
 
 // Blob names. Block (i,j) always means "edges from interval i to interval
@@ -71,11 +135,16 @@ const metaName = "meta"
 
 // encodeMeta serializes the DualStore metadata: layout, format, per-vertex
 // degrees, per-block edge counts and per-block byte sizes, so a store
-// written by Build can be reopened.
+// written by Build can be reopened. FormatMixed stores append the per-block
+// codec grids and the stored (compressed) index sizes — the predictor needs
+// real stored sizes, not the analytic (Size+1)*4, to price index I/O.
 func encodeMeta(d *DualStore) []byte {
 	p := d.Layout.P
 	n := d.Layout.NumVertices
 	size := 4 + 8 + 8 + 8 + 8 + n*8 + 3*p*p*8
+	if d.Format == FormatMixed {
+		size += 2*p*p + 2*p*p*8
+	}
 	buf := make([]byte, 0, size)
 	var scratch [8]byte
 	put32 := func(v uint32) {
@@ -106,6 +175,22 @@ func encodeMeta(d *DualStore) []byte {
 			}
 		}
 	}
+	if d.Format == FormatMixed {
+		for _, m := range [][][]Codec{d.OutCodecs, d.InCodecs} {
+			for i := 0; i < p; i++ {
+				for j := 0; j < p; j++ {
+					buf = append(buf, byte(m[i][j]))
+				}
+			}
+		}
+		for _, m := range [][][]int64{d.OutIndexStoredBytes, d.InIndexStoredBytes} {
+			for i := 0; i < p; i++ {
+				for j := 0; j < p; j++ {
+					put64(uint64(m[i][j]))
+				}
+			}
+		}
+	}
 	return buf
 }
 
@@ -121,7 +206,7 @@ func decodeMeta(buf []byte) (*DualStore, error) {
 	n := int(binary.LittleEndian.Uint64(buf[4:]))
 	p := int(binary.LittleEndian.Uint64(buf[12:]))
 	format := Format(binary.LittleEndian.Uint64(buf[20:]))
-	if format != FormatRaw && format != FormatCompressed {
+	if format != FormatRaw && format != FormatCompressed && format != FormatMixed {
 		return fail(fmt.Sprintf("unknown format %d", format))
 	}
 	if len(buf) < 36 {
@@ -132,10 +217,13 @@ func decodeMeta(buf []byte) (*DualStore, error) {
 		return fail(fmt.Sprintf("bad weighted flag %d", weighted))
 	}
 	want := 36 + n*8 + 3*p*p*8
+	if format == FormatMixed {
+		want += 2*p*p + 2*p*p*8
+	}
 	if len(buf) != want {
 		return fail(fmt.Sprintf("length %d, want %d", len(buf), want))
 	}
-	d := &DualStore{Layout: Layout{NumVertices: n, P: p}, Format: format, Weighted: weighted == 1, retries: new(atomic.Int64), hedges: new(atomic.Int64)}
+	d := &DualStore{Layout: Layout{NumVertices: n, P: p}, Format: format, Weighted: weighted == 1, retries: new(atomic.Int64), hedges: new(atomic.Int64), dec: new(decodeCounters)}
 	d.OutDegrees = make([]int32, n)
 	d.InDegrees = make([]int32, n)
 	off := 36
@@ -158,5 +246,31 @@ func decodeMeta(buf []byte) (*DualStore, error) {
 	d.BlockEdgeCount = read2D()
 	d.OutBlockBytes = read2D()
 	d.InBlockBytes = read2D()
+	if format == FormatMixed {
+		readCodecs := func() ([][]Codec, error) {
+			m := make([][]Codec, p)
+			for i := 0; i < p; i++ {
+				m[i] = make([]Codec, p)
+				for j := 0; j < p; j++ {
+					c := Codec(buf[off])
+					off++
+					if c >= numCodecs {
+						return nil, fmt.Errorf("blockstore: bad meta: unknown block codec %d", c)
+					}
+					m[i][j] = c
+				}
+			}
+			return m, nil
+		}
+		var err error
+		if d.OutCodecs, err = readCodecs(); err != nil {
+			return nil, err
+		}
+		if d.InCodecs, err = readCodecs(); err != nil {
+			return nil, err
+		}
+		d.OutIndexStoredBytes = read2D()
+		d.InIndexStoredBytes = read2D()
+	}
 	return d, nil
 }

@@ -107,12 +107,120 @@ type DualStore struct {
 	// BlockEdgeCount[i][j] is the number of edges from interval i to
 	// interval j (identical for the out-block and in-block views).
 	BlockEdgeCount [][]int64
-	// OutBlockBytes[i][j] and InBlockBytes[i][j] are the encoded sizes of
-	// out-block(i,j) and in-block(i,j); for FormatRaw both equal
-	// count·EdgeBytes, for FormatCompressed they differ (the two views
-	// delta-encode different neighbor sequences).
+	// OutBlockBytes[i][j] and InBlockBytes[i][j] are the *stored* sizes of
+	// out-block(i,j) and in-block(i,j) payloads; for FormatRaw both equal
+	// count·EdgeBytes, for compressed encodings they are the compressed
+	// sizes (the bytes I/O actually moves, which is what the predictor
+	// prices).
 	OutBlockBytes [][]int64
 	InBlockBytes  [][]int64
+	// OutCodecs/InCodecs are the per-block codec grids of a FormatMixed
+	// store (nil otherwise) — Build picks the smallest encoding per block.
+	// OutIndexStoredBytes/InIndexStoredBytes are the stored sizes of the
+	// (possibly varint-compressed) block indices of a FormatMixed store.
+	OutCodecs           [][]Codec
+	InCodecs            [][]Codec
+	OutIndexStoredBytes [][]int64
+	InIndexStoredBytes  [][]int64
+	// dec aggregates decode-side accounting (section/index decodes, codec
+	// bytes in and out, wall time), shared by pointer across Fork copies
+	// like retries so prefetch-worker decodes land in the same totals.
+	dec *decodeCounters
+}
+
+// decodeCounters aggregates codec decode work store-wide. All fields are
+// atomic: decodes run concurrently in prefetch workers and hedged readers.
+type decodeCounters struct {
+	// ops counts decode operations: one per block decode, index decode or
+	// run-section decode that ran a non-none codec.
+	ops atomic.Int64
+	// varintBytes/rleBytes are *decoded* (logical) bytes produced by each
+	// codec — the basis for modeled decode cost, which differs per codec.
+	varintBytes atomic.Int64
+	rleBytes    atomic.Int64
+	// compressedBytes are the stored bytes those decodes consumed.
+	compressedBytes atomic.Int64
+	// nanos is wall time spent inside codec decode loops (diagnostic; the
+	// deterministic cost model uses ModeledDecodeTime over the byte
+	// counters instead).
+	nanos atomic.Int64
+	// logicalBytes counts the logical (decoded-equivalent) bytes of every
+	// full payload and index load regardless of codec — the format-
+	// independent accounting the cross-format tests compare.
+	logicalBytes atomic.Int64
+}
+
+// DecodeStats is a snapshot of a store's cumulative decode accounting.
+type DecodeStats struct {
+	// Ops counts codec decode operations (non-none codecs only).
+	Ops int64
+	// VarintBytes/RLEBytes are decoded bytes produced per codec;
+	// CompressedBytes the stored bytes consumed producing them.
+	VarintBytes     int64
+	RLEBytes        int64
+	CompressedBytes int64
+	// LogicalBytes counts decoded-equivalent bytes of all full payload and
+	// index loads, for any codec including none.
+	LogicalBytes int64
+	// Time is wall time inside decode loops (diagnostic only).
+	Time time.Duration
+}
+
+// DecodedBytes is the total decoded output of non-none codecs.
+func (s DecodeStats) DecodedBytes() int64 { return s.VarintBytes + s.RLEBytes }
+
+// Sub returns s - o field-wise (iteration deltas).
+func (s DecodeStats) Sub(o DecodeStats) DecodeStats {
+	return DecodeStats{
+		Ops:             s.Ops - o.Ops,
+		VarintBytes:     s.VarintBytes - o.VarintBytes,
+		RLEBytes:        s.RLEBytes - o.RLEBytes,
+		CompressedBytes: s.CompressedBytes - o.CompressedBytes,
+		LogicalBytes:    s.LogicalBytes - o.LogicalBytes,
+		Time:            s.Time - o.Time,
+	}
+}
+
+// DecodeStats returns the cumulative decode accounting since the store was
+// created, shared across Fork copies like Retries.
+func (d *DualStore) DecodeStats() DecodeStats {
+	return DecodeStats{
+		Ops:             d.dec.ops.Load(),
+		VarintBytes:     d.dec.varintBytes.Load(),
+		RLEBytes:        d.dec.rleBytes.Load(),
+		CompressedBytes: d.dec.compressedBytes.Load(),
+		LogicalBytes:    d.dec.logicalBytes.Load(),
+		Time:            time.Duration(d.dec.nanos.Load()),
+	}
+}
+
+// noteDecode records one codec decode op producing logical bytes out of
+// stored bytes in dur of wall time.
+func (d *DualStore) noteDecode(c Codec, logical, stored int64, dur time.Duration) {
+	d.dec.ops.Add(1)
+	if c == CodecRLE {
+		d.dec.rleBytes.Add(logical)
+	} else {
+		d.dec.varintBytes.Add(logical)
+	}
+	d.dec.compressedBytes.Add(stored)
+	d.dec.nanos.Add(int64(dur))
+}
+
+// OutCodec returns the codec of out-block(i,j)'s stored payload.
+func (d *DualStore) OutCodec(i, j int) Codec {
+	if d.OutCodecs != nil {
+		return d.OutCodecs[i][j]
+	}
+	return formatCodec(d.Format)
+}
+
+// InCodec returns the codec of in-block(i,j)'s stored payload.
+func (d *DualStore) InCodec(i, j int) Codec {
+	if d.InCodecs != nil {
+		return d.InCodecs[i][j]
+	}
+	return formatCodec(d.Format)
 }
 
 // Options configures Build.
@@ -148,17 +256,26 @@ func BuildOpts(store storage.Store, g *graph.Graph, opts Options) (*DualStore, e
 		return nil, fmt.Errorf("blockstore: build: %w", err)
 	}
 	format := opts.Format
-	if format != FormatRaw && format != FormatCompressed {
+	if format != FormatRaw && format != FormatCompressed && format != FormatMixed {
 		return nil, fmt.Errorf("blockstore: build: unknown format %d", format)
+	}
+	if format == FormatMixed && opts.NoChecksums {
+		return nil, fmt.Errorf("blockstore: build: mixed format requires checksum frames (codec tags live in the v2 frame header)")
 	}
 	layout := NewLayout(g.NumVertices, opts.P)
 	p := layout.P
-	d := &DualStore{store: store, Layout: layout, Format: format, Weighted: opts.Weighted, framed: !opts.NoChecksums, retries: new(atomic.Int64), hedges: new(atomic.Int64)}
+	d := &DualStore{store: store, Layout: layout, Format: format, Weighted: opts.Weighted, framed: !opts.NoChecksums, retries: new(atomic.Int64), hedges: new(atomic.Int64), dec: new(decodeCounters)}
 	d.OutDegrees = make([]int32, g.NumVertices)
 	d.InDegrees = make([]int32, g.NumVertices)
 	d.BlockEdgeCount = alloc2D(p)
 	d.OutBlockBytes = alloc2D(p)
 	d.InBlockBytes = alloc2D(p)
+	if format == FormatMixed {
+		d.OutCodecs = allocCodec2D(p)
+		d.InCodecs = allocCodec2D(p)
+		d.OutIndexStoredBytes = alloc2D(p)
+		d.InIndexStoredBytes = alloc2D(p)
+	}
 	for _, e := range g.Edges {
 		d.OutDegrees[e.Src]++
 		d.InDegrees[e.Dst]++
@@ -198,35 +315,35 @@ func BuildOpts(store storage.Store, g *graph.Graph, opts Options) (*DualStore, e
 		inPerVertex[i][j][layout.Local(e.Dst)]++
 	}
 
-	// Encode: per-vertex self-contained sections, byte-offset indices.
-	encodeBlock := func(recs []Rec, perVertex []uint32) (payload []byte, idx []uint32) {
-		idx = make([]uint32, len(perVertex)+1)
-		pos := 0
-		for k, cnt := range perVertex {
-			idx[k] = uint32(len(payload))
-			payload = encodeVertexRecs(payload, recs[pos:pos+int(cnt)], format, d.Weighted)
-			pos += int(cnt)
-		}
-		idx[len(perVertex)] = uint32(len(payload))
-		return payload, idx
-	}
+	// Encode: per-vertex self-contained sections, byte-offset indices into
+	// the stored payload. FormatMixed picks the smallest codec per block.
 	for i := 0; i < p; i++ {
 		for j := 0; j < p; j++ {
-			payload, idx := encodeBlock(outRecs[i][j], outPerVertex[i][j])
+			payload, idx, c := encodeBlockPayload(outRecs[i][j], outPerVertex[i][j], format, d.Weighted)
 			d.OutBlockBytes[i][j] = int64(len(payload))
-			if err := d.putBlob(outBlockName(i, j), payload); err != nil {
+			if err := d.putBlobCodec(outBlockName(i, j), payload, c); err != nil {
 				return nil, err
 			}
-			if err := d.putBlob(outIndexName(i, j), encodeIndex(idx)); err != nil {
+			idxPayload, idxCodec := encodeBlockIndex(idx, format)
+			if err := d.putBlobCodec(outIndexName(i, j), idxPayload, idxCodec); err != nil {
 				return nil, err
 			}
-			payload, idx = encodeBlock(inRecs[i][j], inPerVertex[i][j])
+			if format == FormatMixed {
+				d.OutCodecs[i][j] = c
+				d.OutIndexStoredBytes[i][j] = int64(len(idxPayload))
+			}
+			payload, idx, c = encodeBlockPayload(inRecs[i][j], inPerVertex[i][j], format, d.Weighted)
 			d.InBlockBytes[i][j] = int64(len(payload))
-			if err := d.putBlob(inBlockName(i, j), payload); err != nil {
+			if err := d.putBlobCodec(inBlockName(i, j), payload, c); err != nil {
 				return nil, err
 			}
-			if err := d.putBlob(inIndexName(i, j), encodeIndex(idx)); err != nil {
+			idxPayload, idxCodec = encodeBlockIndex(idx, format)
+			if err := d.putBlobCodec(inIndexName(i, j), idxPayload, idxCodec); err != nil {
 				return nil, err
+			}
+			if format == FormatMixed {
+				d.InCodecs[i][j] = c
+				d.InIndexStoredBytes[i][j] = int64(len(idxPayload))
 			}
 		}
 	}
@@ -236,10 +353,68 @@ func BuildOpts(store storage.Store, g *graph.Graph, opts Options) (*DualStore, e
 	return d, nil
 }
 
+// encodeBlockPayload encodes one block's per-vertex sections, returning the
+// stored payload, the byte-offset index into it, and the codec used. For
+// uniform formats the codec is fixed; FormatMixed encodes the block under
+// every codec and keeps the smallest, falling back to CodecNone unless a
+// compressed encoding is strictly smaller (compression must pay for its
+// decode cost with real byte savings).
+func encodeBlockPayload(recs []Rec, perVertex []uint32, format Format, weighted bool) ([]byte, []uint32, Codec) {
+	encode := func(c Codec) ([]byte, []uint32) {
+		idx := make([]uint32, len(perVertex)+1)
+		var payload []byte
+		var rleScratch []byte
+		pos := 0
+		for k, cnt := range perVertex {
+			idx[k] = uint32(len(payload))
+			payload = encodeVertexRecsCodec(payload, recs[pos:pos+int(cnt)], c, weighted, &rleScratch)
+			pos += int(cnt)
+		}
+		idx[len(perVertex)] = uint32(len(payload))
+		return payload, idx
+	}
+	if format != FormatMixed {
+		payload, idx := encode(formatCodec(format))
+		return payload, idx, formatCodec(format)
+	}
+	bestPayload, bestIdx := encode(CodecNone)
+	best := CodecNone
+	for _, c := range []Codec{CodecVarint, CodecRLE} {
+		payload, idx := encode(c)
+		if len(payload) < len(bestPayload) {
+			bestPayload, bestIdx, best = payload, idx, c
+		}
+	}
+	return bestPayload, bestIdx, best
+}
+
+// encodeBlockIndex encodes a block's byte-offset index. FormatMixed stores
+// compress the monotone offsets with varint deltas when that is strictly
+// smaller; uniform formats keep the fixed 4-byte layout.
+func encodeBlockIndex(idx []uint32, format Format) ([]byte, Codec) {
+	raw := encodeIndexCodec(idx, CodecNone)
+	if format != FormatMixed {
+		return raw, CodecNone
+	}
+	v := encodeIndexCodec(idx, CodecVarint)
+	if len(v) < len(raw) {
+		return v, CodecVarint
+	}
+	return raw, CodecNone
+}
+
 func alloc2D(p int) [][]int64 {
 	m := make([][]int64, p)
 	for i := range m {
 		m[i] = make([]int64, p)
+	}
+	return m
+}
+
+func allocCodec2D(p int) [][]Codec {
+	m := make([][]Codec, p)
+	for i := range m {
+		m[i] = make([]Codec, p)
 	}
 	return m
 }
@@ -255,7 +430,7 @@ func Open(store storage.Store) (*DualStore, error) {
 	}
 	framed := isFramed(buf)
 	if framed {
-		if buf, err = unframeBlob(metaName, buf); err != nil {
+		if buf, _, err = unframeBlob(metaName, buf); err != nil {
 			return nil, fmt.Errorf("blockstore: open: %w", err)
 		}
 	}
@@ -323,10 +498,22 @@ func (d *DualStore) Hedges() int64 { return d.hedges.Load() }
 
 // putBlob writes a durable blob, framing it unless the store is legacy.
 func (d *DualStore) putBlob(name string, payload []byte) error {
-	if d.framed {
-		payload = frameBlob(payload)
+	return d.putBlobCodec(name, payload, CodecNone)
+}
+
+// putBlobCodec writes a durable blob whose payload is encoded with codec c.
+// FormatMixed stores write version-2 frames carrying the codec tag; other
+// framed stores write version-1 frames (their codec is implied by Format),
+// and legacy stores write the payload bare.
+func (d *DualStore) putBlobCodec(name string, payload []byte, c Codec) error {
+	switch {
+	case d.Format == FormatMixed:
+		return d.store.Put(name, frameBlobV2(payload, c))
+	case d.framed:
+		return d.store.Put(name, frameBlob(payload))
+	default:
+		return d.store.Put(name, payload)
 	}
-	return d.store.Put(name, payload)
 }
 
 // withRetry runs attempts of read until one succeeds, fails
@@ -446,25 +633,39 @@ func (d *DualStore) attempt(buf []byte, read func([]byte) ([]byte, error)) ([]by
 // payload aliases the read buffer (or, under a read deadline, a fresh
 // buffer the caller adopts).
 func (d *DualStore) readBlob(name string, buf []byte) ([]byte, error) {
+	payload, _, err := d.readBlobTagged(name, buf)
+	return payload, err
+}
+
+// readBlobTagged is readBlob also returning the frame's codec tag —
+// CodecNone for version-1 frames and legacy stores. Block and index loads
+// dispatch their decode on it; a tag disagreeing with the meta grid is
+// reported as corruption by the callers that know what to expect.
+func (d *DualStore) readBlobTagged(name string, buf []byte) ([]byte, Codec, error) {
 	raw, err := d.withRetry(buf, func(b []byte) ([]byte, error) {
 		return d.store.ReadAllInto(name, b)
 	})
 	if err != nil {
-		return nil, err
+		return nil, CodecNone, err
 	}
 	if !d.framed {
-		return raw, nil
+		return raw, CodecNone, nil
 	}
 	return unframeBlob(name, raw)
 }
 
 // readRange loads payload bytes [off, off+n) of a blob with transient-
-// fault retries, shifting past the frame header on framed stores. Range
-// reads cannot validate the whole-blob checksum; integrity of selectively
-// loaded runs is only protected by the surrounding decode checks.
+// fault retries, shifting past the frame header on framed stores (18 bytes
+// for a FormatMixed store's version-2 frames, 17 otherwise). Range reads
+// cannot validate the whole-blob checksum; integrity of selectively loaded
+// runs is only protected by the surrounding decode checks.
 func (d *DualStore) readRange(name string, off, n int64, buf []byte) ([]byte, error) {
 	if d.framed {
-		off += frameHeaderLen
+		if d.Format == FormatMixed {
+			off += frameHeaderLenV2
+		} else {
+			off += frameHeaderLen
+		}
 	}
 	return d.withRetry(buf, func(b []byte) ([]byte, error) {
 		return d.store.ReadAtInto(name, off, n, b)
@@ -510,6 +711,7 @@ type Scratch struct {
 	recIdx  []uint32
 	idx     []uint32
 	decoded []Rec
+	rle     []byte
 }
 
 // scratchPool recycles Scratch buffers across loads, package-wide: the
@@ -524,29 +726,54 @@ func GetScratch() *Scratch { return scratchPool.Get().(*Scratch) }
 // afterwards.
 func PutScratch(sc *Scratch) { scratchPool.Put(sc) }
 
-// LoadOutIndex reads out-index(i,j): per-source *byte* offsets into
-// out-block(i,j) (Size(i)+1 entries). Charged as a sequential read.
-func (d *DualStore) LoadOutIndex(i, j int) ([]uint32, error) {
-	buf, err := d.readBlob(outIndexName(i, j), nil)
-	if err != nil {
-		return nil, err
-	}
-	return decodeIndex(buf)
-}
-
-// LoadOutIndexScratch is LoadOutIndex reusing sc's buffers.
-func (d *DualStore) LoadOutIndexScratch(i, j int, sc *Scratch) ([]uint32, error) {
-	buf, err := d.readBlob(outIndexName(i, j), sc.idxRaw)
+// loadIndexScratch reads and decodes one block-index blob into sc,
+// dispatching on the frame's codec tag (varint-compressed indices only
+// exist in FormatMixed stores, whose frames are version 2). want, when
+// >= 0, is the expected entry count — a compressed index cannot imply it
+// from its stored length, so a short decode is reported as corruption.
+func (d *DualStore) loadIndexScratch(name string, want int, sc *Scratch) ([]uint32, error) {
+	buf, codec, err := d.readBlobTagged(name, sc.idxRaw)
 	if err != nil {
 		return nil, err
 	}
 	sc.idxRaw = buf
-	idx, err := decodeIndexInto(sc.idx, buf)
+	var idx []uint32
+	if codec == CodecNone {
+		idx, err = decodeIndexInto(sc.idx, buf)
+	} else {
+		start := time.Now()
+		idx, err = decodeIndexCodecInto(sc.idx, buf, codec)
+		if err == nil {
+			d.noteDecode(codec, int64(len(idx))*IndexEntryBytes, int64(len(buf)), time.Since(start))
+		}
+	}
+	if err != nil {
+		return nil, fmt.Errorf("blockstore: %s: %w", name, err)
+	}
+	if want >= 0 && len(idx) != want {
+		return nil, fmt.Errorf("blockstore: %s: index has %d entries, want %d: %w", name, len(idx), want, storage.ErrCorrupt)
+	}
+	sc.idx = idx
+	d.dec.logicalBytes.Add(int64(len(idx)) * IndexEntryBytes)
+	return idx, nil
+}
+
+// LoadOutIndex reads out-index(i,j): per-source *byte* offsets into
+// out-block(i,j)'s stored payload (Size(i)+1 entries). Charged as a
+// sequential read.
+func (d *DualStore) LoadOutIndex(i, j int) ([]uint32, error) {
+	sc := GetScratch()
+	defer PutScratch(sc)
+	idx, err := d.loadIndexScratch(outIndexName(i, j), d.Layout.Size(i)+1, sc)
 	if err != nil {
 		return nil, err
 	}
-	sc.idx = idx
-	return idx, nil
+	return append([]uint32(nil), idx...), nil
+}
+
+// LoadOutIndexScratch is LoadOutIndex reusing sc's buffers.
+func (d *DualStore) LoadOutIndexScratch(i, j int, sc *Scratch) ([]uint32, error) {
+	return d.loadIndexScratch(outIndexName(i, j), d.Layout.Size(i)+1, sc)
 }
 
 // LoadOutRun reads the raw byte range [startByte, endByte) of
@@ -574,7 +801,9 @@ func (d *DualStore) LoadOutRunScratch(i, j int, startByte, endByte uint32, sc *S
 }
 
 // DecodeRecs decodes one vertex's self-contained record section (a slice
-// of a loaded run delimited by consecutive index entries).
+// of a loaded run delimited by consecutive index entries), using the
+// store's uniform codec. FormatMixed callers must use the codec-explicit
+// variant — blocks differ.
 func (d *DualStore) DecodeRecs(section []byte) ([]Rec, error) {
 	return decodeVertexRecsInto(nil, section, d.Format, d.Weighted)
 }
@@ -582,77 +811,114 @@ func (d *DualStore) DecodeRecs(section []byte) ([]Rec, error) {
 // DecodeRecsScratch is DecodeRecs reusing sc's decode buffer; the result
 // is invalidated by the next DecodeRecsScratch on the same sc.
 func (d *DualStore) DecodeRecsScratch(section []byte, sc *Scratch) ([]Rec, error) {
-	recs, err := decodeVertexRecsInto(sc.decoded[:0], section, d.Format, d.Weighted)
+	return d.DecodeRecsCodecScratch(section, formatCodec(d.Format), sc)
+}
+
+// DecodeRecsCodecScratch decodes one vertex's self-contained record section
+// encoded with codec c (per-block in FormatMixed stores — consult
+// OutCodec/InCodec), reusing sc's decode buffer. Non-none decodes are
+// counted in the store's DecodeStats.
+func (d *DualStore) DecodeRecsCodecScratch(section []byte, c Codec, sc *Scratch) ([]Rec, error) {
+	var start time.Time
+	if c != CodecNone {
+		start = time.Now()
+	}
+	recs, err := decodeVertexRecsCodecInto(sc.decoded[:0], section, c, d.Weighted, &sc.rle)
 	if err != nil {
 		return nil, err
 	}
 	sc.decoded = recs
+	if c != CodecNone {
+		d.noteDecode(c, int64(len(recs))*int64(RawRecordBytes(d.Weighted)), int64(len(section)), time.Since(start))
+	}
 	return recs, nil
 }
 
-// loadBlock reads and fully decodes a block given its blob names.
-func (d *DualStore) loadBlock(idxName, blkName string, sc *Scratch) (Block, error) {
-	buf, err := d.readBlob(idxName, sc.idxRaw)
+// loadBlock reads and fully decodes one block (out or in view) of cell
+// (i,j), dispatching the section decode on the block's codec. On
+// FormatMixed stores the frame's codec tag must agree with the meta grid —
+// a mismatch means one of the two lied and is reported as corruption.
+func (d *DualStore) loadBlock(out bool, i, j int, sc *Scratch) (Block, error) {
+	var idxName, blkName string
+	var c Codec
+	var want int
+	if out {
+		idxName, blkName = outIndexName(i, j), outBlockName(i, j)
+		c, want = d.OutCodec(i, j), d.Layout.Size(i)+1
+	} else {
+		idxName, blkName = inIndexName(i, j), inBlockName(i, j)
+		c, want = d.InCodec(i, j), d.Layout.Size(j)+1
+	}
+	byteIdx, err := d.loadIndexScratch(idxName, want, sc)
 	if err != nil {
 		return Block{}, err
 	}
-	sc.idxRaw = buf
-	byteIdx, err := decodeIndexInto(sc.idx, buf)
-	if err != nil {
-		return Block{}, err
-	}
-	sc.idx = byteIdx
-	payload, err := d.readBlob(blkName, sc.raw)
+	payload, tag, err := d.readBlobTagged(blkName, sc.raw)
 	if err != nil {
 		return Block{}, err
 	}
 	sc.raw = payload
+	if d.Format == FormatMixed && tag != c {
+		return Block{}, fmt.Errorf("blockstore: %s: frame codec %v disagrees with meta codec %v: %w", blkName, tag, c, storage.ErrCorrupt)
+	}
 
 	if cap(sc.recIdx) < len(byteIdx) {
 		sc.recIdx = make([]uint32, len(byteIdx))
 	}
 	recIdx := sc.recIdx[:len(byteIdx)]
 	recs := sc.recs[:0]
+	var start time.Time
+	if c != CodecNone {
+		start = time.Now()
+	}
 	for k := 0; k+1 < len(byteIdx); k++ {
 		recIdx[k] = uint32(len(recs))
 		lo, hi := byteIdx[k], byteIdx[k+1]
 		if int(hi) > len(payload) || lo > hi {
-			return Block{}, fmt.Errorf("blockstore: %s: corrupt index [%d,%d) for %d payload bytes", blkName, lo, hi, len(payload))
+			return Block{}, fmt.Errorf("blockstore: %s: corrupt index [%d,%d) for %d payload bytes: %w", blkName, lo, hi, len(payload), storage.ErrCorrupt)
 		}
-		recs, err = decodeVertexRecsInto(recs, payload[lo:hi], d.Format, d.Weighted)
+		recs, err = decodeVertexRecsCodecInto(recs, payload[lo:hi], c, d.Weighted, &sc.rle)
 		if err != nil {
 			return Block{}, fmt.Errorf("blockstore: %s vertex %d: %w", blkName, k, err)
 		}
 	}
 	recIdx[len(byteIdx)-1] = uint32(len(recs))
 	sc.recs, sc.recIdx = recs, recIdx
+	logical := int64(len(recs)) * int64(RawRecordBytes(d.Weighted))
+	if c != CodecNone {
+		d.noteDecode(c, logical, int64(len(payload)), time.Since(start))
+	}
+	d.dec.logicalBytes.Add(logical)
 	return Block{Index: recIdx, Recs: recs}, nil
 }
 
 // LoadInBlockBytesScratch streams in-block(i,j) WITHOUT decoding: it
 // returns the raw payload and the per-destination byte index, both aliasing
-// sc's buffers. The engine's FormatRaw fast path iterates records in place
-// via RawRec, avoiding any per-iteration decode allocation — this is what
-// a real implementation gets by mapping packed structs.
+// sc's buffers. The engine's raw fast path iterates records in place via
+// RawRec, avoiding any per-iteration decode allocation — this is what a
+// real implementation gets by mapping packed structs. Only valid for
+// blocks whose codec is CodecNone (all of FormatRaw; per-block in
+// FormatMixed).
 func (d *DualStore) LoadInBlockBytesScratch(i, j int, sc *Scratch) ([]byte, []uint32, error) {
-	buf, err := d.readBlob(inIndexName(i, j), sc.idxRaw)
+	if c := d.InCodec(i, j); c != CodecNone {
+		return nil, nil, fmt.Errorf("blockstore: in-block (%d,%d) is %v-coded, not raw", i, j, c)
+	}
+	byteIdx, err := d.loadIndexScratch(inIndexName(i, j), d.Layout.Size(j)+1, sc)
 	if err != nil {
 		return nil, nil, err
 	}
-	sc.idxRaw = buf
-	byteIdx, err := decodeIndexInto(sc.idx, buf)
-	if err != nil {
-		return nil, nil, err
-	}
-	sc.idx = byteIdx
-	payload, err := d.readBlob(inBlockName(i, j), sc.raw)
+	payload, tag, err := d.readBlobTagged(inBlockName(i, j), sc.raw)
 	if err != nil {
 		return nil, nil, err
 	}
 	sc.raw = payload
+	if tag != CodecNone {
+		return nil, nil, fmt.Errorf("blockstore: in-block (%d,%d): frame codec %v disagrees with meta codec none: %w", i, j, tag, storage.ErrCorrupt)
+	}
 	if n := len(byteIdx); n == 0 || byteIdx[n-1] != uint32(len(payload)) {
 		return nil, nil, fmt.Errorf("blockstore: in-block (%d,%d): index/payload mismatch", i, j)
 	}
+	d.dec.logicalBytes.Add(int64(len(payload)))
 	return payload, byteIdx, nil
 }
 
@@ -661,15 +927,15 @@ func (d *DualStore) LoadInBlockBytesScratch(i, j int, sc *Scratch) ([]byte, []ui
 // returned Block owns its data; decode and I/O buffers come from the pooled
 // Scratch set rather than fresh per-call allocations.
 func (d *DualStore) LoadInBlock(i, j int) (*Block, error) {
-	return d.loadOwnedBlock(inIndexName(i, j), inBlockName(i, j))
+	return d.loadOwnedBlock(false, i, j)
 }
 
 // loadOwnedBlock loads a block through a pooled Scratch and copies the
 // decoded views into exact-size slices the caller owns.
-func (d *DualStore) loadOwnedBlock(idxName, blkName string) (*Block, error) {
+func (d *DualStore) loadOwnedBlock(out bool, i, j int) (*Block, error) {
 	sc := GetScratch()
 	defer PutScratch(sc)
-	blk, err := d.loadBlock(idxName, blkName, sc)
+	blk, err := d.loadBlock(out, i, j, sc)
 	if err != nil {
 		return nil, err
 	}
@@ -682,29 +948,50 @@ func (d *DualStore) loadOwnedBlock(idxName, blkName string) (*Block, error) {
 // LoadInBlockScratch is LoadInBlock reusing sc's buffers. The returned view
 // is invalidated by the next load into sc.
 func (d *DualStore) LoadInBlockScratch(i, j int, sc *Scratch) (Block, error) {
-	return d.loadBlock(inIndexName(i, j), inBlockName(i, j), sc)
+	return d.loadBlock(false, i, j, sc)
 }
 
-// LoadOutPayload streams the raw payload of out-block(i,j) in one
+// LoadOutPayload streams the stored payload of out-block(i,j) in one
 // sequential read, without touching its index — the whole-block promotion
 // path of the run-granular cache: once enough of a block has been read
 // piecemeal, one cheap sequential pass caches the payload that every
-// later run slices into. The returned buffer is freshly allocated and
-// owned by the caller.
+// later run slices into (and, for compressed blocks, decodes section-wise
+// through the byte-offset index on touch). The returned buffer is freshly
+// allocated and owned by the caller.
 func (d *DualStore) LoadOutPayload(i, j int) ([]byte, error) {
-	return d.readBlob(outBlockName(i, j), nil)
+	payload, tag, err := d.readBlobTagged(outBlockName(i, j), nil)
+	if err != nil {
+		return nil, err
+	}
+	if d.Format == FormatMixed && tag != d.OutCodec(i, j) {
+		return nil, fmt.Errorf("blockstore: out-block (%d,%d): frame codec %v disagrees with meta codec %v: %w", i, j, tag, d.OutCodec(i, j), storage.ErrCorrupt)
+	}
+	return payload, nil
 }
 
 // LoadOutBlock streams and decodes the whole out-block(i,j) with its
 // index, charged as sequential reads (full-push baselines and ablations).
 // Like LoadInBlock, the returned Block owns its data.
 func (d *DualStore) LoadOutBlock(i, j int) (*Block, error) {
-	return d.loadOwnedBlock(outIndexName(i, j), outBlockName(i, j))
+	return d.loadOwnedBlock(true, i, j)
 }
 
-// OutIndexBytes returns the on-disk size of out-index(i,j).
+// OutIndexBytes returns the stored size of out-index(i,j) — the actual
+// compressed size on FormatMixed stores, the analytic (Size(i)+1)·4
+// otherwise.
 func (d *DualStore) OutIndexBytes(i, j int) int64 {
+	if d.OutIndexStoredBytes != nil {
+		return d.OutIndexStoredBytes[i][j]
+	}
 	return int64(d.Layout.Size(i)+1) * IndexEntryBytes
+}
+
+// InIndexBytes returns the stored size of in-index(i,j).
+func (d *DualStore) InIndexBytes(i, j int) int64 {
+	if d.InIndexStoredBytes != nil {
+		return d.InIndexStoredBytes[i][j]
+	}
+	return int64(d.Layout.Size(j)+1) * IndexEntryBytes
 }
 
 // InColumnBytes returns the on-disk size of column j of the in-block grid:
@@ -712,7 +999,7 @@ func (d *DualStore) OutIndexBytes(i, j int) int64 {
 func (d *DualStore) InColumnBytes(j int) int64 {
 	var t int64
 	for i := 0; i < d.Layout.P; i++ {
-		t += d.InBlockBytes[i][j] + int64(d.Layout.Size(j)+1)*IndexEntryBytes
+		t += d.InBlockBytes[i][j] + d.InIndexBytes(i, j)
 	}
 	return t
 }

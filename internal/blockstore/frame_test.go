@@ -16,12 +16,52 @@ func TestFrameRoundTrip(t *testing.T) {
 		if !isFramed(framed) {
 			t.Fatalf("frameBlob output not recognized as framed")
 		}
-		got, err := unframeBlob("blob", framed)
+		got, codec, err := unframeBlob("blob", framed)
 		if err != nil {
 			t.Fatalf("unframe: %v", err)
 		}
+		if codec != CodecNone {
+			t.Fatalf("v1 frame decoded codec %v, want none", codec)
+		}
 		if !bytes.Equal(got, payload) {
 			t.Fatalf("payload mangled: %q != %q", got, payload)
+		}
+	}
+}
+
+func TestFrameV2RoundTrip(t *testing.T) {
+	for _, c := range []Codec{CodecNone, CodecVarint, CodecRLE} {
+		payload := bytes.Repeat([]byte{0x5A}, 257)
+		framed := frameBlobV2(payload, c)
+		if !isFramed(framed) {
+			t.Fatalf("frameBlobV2 output not recognized as framed")
+		}
+		got, codec, err := unframeBlob("blob", framed)
+		if err != nil {
+			t.Fatalf("unframe v2: %v", err)
+		}
+		if codec != c {
+			t.Fatalf("codec tag = %v, want %v", codec, c)
+		}
+		if !bytes.Equal(got, payload) {
+			t.Fatalf("v2 payload mangled")
+		}
+	}
+}
+
+func TestFrameV2DetectsCorruption(t *testing.T) {
+	payload := []byte("compressed payload bytes, CRC is over these stored bytes")
+	good := frameBlobV2(payload, CodecVarint)
+	cases := map[string]func([]byte) []byte{
+		"payload-bitflip": func(b []byte) []byte { b[frameHeaderLenV2+3] ^= 0x10; return b },
+		"bad-codec-tag":   func(b []byte) []byte { b[17] = 99; return b },
+		"truncated":       func(b []byte) []byte { return b[:len(b)-5] },
+		"header-only":     func(b []byte) []byte { return b[:frameHeaderLen] },
+	}
+	for name, mutate := range cases {
+		buf := mutate(append([]byte(nil), good...))
+		if _, _, err := unframeBlob("blob", buf); !errors.Is(err, storage.ErrCorrupt) {
+			t.Errorf("%s: err = %v, want wrapped storage.ErrCorrupt", name, err)
 		}
 	}
 }
@@ -40,7 +80,7 @@ func TestFrameDetectsCorruption(t *testing.T) {
 	}
 	for name, mutate := range cases {
 		buf := mutate(append([]byte(nil), good...))
-		if _, err := unframeBlob("blob", buf); !errors.Is(err, storage.ErrCorrupt) {
+		if _, _, err := unframeBlob("blob", buf); !errors.Is(err, storage.ErrCorrupt) {
 			t.Errorf("%s: err = %v, want wrapped storage.ErrCorrupt", name, err)
 		}
 	}

@@ -1,0 +1,326 @@
+package blockstore
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"reflect"
+	"testing"
+	"time"
+
+	"husgraph/internal/gen"
+	"husgraph/internal/graph"
+	"husgraph/internal/storage"
+)
+
+func TestRLERoundTrip(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		{},
+		{1},
+		{7, 7, 7},
+		bytes.Repeat([]byte{0}, 500),
+		append(bytes.Repeat([]byte{9}, 130), bytes.Repeat([]byte{3}, 131)...),
+		[]byte("no runs at all, literal bytes only — every byte distinct-ish"),
+		append(append([]byte("lit"), bytes.Repeat([]byte{0xFF}, 64)...), "tail"...),
+	}
+	rng := rand.New(rand.NewSource(5))
+	for k := 0; k < 30; k++ {
+		buf := make([]byte, rng.Intn(600))
+		for i := range buf {
+			if rng.Intn(3) == 0 {
+				buf[i] = 0 // seed runs
+			} else {
+				buf[i] = byte(rng.Intn(256))
+			}
+		}
+		cases = append(cases, buf)
+	}
+	for _, src := range cases {
+		enc := appendRLE(nil, src)
+		got, err := appendUnRLE(nil, enc)
+		if err != nil {
+			t.Fatalf("unRLE(%d bytes): %v", len(src), err)
+		}
+		if !bytes.Equal(got, src) {
+			t.Fatalf("RLE round trip mangled %d-byte input", len(src))
+		}
+	}
+}
+
+func TestRLECorruptInputsError(t *testing.T) {
+	enc := appendRLE(nil, bytes.Repeat([]byte{4}, 64))
+	for _, c := range [][]byte{
+		enc[:len(enc)-1],  // truncated run value / literal tail
+		{0x05},            // literal group promising 6 bytes, none present
+		{0x80},            // run control with no value byte
+		{0x7F, 1, 2, 3},   // literal group promising 128 bytes, 3 present
+	} {
+		if _, err := appendUnRLE(nil, c); !errors.Is(err, storage.ErrCorrupt) {
+			t.Fatalf("corrupt RLE %v: err = %v, want wrapped storage.ErrCorrupt", c, err)
+		}
+	}
+}
+
+// mixedGraph builds a graph whose blocks favor different codecs: dense
+// sequential neighborhoods (varint-friendly), empty stretches, and a
+// weighted variant whose repeated weights RLE can squeeze.
+func mixedGraph(weighted bool) *graph.Graph {
+	rng := rand.New(rand.NewSource(21))
+	g := gen.RMAT(256, 2400, gen.Graph500, rng)
+	if weighted {
+		gen.AssignUniformWeights(g, 1, 3, rand.New(rand.NewSource(22)))
+	}
+	return g
+}
+
+func TestMixedBuildOpenRoundTrip(t *testing.T) {
+	for _, weighted := range []bool{false, true} {
+		g := mixedGraph(weighted)
+		st := memStore()
+		built, err := BuildOpts(st, g, Options{P: 4, Format: FormatMixed, Weighted: weighted})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if built.OutCodecs == nil || built.InCodecs == nil {
+			t.Fatal("mixed build left codec grids nil")
+		}
+		opened, err := Open(st)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if opened.Format != FormatMixed {
+			t.Fatalf("reopened format = %v", opened.Format)
+		}
+		if !reflect.DeepEqual(opened.OutCodecs, built.OutCodecs) || !reflect.DeepEqual(opened.InCodecs, built.InCodecs) {
+			t.Fatal("codec grids lost across Open")
+		}
+		if !reflect.DeepEqual(opened.OutIndexStoredBytes, built.OutIndexStoredBytes) {
+			t.Fatal("index stored sizes lost across Open")
+		}
+		// Decoded blocks must be bit-identical to a raw build of the
+		// same graph.
+		raw, err := BuildOpts(memStore(), g, Options{P: 4, Format: FormatRaw, Weighted: weighted})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 4; i++ {
+			for j := 0; j < 4; j++ {
+				a, err := raw.LoadOutBlock(i, j)
+				if err != nil {
+					t.Fatal(err)
+				}
+				b, err := opened.LoadOutBlock(i, j)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !reflect.DeepEqual(a, b) {
+					t.Fatalf("out-block (%d,%d) differs raw vs mixed (weighted=%v)", i, j, weighted)
+				}
+				ai, err := raw.LoadInBlock(i, j)
+				if err != nil {
+					t.Fatal(err)
+				}
+				bi, err := opened.LoadInBlock(i, j)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !reflect.DeepEqual(ai, bi) {
+					t.Fatalf("in-block (%d,%d) differs raw vs mixed (weighted=%v)", i, j, weighted)
+				}
+			}
+		}
+	}
+}
+
+func TestMixedNeverLargerThanRawPerBlock(t *testing.T) {
+	g := mixedGraph(true)
+	raw, err := BuildOpts(memStore(), g, Options{P: 4, Format: FormatRaw, Weighted: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mixed, err := BuildOpts(memStore(), g, Options{P: 4, Format: FormatMixed, Weighted: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	anySmaller := false
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			if mixed.OutBlockBytes[i][j] > raw.OutBlockBytes[i][j] {
+				t.Fatalf("mixed out-block (%d,%d) %d bytes > raw %d", i, j, mixed.OutBlockBytes[i][j], raw.OutBlockBytes[i][j])
+			}
+			if mixed.OutBlockBytes[i][j] == raw.OutBlockBytes[i][j] && mixed.OutCodec(i, j) != CodecNone {
+				t.Fatalf("out-block (%d,%d): codec %v chosen without strictly paying", i, j, mixed.OutCodec(i, j))
+			}
+			if mixed.OutBlockBytes[i][j] < raw.OutBlockBytes[i][j] {
+				anySmaller = true
+			}
+			if got, limit := mixed.OutIndexBytes(i, j), raw.OutIndexBytes(i, j); got > limit {
+				t.Fatalf("mixed out-index (%d,%d) %d bytes > raw %d", i, j, got, limit)
+			}
+		}
+	}
+	if !anySmaller {
+		t.Fatal("no block compressed at all on a compressible graph")
+	}
+	t.Logf("edge bytes: raw %d, mixed %d (%.2fx)", raw.TotalEdgeBytes(), mixed.TotalEdgeBytes(),
+		float64(raw.TotalEdgeBytes())/float64(mixed.TotalEdgeBytes()))
+}
+
+func TestMixedStreamingMatchesDirect(t *testing.T) {
+	g := mixedGraph(false)
+	want, err := BuildOpts(memStore(), g, Options{P: 3, Format: FormatMixed, Weighted: false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := graph.WriteBinary(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	got, err := BuildStreamingOpts(memStore(), &buf, Options{P: 3, Format: FormatMixed, Weighted: false}, 257)
+	if err != nil {
+		t.Fatal(err)
+	}
+	storesEquivalent(t, want, got)
+	if !reflect.DeepEqual(want.OutCodecs, got.OutCodecs) || !reflect.DeepEqual(want.InCodecs, got.InCodecs) {
+		t.Fatal("streaming build chose different codecs than direct build")
+	}
+}
+
+func TestMixedRejectsNoChecksums(t *testing.T) {
+	if _, err := BuildOpts(memStore(), chain(16), Options{P: 2, Format: FormatMixed, NoChecksums: true}); err == nil {
+		t.Fatal("mixed + NoChecksums accepted: codec tags live in the frame")
+	}
+}
+
+func TestMixedRangeReadsAndSectionDecode(t *testing.T) {
+	// ROP-style consumption against a mixed store: load the out-index,
+	// range-read one vertex's section, decode with the block's codec, and
+	// compare against the whole decoded block.
+	g := mixedGraph(true)
+	ds, err := BuildOpts(memStore(), g, Options{P: 4, Format: FormatMixed, Weighted: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := ds.Layout
+	sc := GetScratch()
+	defer PutScratch(sc)
+	for i := 0; i < l.P; i++ {
+		for j := 0; j < l.P; j++ {
+			if ds.BlockEdgeCount[i][j] == 0 {
+				continue
+			}
+			whole, err := ds.LoadOutBlock(i, j)
+			if err != nil {
+				t.Fatal(err)
+			}
+			idx, err := ds.LoadOutIndex(i, j)
+			if err != nil {
+				t.Fatal(err)
+			}
+			codec := ds.OutCodec(i, j)
+			for local := 0; local < l.Size(i); local++ {
+				s, e := idx[local], idx[local+1]
+				if s == e {
+					continue
+				}
+				raw, err := ds.LoadOutRun(i, j, s, e)
+				if err != nil {
+					t.Fatal(err)
+				}
+				recs, err := ds.DecodeRecsCodecScratch(raw, codec, sc)
+				if err != nil {
+					t.Fatalf("section decode (%d,%d) v%d codec %v: %v", i, j, local, codec, err)
+				}
+				if want := whole.EdgesOf(local); !reflect.DeepEqual(append([]Rec(nil), recs...), append([]Rec(nil), want...)) {
+					t.Fatalf("section (%d,%d) v%d decodes %v, want %v", i, j, local, recs, want)
+				}
+			}
+		}
+	}
+}
+
+func TestMixedCorruptPayloadSurfacesChecksumError(t *testing.T) {
+	g := mixedGraph(false)
+	st := memStore()
+	ds, err := BuildOpts(st, g, Options{P: 2, Format: FormatMixed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	name := "ib/0.1"
+	b, err := st.ReadAll(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b[frameHeaderLenV2+2] ^= 0x20
+	if err := st.Put(name, b); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ds.LoadInBlock(0, 1); !errors.Is(err, storage.ErrCorrupt) {
+		t.Fatalf("corrupt mixed block: err = %v, want wrapped storage.ErrCorrupt", err)
+	}
+}
+
+// TestHedgedCompressedReadDecodesOnce is the ISSUE's hedging/compression
+// interaction check: a FaultDelayed read on a compressed block that blows
+// the deadline races a hedged duplicate, but only the winning bytes are
+// decoded — exactly one decode op per block load, never two.
+func TestHedgedCompressedReadDecodesOnce(t *testing.T) {
+	g := mixedGraph(false)
+	st := memStore()
+	if _, err := BuildOpts(st, g, Options{P: 2, Format: FormatMixed}); err != nil {
+		t.Fatal(err)
+	}
+	fs := storage.NewFaultStore(st, 7)
+	ds, err := Open(fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds.SetHedgePolicy(HedgePolicy{Deadline: time.Millisecond})
+
+	// Find a compressed in-block to target.
+	ci, cj := -1, -1
+	for i := 0; i < 2 && ci < 0; i++ {
+		for j := 0; j < 2; j++ {
+			if ds.BlockEdgeCount[i][j] > 0 && ds.InCodec(i, j) != CodecNone {
+				ci, cj = i, j
+				break
+			}
+		}
+	}
+	if ci < 0 {
+		t.Skip("no compressed in-block in this build")
+	}
+	// Baseline: decode ops of one clean load of the same block (payload
+	// decode plus the index decode when that is compressed too).
+	clean, err := Open(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cleanBefore := clean.DecodeStats()
+	if _, err := clean.LoadInBlock(ci, cj); err != nil {
+		t.Fatal(err)
+	}
+	wantOps := clean.DecodeStats().Sub(cleanBefore).Ops
+	if wantOps == 0 {
+		t.Fatal("baseline load of a compressed block ran no decode ops")
+	}
+
+	fs.Inject(storage.Fault{Op: storage.OpRead, Kind: storage.FaultDelay, Name: inBlockName(ci, cj), Delay: 50 * time.Millisecond})
+
+	before := ds.DecodeStats()
+	blk, err := ds.LoadInBlock(ci, cj)
+	if err != nil {
+		t.Fatalf("hedged load: %v", err)
+	}
+	if len(blk.Recs) == 0 {
+		t.Fatal("hedged load decoded empty")
+	}
+	if got := ds.Hedges(); got == 0 {
+		t.Fatal("delayed read did not hedge")
+	}
+	delta := ds.DecodeStats().Sub(before)
+	if delta.Ops != wantOps {
+		t.Fatalf("hedged compressed load ran %d decode ops, want %d (the losing read attempt must not decode)", delta.Ops, wantOps)
+	}
+}

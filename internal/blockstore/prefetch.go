@@ -302,7 +302,11 @@ func (p *Prefetcher) load(key BlockKey) *PrefetchResult {
 	case KindOutIndex:
 		res.ByteIdx, err = p.ds.LoadOutIndexScratch(key.I, key.J, sc)
 	case KindInBlock:
-		if p.ds.Format == FormatRaw {
+		// Decode happens here, in the worker, so it overlaps the I/O of
+		// the other in-flight blocks instead of serializing behind it.
+		// Raw-coded blocks (all of FormatRaw; per-block in FormatMixed)
+		// skip decoding entirely and are iterated in place downstream.
+		if p.ds.InCodec(key.I, key.J) == CodecNone {
 			res.Payload, res.ByteIdx, err = p.ds.LoadInBlockBytesScratch(key.I, key.J, sc)
 		} else {
 			var blk Block

@@ -38,8 +38,11 @@ func BuildStreaming(store storage.Store, r io.Reader, p int, format Format, spil
 // BuildStreamingOpts is BuildStreaming with full layout options.
 func BuildStreamingOpts(store storage.Store, r io.Reader, opts Options, spillEdges int) (*DualStore, error) {
 	format := opts.Format
-	if format != FormatRaw && format != FormatCompressed {
+	if format != FormatRaw && format != FormatCompressed && format != FormatMixed {
 		return nil, fmt.Errorf("blockstore: streaming build: unknown format %d", format)
+	}
+	if format == FormatMixed && opts.NoChecksums {
+		return nil, fmt.Errorf("blockstore: streaming build: mixed format requires checksum frames (codec tags live in the v2 frame header)")
 	}
 	if spillEdges <= 0 {
 		spillEdges = 1 << 20
@@ -65,12 +68,18 @@ func BuildStreamingOpts(store storage.Store, r io.Reader, opts Options, spillEdg
 
 	layout := NewLayout(numV, opts.P)
 	p := layout.P
-	d := &DualStore{store: store, Layout: layout, Format: format, Weighted: opts.Weighted, framed: !opts.NoChecksums, retries: new(atomic.Int64)}
+	d := &DualStore{store: store, Layout: layout, Format: format, Weighted: opts.Weighted, framed: !opts.NoChecksums, retries: new(atomic.Int64), hedges: new(atomic.Int64), dec: new(decodeCounters)}
 	d.OutDegrees = make([]int32, numV)
 	d.InDegrees = make([]int32, numV)
 	d.BlockEdgeCount = alloc2D(p)
 	d.OutBlockBytes = alloc2D(p)
 	d.InBlockBytes = alloc2D(p)
+	if format == FormatMixed {
+		d.OutCodecs = allocCodec2D(p)
+		d.InCodecs = allocCodec2D(p)
+		d.OutIndexStoredBytes = alloc2D(p)
+		d.InIndexStoredBytes = alloc2D(p)
+	}
 
 	// Pass 1: spill into per-row and per-column buckets.
 	spill := newSpiller(store, spillEdges)
@@ -148,41 +157,29 @@ func BuildStreamingOpts(store storage.Store, r io.Reader, opts Options, spillEdg
 }
 
 // encodeRow writes the P out-blocks of row i from its (src,dst)-sorted
-// edges.
+// edges. Blocks are encoded through the same per-block encoder BuildOpts
+// uses (encodeBlockPayload), so FormatMixed's per-block codec choice works
+// identically for in-memory and streaming builds.
 func (d *DualStore) encodeRow(i int, edges []graph.Edge) error {
 	l := d.Layout
 	lo, _ := l.Bounds(i)
 	size := l.Size(i)
-	payloads := make([][]byte, l.P)
-	indices := make([][]uint32, l.P)
+	recs := make([][]Rec, l.P)
+	perVertex := make([][]uint32, l.P)
 	for j := 0; j < l.P; j++ {
-		indices[j] = make([]uint32, size+1)
+		perVertex[j] = make([]uint32, size)
 	}
-	var vrecs []Rec
 	pos := 0
 	for local := 0; local < size; local++ {
-		for j := 0; j < l.P; j++ {
-			indices[j][local] = uint32(len(payloads[j]))
-		}
 		src := uint32(lo + local)
 		end := pos
+		// Edges of one source are dst-sorted, so appending in order keeps
+		// each block's per-vertex slice neighbor-sorted.
 		for end < len(edges) && edges[end].Src == src {
+			j := l.IntervalOf(edges[end].Dst)
+			recs[j] = append(recs[j], Rec{Nbr: edges[end].Dst, Weight: edges[end].Weight})
+			perVertex[j][local]++
 			end++
-		}
-		if end == pos {
-			continue
-		}
-		// Edges of one source are dst-sorted, so each block's slice is
-		// neighbor-sorted.
-		for j := 0; j < l.P; j++ {
-			jlo, jhi := l.Bounds(j)
-			vrecs = vrecs[:0]
-			for k := pos; k < end; k++ {
-				if int(edges[k].Dst) >= jlo && int(edges[k].Dst) < jhi {
-					vrecs = append(vrecs, Rec{Nbr: edges[k].Dst, Weight: edges[k].Weight})
-				}
-			}
-			payloads[j] = encodeVertexRecs(payloads[j], vrecs, d.Format, d.Weighted)
 		}
 		pos = end
 	}
@@ -190,13 +187,18 @@ func (d *DualStore) encodeRow(i int, edges []graph.Edge) error {
 		return fmt.Errorf("blockstore: row %d: %d edges outside interval", i, len(edges)-pos)
 	}
 	for j := 0; j < l.P; j++ {
-		indices[j][size] = uint32(len(payloads[j]))
-		d.OutBlockBytes[i][j] = int64(len(payloads[j]))
-		if err := d.putBlob(outBlockName(i, j), payloads[j]); err != nil {
+		payload, idx, c := encodeBlockPayload(recs[j], perVertex[j], d.Format, d.Weighted)
+		d.OutBlockBytes[i][j] = int64(len(payload))
+		if err := d.putBlobCodec(outBlockName(i, j), payload, c); err != nil {
 			return err
 		}
-		if err := d.putBlob(outIndexName(i, j), encodeIndex(indices[j])); err != nil {
+		idxPayload, idxCodec := encodeBlockIndex(idx, d.Format)
+		if err := d.putBlobCodec(outIndexName(i, j), idxPayload, idxCodec); err != nil {
 			return err
+		}
+		if d.Format == FormatMixed {
+			d.OutCodecs[i][j] = c
+			d.OutIndexStoredBytes[i][j] = int64(len(idxPayload))
 		}
 	}
 	return nil
@@ -208,34 +210,20 @@ func (d *DualStore) encodeColumn(j int, edges []graph.Edge) error {
 	l := d.Layout
 	lo, _ := l.Bounds(j)
 	size := l.Size(j)
-	payloads := make([][]byte, l.P)
-	indices := make([][]uint32, l.P)
+	recs := make([][]Rec, l.P)
+	perVertex := make([][]uint32, l.P)
 	for i := 0; i < l.P; i++ {
-		indices[i] = make([]uint32, size+1)
+		perVertex[i] = make([]uint32, size)
 	}
-	var vrecs []Rec
 	pos := 0
 	for local := 0; local < size; local++ {
-		for i := 0; i < l.P; i++ {
-			indices[i][local] = uint32(len(payloads[i]))
-		}
 		dst := uint32(lo + local)
 		end := pos
 		for end < len(edges) && edges[end].Dst == dst {
+			i := l.IntervalOf(edges[end].Src)
+			recs[i] = append(recs[i], Rec{Nbr: edges[end].Src, Weight: edges[end].Weight})
+			perVertex[i][local]++
 			end++
-		}
-		if end == pos {
-			continue
-		}
-		for i := 0; i < l.P; i++ {
-			ilo, ihi := l.Bounds(i)
-			vrecs = vrecs[:0]
-			for k := pos; k < end; k++ {
-				if int(edges[k].Src) >= ilo && int(edges[k].Src) < ihi {
-					vrecs = append(vrecs, Rec{Nbr: edges[k].Src, Weight: edges[k].Weight})
-				}
-			}
-			payloads[i] = encodeVertexRecs(payloads[i], vrecs, d.Format, d.Weighted)
 		}
 		pos = end
 	}
@@ -243,13 +231,18 @@ func (d *DualStore) encodeColumn(j int, edges []graph.Edge) error {
 		return fmt.Errorf("blockstore: column %d: %d edges outside interval", j, len(edges)-pos)
 	}
 	for i := 0; i < l.P; i++ {
-		indices[i][size] = uint32(len(payloads[i]))
-		d.InBlockBytes[i][j] = int64(len(payloads[i]))
-		if err := d.putBlob(inBlockName(i, j), payloads[i]); err != nil {
+		payload, idx, c := encodeBlockPayload(recs[i], perVertex[i], d.Format, d.Weighted)
+		d.InBlockBytes[i][j] = int64(len(payload))
+		if err := d.putBlobCodec(inBlockName(i, j), payload, c); err != nil {
 			return err
 		}
-		if err := d.putBlob(inIndexName(i, j), encodeIndex(indices[i])); err != nil {
+		idxPayload, idxCodec := encodeBlockIndex(idx, d.Format)
+		if err := d.putBlobCodec(inIndexName(i, j), idxPayload, idxCodec); err != nil {
 			return err
+		}
+		if d.Format == FormatMixed {
+			d.InCodecs[i][j] = c
+			d.InIndexStoredBytes[i][j] = int64(len(idxPayload))
 		}
 	}
 	return nil

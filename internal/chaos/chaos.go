@@ -122,6 +122,10 @@ type Tuning struct {
 	ReadRetries   int
 	ReadDeadline  time.Duration
 	Degrade       bool
+	// Format is the chaotic store's block format (the clean oracle always
+	// runs raw, so compressed chaos runs are checked against an
+	// uncompressed reference). Zero value is FormatRaw.
+	Format blockstore.Format
 	// Vertices and Edges scale the R-MAT test graph.
 	Vertices, Edges int
 }
@@ -200,7 +204,7 @@ func Execute(a Algo, tune Tuning, sched Schedule) (*Report, error) {
 	// Chaotic run: same graph on a fresh store, every read gated by the
 	// seeded fault plan.
 	mem := storage.NewMemStore(storage.NewDevice(storage.SSD))
-	if _, err := blockstore.Build(mem, g, tune.P); err != nil {
+	if _, err := blockstore.BuildWithFormat(mem, g, tune.P, tune.Format); err != nil {
 		return nil, err
 	}
 	fs := storage.NewFaultStore(mem, sched.Seed)
@@ -243,12 +247,20 @@ func Execute(a Algo, tune Tuning, sched Schedule) (*Report, error) {
 			return rep, fmt.Errorf("chaos: %s under %s: %w", a.Name, sched.Name, err)
 		}
 		// The schedule killed the run. Reopen the store cold — a crashed
-		// process restarting — and resume from the checkpoint.
+		// process restarting — and resume from the checkpoint. The reopen
+		// itself may hit leftover injected transients; a restarting process
+		// retries those (corrupt or permanent errors still fail the run).
 		rep.Killed = true
 		cfg.OnIteration = nil
-		ds2, err := blockstore.Open(fs)
-		if err != nil {
-			return nil, err
+		var ds2 *blockstore.DualStore
+		for attempt := 0; ; attempt++ {
+			ds2, err = blockstore.Open(fs)
+			if err == nil {
+				break
+			}
+			if attempt >= tune.ReadRetries || !errors.Is(err, storage.ErrTransient) {
+				return nil, err
+			}
 		}
 		res, err = core.New(ds2, cfg).Run(a.New(g))
 		if err != nil {

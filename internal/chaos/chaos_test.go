@@ -8,6 +8,7 @@ import (
 	"testing"
 	"time"
 
+	"husgraph/internal/blockstore"
 	"husgraph/internal/core"
 	"husgraph/internal/storage"
 )
@@ -159,6 +160,54 @@ func TestChaosDegradeLadderUnderSustainedFaults(t *testing.T) {
 	}
 	if len(rep.Chaotic.Recovery.DegradeEvents) == 0 {
 		t.Fatal("sustained latency storm never moved the degradation ladder")
+	}
+}
+
+// TestChaosCompressedStore runs the full matrix over mixed-format
+// (compressed) chaotic stores against uncompressed clean oracles: decode
+// must compose with retries, hedges, the degrade ladder and kill-and-resume
+// without perturbing a single bit of the result.
+func TestChaosCompressedStore(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+	models := []core.Model{core.ModelHybrid, core.ModelROP, core.ModelCOP}
+	for i, a := range Matrix() {
+		a, model := a, models[i%len(models)]
+		t.Run(a.Name, func(t *testing.T) {
+			sched := RandomSchedule(31 + int64(i))
+			rep := runBounded(t, a, Tuning{Model: model, Degrade: true, Format: blockstore.FormatMixed}, sched, 60*time.Second)
+			if err := Verify(rep); err != nil {
+				t.Fatal(err)
+			}
+			if rep.Counters.Injected() == 0 {
+				t.Fatalf("schedule %s injected nothing", sched.Name)
+			}
+		})
+	}
+	settleGoroutines(t, baseline)
+}
+
+// TestChaosCompressedKillAndResume forces the crash path over a compressed
+// store: the resumed engine reopens the mixed-format blobs cold, decodes
+// them again, and still lands on the oracle's exact values.
+func TestChaosCompressedKillAndResume(t *testing.T) {
+	sched := RandomSchedule(7)
+	sched.KillAtIter = 2
+	a, err := AlgoByName("PageRank")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := runBounded(t, a, Tuning{Model: core.ModelCOP, Degrade: true, Format: blockstore.FormatMixed}, sched, 60*time.Second)
+	if err := Verify(rep); err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Killed {
+		t.Fatal("schedule did not kill the run")
+	}
+	if !rep.Resumed || rep.Chaotic.Recovery.ResumedIter <= 0 {
+		t.Fatalf("killed compressed run did not resume (ResumedIter=%d)", rep.Chaotic.Recovery.ResumedIter)
+	}
+	if rep.Chaotic.TotalDecodedBytes() <= 0 {
+		t.Fatal("compressed chaos run metered no decode work")
 	}
 }
 

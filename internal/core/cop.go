@@ -61,10 +61,13 @@ func (e *Engine) runCOP(prog Program, s, d []float64, frontier, next *bitset.Fro
 			if res.Err != nil {
 				return 0, res.Err
 			}
-			if e.ds.Format == blockstore.FormatRaw {
-				// Raw fast path: iterate the packed records in place —
-				// no decode pass, and the per-destination parallelism
-				// covers all of the block's work.
+			if e.ds.InCodec(j, i) == blockstore.CodecNone {
+				// Raw fast path: uncompressed in-blocks (FormatRaw, or a
+				// mixed-store block where no codec paid) iterate the packed
+				// records in place — no decode pass, and the
+				// per-destination parallelism covers all of the block's
+				// work. Compressed in-blocks arrive decoded from the window
+				// (the decode ran in the prefetch worker, overlapping I/O).
 				payload, byteIdx := res.Payload, res.ByteIdx
 				if len(payload) == 0 {
 					res.Release()

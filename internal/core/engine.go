@@ -51,6 +51,20 @@ type Engine struct {
 	// nil when pipelining is off.
 	vd *deltaTracker
 
+	// semIdx pins every nonempty block's decoded out-index resident under
+	// Config.SemiExternal: read (and charged to the device) exactly once
+	// at the first Run, after which ROP iterations plan no KindOutIndex
+	// reads at all — only the selectively-loaded edge payload ranges touch
+	// the device. nil when semi-external mode is off.
+	semIdx [][][]uint32
+
+	// decNsPerByte is the predictor's EWMA of the modeled decompression
+	// cost per logical byte, updated from every iteration's observed
+	// decode volume; until the first observation (decKnown false) the
+	// conservative varint seed rate is used.
+	decNsPerByte float64
+	decKnown     bool
+
 	// ckptSlot is the next checkpoint generation slot (0 or 1) to write;
 	// loadCheckpoint points it away from the generation it resumed from.
 	ckptSlot int
@@ -175,6 +189,12 @@ func (e *Engine) RunContext(ctx context.Context, prog Program) (*Result, error) 
 		}
 	}
 
+	if e.cfg.SemiExternal {
+		if err := e.pinSemResident(); err != nil {
+			return nil, err
+		}
+	}
+
 	dev := e.ds.Device()
 	e.slackAvail = e.slackAvail[:0]
 	// Speculation parked at the barrier when the run ends (converged,
@@ -213,6 +233,7 @@ func (e *Engine) RunContext(ctx context.Context, prog Program) (*Result, error) 
 		retriesBefore := e.ds.Retries()
 		hedgesBefore := e.ds.Hedges()
 		unusedBefore := e.prefetchUnused.Load()
+		decBefore := e.ds.DecodeStats()
 		var cacheBefore blockstore.CacheStats
 		if e.cache != nil {
 			cacheBefore = e.cache.Stats()
@@ -233,7 +254,12 @@ func (e *Engine) RunContext(ctx context.Context, prog Program) (*Result, error) 
 		var plan []blockstore.BlockKey
 		var copSkip func(int) bool
 		if st.Model == ModelROP {
-			plan = ioplan.ROPKeys(e.ds.Layout, e.ds.BlockEdgeCount, frontier)
+			// With pinned out-indices (semi-external mode) a ROP iteration
+			// has nothing to plan: the selective edge-range loads stay on
+			// the consume path, and the indices they need are in memory.
+			if e.semIdx == nil {
+				plan = ioplan.ROPKeys(e.ds.Layout, e.ds.BlockEdgeCount, frontier)
+			}
 		} else {
 			copSkip = e.copSkipFunc(frontier)
 			plan = ioplan.COPKeys(e.ds.Layout, copSkip)
@@ -271,6 +297,21 @@ func (e *Engine) RunContext(ctx context.Context, prog Program) (*Result, error) 
 		st.ComputeTime = time.Since(start)
 		edgeWork, blockWork := e.iterationWork(st.Model, frontier, st.ActiveEdges)
 		st.ComputeModeled = ModeledComputeTime(edgeWork, int64(n), blockWork, e.cfg.Threads)
+		decDelta := e.ds.DecodeStats().Sub(decBefore)
+		st.DecodeTime = decDelta.Time
+		st.DecodedBytes = decDelta.DecodedBytes()
+		st.CompressedBytes = decDelta.CompressedBytes
+		st.DecodeModeled = ModeledDecodeTime(decDelta.VarintBytes, decDelta.RLEBytes, e.cfg.Threads)
+		if db := st.DecodedBytes; db > 0 {
+			// Feed the predictor's decode-cost EWMA from what this iteration
+			// actually decoded (modeled rates, so replays are deterministic).
+			rate := float64(st.DecodeModeled) / float64(db)
+			if e.decKnown {
+				e.decNsPerByte = 0.75*e.decNsPerByte + 0.25*rate
+			} else {
+				e.decNsPerByte, e.decKnown = rate, true
+			}
+		}
 		// Attribution across the barrier: speculative reads issued during
 		// this window belong to the iteration that consumes them, so they
 		// are subtracted from this iteration's raw device delta; the batch
@@ -319,9 +360,24 @@ func (e *Engine) RunContext(ctx context.Context, prog Program) (*Result, error) 
 			}
 		}
 		st.OverlapCredit = credit
-		st.Runtime = st.IOTime - credit
-		if st.ComputeModeled > st.Runtime {
-			st.Runtime = st.ComputeModeled
+		// Decode placement mirrors where the decompression actually runs:
+		// asynchronous pipelines decode in their prefetch workers, so the
+		// work overlaps the device and lands on the CPU side of the
+		// max(); synchronous loads decode inline after each read returns,
+		// extending the I/O path. This is what makes compression pay most
+		// on slow devices — on an HDD the shrunk reads dominate and the
+		// decode hides behind them; on RAM-class storage the decode is the
+		// bottleneck and compression can only break even.
+		ioSide := st.IOTime - credit
+		cpuSide := st.ComputeModeled
+		if e.cfg.PrefetchDepth > 0 && st.DegradeLevel < resilience.LevelNoPrefetch {
+			cpuSide += st.DecodeModeled
+		} else {
+			ioSide += st.DecodeModeled
+		}
+		st.Runtime = ioSide
+		if cpuSide > st.Runtime {
+			st.Runtime = cpuSide
 		}
 		slack := st.ComputeModeled - st.IOTime
 		if slack < 0 {
@@ -421,6 +477,59 @@ func (e *Engine) applyDegradeLevel() resilience.Level {
 // Cache returns the engine's block cache, or nil when caching is disabled.
 func (e *Engine) Cache() *blockstore.BlockCache { return e.cache }
 
+// SemResidentBytes sizes semi-external mode's in-memory footprint for
+// this store: the vertex working arrays (S, D, both degree arrays, two
+// frontier bitmaps) plus every nonempty block's decoded out-index. This
+// is the quantity checked against Config.SemBudgetBytes.
+func (e *Engine) SemResidentBytes() (vertexBytes, indexBytes int64) {
+	l := e.ds.Layout
+	n := int64(l.NumVertices)
+	vertexBytes = 2*n*int64(blockstore.VertexValueBytes) + 2*n*4 + 2*(n+7)/8
+	for i := 0; i < l.P; i++ {
+		rowIdx := int64(l.Size(i)+1) * blockstore.IndexEntryBytes
+		for j := 0; j < l.P; j++ {
+			if e.ds.BlockEdgeCount[i][j] != 0 {
+				indexBytes += rowIdx
+			}
+		}
+	}
+	return vertexBytes, indexBytes
+}
+
+// pinSemResident asserts the semi-external residency fits the configured
+// budget, then loads every nonempty block's out-index into memory — the
+// one-time sequential read semi-external mode charges instead of
+// re-reading indices every ROP iteration. Idempotent: a reused engine
+// (kill → Resume) keeps its pins.
+func (e *Engine) pinSemResident() error {
+	if e.semIdx != nil {
+		return nil
+	}
+	vb, ib := e.SemResidentBytes()
+	if b := e.cfg.SemBudgetBytes; b > 0 && vb+ib > b {
+		return fmt.Errorf(
+			"%w: needs %d bytes resident (%d vertex arrays + %d out-indices) but the budget is %d bytes; raise -sem-budget-mb to at least %d MB or drop -sem",
+			ErrSemBudget, vb+ib, vb, ib, b, (vb+ib+(1<<20)-1)>>20)
+	}
+	l := e.ds.Layout
+	idx := make([][][]uint32, l.P)
+	for i := 0; i < l.P; i++ {
+		idx[i] = make([][]uint32, l.P)
+		for j := 0; j < l.P; j++ {
+			if e.ds.BlockEdgeCount[i][j] == 0 {
+				continue
+			}
+			one, err := e.ds.LoadOutIndex(i, j)
+			if err != nil {
+				return fmt.Errorf("core: pinning out-index (%d,%d) for semi-external mode: %w", i, j, err)
+			}
+			idx[i][j] = one
+		}
+	}
+	e.semIdx = idx
+	return nil
+}
+
 // copSkipFunc returns COP's block-level selective-scheduling predicate for
 // this frontier, or nil when the ablation is off. The same closure builds
 // the read plan and drives the executor's skip decisions, so they can
@@ -478,6 +587,9 @@ func (e *Engine) provisionalPlan(prog Program, model Model, frontier, next *bits
 		}
 		if prog.Kind() != Monotone {
 			return e.valueDeltaProvisional(prog)
+		}
+		if e.semIdx != nil {
+			return nil // a ROP plan is all out-indices, and they are resident
 		}
 		return func(depth int) []blockstore.BlockKey {
 			if depth > 1 {
@@ -573,6 +685,15 @@ func (e *Engine) predict(f *bitset.Frontier) (crop, ccop time.Duration) {
 	nv := int64(blockstore.VertexValueBytes)
 	coalesce := prof.CoalesceBytes()
 	deg := e.ds.OutDegrees
+	// Decode-cost term (third beside T_random and T_sequential): logical
+	// bytes each plan would decompress, priced at the EWMA of observed
+	// per-byte decode cost. Zero for stores with no compressed blobs.
+	decNs := e.decNsPerByte
+	if !e.decKnown {
+		decNs = defaultDecodeNsPerByte(e.cfg.Threads)
+	}
+	step := int64(blockstore.RawRecordBytes(e.ds.Weighted))
+	var ropDecBytes, copDecBytes float64
 
 	var seqBytes int64
 	for i := 0; i < l.P; i++ {
@@ -617,6 +738,12 @@ func (e *Engine) predict(f *bitset.Frontier) (crop, ccop time.Duration) {
 			// Useful bytes in this block, assuming the row's active
 			// edges spread proportionally to block sizes.
 			useful := float64(rowActive) * float64(b) / float64(rowEdges)
+			if e.ds.OutCodec(i, j) != blockstore.CodecNone {
+				// The touched stored ranges decode into the active edges'
+				// logical records (run-cached ranges still decode per use,
+				// so no residency discount here).
+				ropDecBytes += float64(rowActive) * float64(cnt*step) / float64(rowEdges)
+			}
 			kEff := k
 			if kEff > cnt {
 				kEff = cnt
@@ -633,18 +760,25 @@ func (e *Engine) predict(f *bitset.Frontier) (crop, ccop time.Duration) {
 		// Indices of the row's P out-blocks and the vertex working set
 		// (S_i read, all D_j read, D_i written — the paper's
 		// (2|V|/P + |V|)·N term). Out-indices resident in the block cache
-		// are served from memory and priced at zero.
-		for j := 0; j < l.P; j++ {
-			if e.cache != nil && e.cache.Peek(blockstore.BlockKey{Kind: blockstore.KindOutIndex, I: i, J: j}) {
-				continue
-			}
-			seqBytes += e.ds.OutIndexBytes(i, j)
-		}
+		// are served from memory and priced at zero; under semi-external
+		// mode every index (and the vertex working set) is pinned, so
+		// neither term touches the device at all.
 		if !e.cfg.SemiExternal {
+			rawIdx := int64(l.Size(i)+1) * blockstore.IndexEntryBytes
+			for j := 0; j < l.P; j++ {
+				if e.cache != nil && e.cache.Peek(blockstore.BlockKey{Kind: blockstore.KindOutIndex, I: i, J: j}) {
+					continue
+				}
+				ib := e.ds.OutIndexBytes(i, j)
+				seqBytes += ib
+				if ib < rawIdx {
+					ropDecBytes += float64(rawIdx) // stored compressed: decodes to the raw entries
+				}
+			}
 			seqBytes += (2*int64(l.Size(i)) + n) * nv
 		}
 	}
-	crop += prof.SeqTime(seqBytes)
+	crop += prof.SeqTime(seqBytes) + time.Duration(ropDecBytes*decNs)
 
 	// COP: stream every column's in-blocks and indices plus the same
 	// per-interval vertex working set. In-blocks resident in the block
@@ -653,16 +787,24 @@ func (e *Engine) predict(f *bitset.Frontier) (crop, ccop time.Duration) {
 	// have been cached.
 	var copBytes int64
 	for j := 0; j < l.P; j++ {
+		rawIdx := int64(l.Size(j)+1) * blockstore.IndexEntryBytes
 		for i := 0; i < l.P; i++ {
 			if e.cache != nil && e.cache.Peek(blockstore.BlockKey{Kind: blockstore.KindInBlock, I: i, J: j}) {
-				continue
+				continue // cached blocks are already decoded, too
 			}
-			copBytes += e.ds.InBlockBytes[i][j] + int64(l.Size(j)+1)*blockstore.IndexEntryBytes
+			ib := e.ds.InIndexBytes(i, j)
+			copBytes += e.ds.InBlockBytes[i][j] + ib
+			if e.ds.InCodec(i, j) != blockstore.CodecNone {
+				copDecBytes += float64(e.ds.BlockEdgeCount[i][j] * step)
+			}
+			if ib < rawIdx {
+				copDecBytes += float64(rawIdx)
+			}
 		}
 		if !e.cfg.SemiExternal {
 			copBytes += (2*int64(l.Size(j)) + n) * nv
 		}
 	}
-	ccop = prof.SeqTime(copBytes)
+	ccop = prof.SeqTime(copBytes) + time.Duration(copDecBytes*decNs)
 	return crop, ccop
 }

@@ -1,0 +1,17 @@
+//go:build linux
+
+package core
+
+import "syscall"
+
+// SystemRAMBytes returns the machine's total physical memory, or 0 when
+// it cannot be determined. Semi-external mode uses it as the default
+// residency budget when the caller does not set Config.SemBudgetBytes
+// explicitly.
+func SystemRAMBytes() int64 {
+	var si syscall.Sysinfo_t
+	if err := syscall.Sysinfo(&si); err != nil {
+		return 0
+	}
+	return int64(si.Totalram) * int64(si.Unit)
+}

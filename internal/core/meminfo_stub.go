@@ -1,0 +1,7 @@
+//go:build !linux
+
+package core
+
+// SystemRAMBytes returns 0 on platforms without a sysinfo probe; callers
+// fall back to requiring an explicit budget (or skipping the check).
+func SystemRAMBytes() int64 { return 0 }

@@ -78,12 +78,21 @@ func (e *Engine) runROP(prog Program, s, d []float64, frontier, next *bitset.Fro
 			}
 			sc := e.scratch.Get().(*blockstore.Scratch)
 			defer e.scratch.Put(sc)
-			res := win.Take(blockstore.BlockKey{Kind: blockstore.KindOutIndex, I: i, J: j})
-			if res.Err != nil {
-				setErr(res.Err)
-				return
+			var idx []uint32
+			var release func()
+			if e.semIdx != nil {
+				// Semi-external mode: the out-index was pinned resident at
+				// run start — no window key was ever planned for it.
+				idx = e.semIdx[i][j]
+			} else {
+				res := win.Take(blockstore.BlockKey{Kind: blockstore.KindOutIndex, I: i, J: j})
+				if res.Err != nil {
+					setErr(res.Err)
+					return
+				}
+				idx = res.ByteIdx
+				release = res.Release
 			}
-			idx := res.ByteIdx
 
 			// Collect each active vertex's record range; coalesce close
 			// ranges into runs. The index is only needed while building
@@ -107,8 +116,11 @@ func (e *Engine) runROP(prog Program, s, d []float64, frontier, next *bitset.Fro
 				return true
 			})
 			e.spans[j], e.runs[j] = spans, runs // retain grown capacity
-			res.Release()
+			if release != nil {
+				release()
+			}
 
+			codec := e.ds.OutCodec(i, j)
 			ri := 0
 			var err error
 			var runBytes []byte
@@ -129,8 +141,10 @@ func (e *Engine) runROP(prog Program, s, d []float64, frontier, next *bitset.Fro
 					loaded = true
 				}
 				srcVal := s[sp.v]
-				if e.ds.Format == blockstore.FormatRaw {
-					// Raw fast path: iterate packed records in place.
+				if codec == blockstore.CodecNone {
+					// Raw fast path: uncompressed sections (FormatRaw, or a
+					// mixed-store block where no codec paid) iterate their
+					// packed records in place.
 					step := blockstore.RawRecordBytes(e.ds.Weighted)
 					for off := int(sp.s - runStart); off < int(sp.e-runStart); off += step {
 						nbr, w := blockstore.RawRec(runBytes, off, e.ds.Weighted)
@@ -144,7 +158,7 @@ func (e *Engine) runROP(prog Program, s, d []float64, frontier, next *bitset.Fro
 					}
 					continue
 				}
-				recs, err := e.ds.DecodeRecsScratch(runBytes[sp.s-runStart:sp.e-runStart], sc)
+				recs, err := e.ds.DecodeRecsCodecScratch(runBytes[sp.s-runStart:sp.e-runStart], codec, sc)
 				if err != nil {
 					setErr(err)
 					return

@@ -39,6 +39,22 @@ type IterStats struct {
 	// Runtime is the modeled iteration time: max(IOTime, ComputeModeled),
 	// since the engine overlaps CPU processing and disk I/O (§3.5).
 	Runtime time.Duration
+	// DecodeTime is the measured wall-clock time spent decompressing
+	// block payloads and indices this iteration (diagnostic only, like
+	// ComputeTime; zero when every touched blob is stored CodecNone).
+	DecodeTime time.Duration
+	// DecodeModeled prices this iteration's decompression work for the
+	// modeled testbed (see ModeledDecodeTime). With asynchronous
+	// prefetching the decode overlaps I/O and is charged to the CPU side
+	// of Runtime; without it decode serializes behind each read and is
+	// charged to the I/O side.
+	DecodeModeled time.Duration
+	// DecodedBytes and CompressedBytes describe the decompression volume
+	// of this iteration: logical bytes produced by non-trivial codecs and
+	// the stored bytes they came from. Their ratio is the realized
+	// compression ratio of the touched working set.
+	DecodedBytes    int64
+	CompressedBytes int64
 	// MaxDelta is the largest per-vertex value change (Additive programs
 	// only; used for Tolerance convergence).
 	MaxDelta float64
@@ -209,6 +225,36 @@ func (r *Result) TotalComputeModeled() time.Duration {
 	var t time.Duration
 	for _, it := range r.Iterations {
 		t += it.ComputeModeled
+	}
+	return t
+}
+
+// TotalDecodeModeled returns the summed modeled decompression time (the
+// quantity Runtime uses).
+func (r *Result) TotalDecodeModeled() time.Duration {
+	var t time.Duration
+	for _, it := range r.Iterations {
+		t += it.DecodeModeled
+	}
+	return t
+}
+
+// TotalDecodedBytes returns the summed logical bytes produced by
+// non-trivial codec decodes across iterations.
+func (r *Result) TotalDecodedBytes() int64 {
+	var t int64
+	for _, it := range r.Iterations {
+		t += it.DecodedBytes
+	}
+	return t
+}
+
+// TotalCompressedBytes returns the summed stored bytes fed to
+// non-trivial codec decodes across iterations.
+func (r *Result) TotalCompressedBytes() int64 {
+	var t int64
+	for _, it := range r.Iterations {
+		t += it.CompressedBytes
 	}
 	return t
 }

@@ -161,6 +161,9 @@ func (e *Engine) valueDeltaProvisional(prog Program) ioplan.ProvisionalFunc {
 		}
 		// Sparse residual frontier: a ROP row plan over the intervals whose
 		// values are still moving.
+		if e.semIdx != nil {
+			return nil // ROP plans are out-indices, pinned resident under -sem
+		}
 		plan := make([]blockstore.BlockKey, 0, l.P*l.P)
 		for i := 0; i < l.P; i++ {
 			if !est.rows[i] {

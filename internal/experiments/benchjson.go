@@ -6,6 +6,7 @@ import (
 	"os"
 	"path/filepath"
 
+	"husgraph/internal/blockstore"
 	"husgraph/internal/core"
 	"husgraph/internal/gen"
 	"husgraph/internal/storage"
@@ -23,10 +24,13 @@ type BenchEntry struct {
 	// cache), "prefetch" (PrefetchDepth=2), "prefetch+cache"
 	// (PrefetchDepth=2 plus the block cache), "pipeline" (prefetch+cache
 	// plus depth-1 cross-iteration speculation and TinyLFU admission),
-	// "pipeline-depth2" (the same with two speculative windows in flight)
-	// and "pipeline-depth2-nocache" (depth-2 speculation with no block
+	// "pipeline-depth2" (the same with two speculative windows in flight),
+	// "pipeline-depth2-nocache" (depth-2 speculation with no block
 	// cache, so every adopted speculative read hits the device and the
-	// overlap credit measures real hidden I/O).
+	// overlap credit measures real hidden I/O), "sem" (semi-external:
+	// vertex state and out-indices resident, raw store) and "compress"
+	// (semi-external over a mixed-format store: fewer stored bytes cross
+	// the device at the price of modeled decode time).
 	Config           string `json:"config"`
 	PrefetchDepth    int    `json:"prefetch_depth"`
 	CacheBudgetBytes int64  `json:"cache_budget_bytes"`
@@ -53,6 +57,17 @@ type BenchEntry struct {
 	// modeled I/O time those reads hid behind earlier iterations' compute.
 	SpecReadBytes   int64 `json:"spec_read_bytes,omitempty"`
 	OverlapCreditNs int64 `json:"overlap_credit_ns,omitempty"`
+	// StoreFormat names the block format the configuration ran over; empty
+	// means raw. SemiExternal marks runs with vertex state pinned resident.
+	StoreFormat  string `json:"store_format,omitempty"`
+	SemiExternal bool   `json:"semi_external,omitempty"`
+	// DecodeModeledNs is the run's total modeled decode cost (deterministic,
+	// from the per-codec byte rates); DecodedBytes/CompressedBytes are the
+	// logical bytes produced and stored bytes consumed by codec decodes.
+	// All zero on raw stores.
+	DecodeModeledNs int64 `json:"decode_modeled_ns,omitempty"`
+	DecodedBytes    int64 `json:"decoded_bytes,omitempty"`
+	CompressedBytes int64 `json:"compressed_bytes,omitempty"`
 }
 
 // BenchReport is the full JSON document for one dataset.
@@ -75,6 +90,14 @@ type BenchReport struct {
 	// SpeedupDepth maps each depth-k pipeline configuration name to sync
 	// modeled-runtime divided by its modeled runtime.
 	SpeedupDepth map[string]float64 `json:"speedup_depth,omitempty"`
+	// SpeedupSem is sync modeled-runtime divided by the sem configuration's
+	// (vertex state resident, raw store). SpeedupCompress is sem divided by
+	// compress (the same semi-external engine over a mixed-format store),
+	// so it prices the compression trade alone. It grows with the device's
+	// bandwidth scarcity: highest on hdd, lowest on ram, where the decode
+	// cost buys back the least — the ordering -bench-check asserts.
+	SpeedupSem      float64 `json:"speedup_sem,omitempty"`
+	SpeedupCompress float64 `json:"speedup_compress,omitempty"`
 	// ValuesIdentical reports that every configuration produced
 	// bit-identical per-vertex values.
 	ValuesIdentical bool `json:"values_identical"`
@@ -90,7 +113,13 @@ const BenchCacheBudget = 256 << 20
 // algorithm's MaxIters and the runner's thread default are applied when the
 // config leaves them zero.
 func (r *Runner) RunHUSWithConfig(d gen.Dataset, a Algo, prof storage.Profile, cfg core.Config) (*core.Result, error) {
-	ds, err := r.Store(d, a.Symmetric, a.Weighted, prof)
+	return r.RunHUSWithConfigFormat(d, a, prof, cfg, blockstore.FormatRaw)
+}
+
+// RunHUSWithConfigFormat is RunHUSWithConfig over a store of the given
+// block format.
+func (r *Runner) RunHUSWithConfigFormat(d gen.Dataset, a Algo, prof storage.Profile, cfg core.Config, format blockstore.Format) (*core.Result, error) {
+	ds, err := r.StoreFormat(d, a.Symmetric, a.Weighted, prof, format)
 	if err != nil {
 		return nil, err
 	}
@@ -124,18 +153,27 @@ func (r *Runner) BenchDatasetAlgo(dataset, algo string, prof storage.Profile) (*
 		return nil, err
 	}
 	configs := []struct {
-		name string
-		cfg  core.Config
+		name   string
+		cfg    core.Config
+		format blockstore.Format
 	}{
-		{"sync", core.Config{}},
-		{"prefetch", core.Config{PrefetchDepth: 2}},
-		{"prefetch+cache", core.Config{PrefetchDepth: 2, CacheBudgetBytes: BenchCacheBudget}},
-		{"pipeline", core.Config{PrefetchDepth: 2, CacheBudgetBytes: BenchCacheBudget, PipelineIters: 1, CacheAdmission: "tinylfu"}},
-		{"pipeline-depth2", core.Config{PrefetchDepth: 2, CacheBudgetBytes: BenchCacheBudget, PipelineIters: 2, CacheAdmission: "tinylfu"}},
+		{"sync", core.Config{}, blockstore.FormatRaw},
+		{"prefetch", core.Config{PrefetchDepth: 2}, blockstore.FormatRaw},
+		{"prefetch+cache", core.Config{PrefetchDepth: 2, CacheBudgetBytes: BenchCacheBudget}, blockstore.FormatRaw},
+		{"pipeline", core.Config{PrefetchDepth: 2, CacheBudgetBytes: BenchCacheBudget, PipelineIters: 1, CacheAdmission: "tinylfu"}, blockstore.FormatRaw},
+		{"pipeline-depth2", core.Config{PrefetchDepth: 2, CacheBudgetBytes: BenchCacheBudget, PipelineIters: 2, CacheAdmission: "tinylfu"}, blockstore.FormatRaw},
 		// With no cache, adopted speculative reads hit the device, so the
 		// overlap credit measures I/O genuinely hidden behind compute
 		// rather than cache hits the budget would have absorbed anyway.
-		{"pipeline-depth2-nocache", core.Config{PrefetchDepth: 2, PipelineIters: 2}},
+		{"pipeline-depth2-nocache", core.Config{PrefetchDepth: 2, PipelineIters: 2}, blockstore.FormatRaw},
+		// GraphMP's semi-external model, split into its two levers: "sem"
+		// keeps vertex state resident over a raw store; "compress" adds the
+		// mixed-format store on top. speedup_compress = sem / compress, so
+		// it prices the compression trade alone (edge bytes saved vs decode
+		// paid) with the vertex traffic already off the device — the
+		// deployment compression is built for.
+		{"sem", core.Config{SemiExternal: true}, blockstore.FormatRaw},
+		{"compress", core.Config{SemiExternal: true}, blockstore.FormatMixed},
 	}
 	rep := &BenchReport{
 		Dataset: d.Name,
@@ -148,7 +186,7 @@ func (r *Runner) BenchDatasetAlgo(dataset, algo string, prof storage.Profile) (*
 	var refValues []float64
 	rep.ValuesIdentical = true
 	for _, c := range configs {
-		res, err := r.RunHUSWithConfig(d, a, prof, c.cfg)
+		res, err := r.RunHUSWithConfigFormat(d, a, prof, c.cfg, c.format)
 		if err != nil {
 			return nil, fmt.Errorf("experiments: bench %s/%s: %w", d.Name, c.name, err)
 		}
@@ -157,6 +195,10 @@ func (r *Runner) BenchDatasetAlgo(dataset, algo string, prof storage.Profile) (*
 			iters = 1
 		}
 		io := res.TotalIO()
+		formatName := ""
+		if c.format != blockstore.FormatRaw {
+			formatName = c.format.String()
+		}
 		rep.Entries = append(rep.Entries, BenchEntry{
 			Config:              c.name,
 			PrefetchDepth:       c.cfg.PrefetchDepth,
@@ -175,6 +217,11 @@ func (r *Runner) BenchDatasetAlgo(dataset, algo string, prof storage.Profile) (*
 			PrefetchUnusedBytes: res.PrefetchUnusedBytes,
 			SpecReadBytes:       res.TotalSpecReadBytes(),
 			OverlapCreditNs:     res.TotalOverlapCredit().Nanoseconds(),
+			StoreFormat:         formatName,
+			SemiExternal:        c.cfg.SemiExternal,
+			DecodeModeledNs:     res.TotalDecodeModeled().Nanoseconds(),
+			DecodedBytes:        res.TotalDecodedBytes(),
+			CompressedBytes:     res.TotalCompressedBytes(),
 		})
 		if refValues == nil {
 			refValues = res.Values
@@ -209,6 +256,12 @@ func (r *Runner) BenchDatasetAlgo(dataset, algo string, prof storage.Profile) (*
 			rep.SpeedupDepth[name] = base / d
 		}
 	}
+	if sm := float64(byName["sem"].NsPerIter); sm > 0 {
+		rep.SpeedupSem = base / sm
+		if cp := float64(byName["compress"].NsPerIter); cp > 0 {
+			rep.SpeedupCompress = sm / cp
+		}
+	}
 	return rep, nil
 }
 
@@ -220,9 +273,13 @@ func (r *Runner) BenchDatasetAlgo(dataset, algo string, prof storage.Profile) (*
 // is the depth-k acceptance run, the one profile fast enough (at the bench's
 // modeled 4 threads) that iterations leave idle compute tails for
 // speculation to hide I/O behind, so its overlap credit must be nonzero.
+// The ssd and ram PageRank artifacts complete the device ladder for one
+// (dataset, algo) pair, so -bench-check can assert speedup_compress is
+// ordered hdd ≥ ssd ≥ ram.
 var benchExtraAlgos = []struct{ Dataset, Algo, Device string }{
 	{"ukunion-sim", "BFS", ""},
 	{"ukunion-sim", "WCC", ""},
+	{"ukunion-sim", "PageRank", "ssd"},
 	{"ukunion-sim", "PageRank", "ram"},
 }
 

@@ -20,7 +20,7 @@ func TestBenchDatasetSpeedupAndIdentity(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(rep.Entries) != 6 {
+	if len(rep.Entries) != 8 {
 		t.Fatalf("entries: %d", len(rep.Entries))
 	}
 	if !rep.ValuesIdentical {
@@ -63,6 +63,68 @@ func TestBenchDatasetSpeedupAndIdentity(t *testing.T) {
 	// uncached depth-2 run must report the speculation it performed.
 	if nc := rep.Entries[5]; nc.SpecReadBytes == 0 {
 		t.Fatal("pipeline-depth2-nocache recorded no speculative reads")
+	}
+	// The sem configuration drops vertex traffic; compress additionally
+	// trades stored edge bytes for decode cost. speedup_compress = sem /
+	// compress prices the compression lever alone, and on hdd — where
+	// bandwidth is scarcest — it must clear the 1.5× acceptance bar.
+	sem, cp := rep.Entries[6], rep.Entries[7]
+	if sem.Config != "sem" || !sem.SemiExternal || sem.StoreFormat != "" {
+		t.Fatalf("entry 6 is %+v, want semi-external over raw", sem)
+	}
+	if cp.Config != "compress" || cp.StoreFormat != "mixed" || !cp.SemiExternal {
+		t.Fatalf("entry 7 is %q over %q, want compress over mixed", cp.Config, cp.StoreFormat)
+	}
+	if sem.BytesRead >= sync.BytesRead {
+		t.Fatalf("sem read %d bytes, sync %d", sem.BytesRead, sync.BytesRead)
+	}
+	if cp.BytesRead >= sem.BytesRead {
+		t.Fatalf("compress read %d bytes, sem %d", cp.BytesRead, sem.BytesRead)
+	}
+	if cp.DecodeModeledNs <= 0 || cp.DecodedBytes <= 0 || cp.CompressedBytes <= 0 {
+		t.Fatalf("compress entry metered no decode: %+v", cp)
+	}
+	if sync.DecodeModeledNs != 0 || sync.DecodedBytes != 0 {
+		t.Fatalf("raw sync entry metered decode work: %+v", sync)
+	}
+	if rep.SpeedupSem <= 1.0 {
+		t.Fatalf("speedup_sem on hdd = %v, want > 1", rep.SpeedupSem)
+	}
+	if rep.SpeedupCompress < 1.5 {
+		t.Fatalf("speedup_compress on hdd = %v, want >= 1.5", rep.SpeedupCompress)
+	}
+}
+
+// TestBenchCompressSpeedupOrderedAcrossDevices pins the device-ladder
+// claim end to end in quick mode: the same dataset/algo benched on hdd,
+// ssd and ram must show non-increasing speedup_compress, and the ordering
+// checker must both accept the ladder and reject an inversion.
+func TestBenchCompressSpeedupOrderedAcrossDevices(t *testing.T) {
+	r := NewRunner(Options{Quick: true, Threads: 4})
+	var reps []*BenchReport
+	for _, prof := range []storage.Profile{storage.HDD, storage.SSD, storage.RAM} {
+		rep, err := r.BenchDataset("ukunion-sim", prof)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !rep.ValuesIdentical {
+			t.Fatalf("%s: compress configuration changed per-vertex values", prof.Name)
+		}
+		reps = append(reps, rep)
+	}
+	hdd, ssd, ram := reps[0], reps[1], reps[2]
+	if hdd.SpeedupCompress < ssd.SpeedupCompress || ssd.SpeedupCompress < ram.SpeedupCompress {
+		t.Fatalf("speedup_compress not ordered hdd ≥ ssd ≥ ram: %.3f / %.3f / %.3f",
+			hdd.SpeedupCompress, ssd.SpeedupCompress, ram.SpeedupCompress)
+	}
+	if err := checkCompressOrdering(reps); err != nil {
+		t.Fatalf("well-ordered ladder rejected: %v", err)
+	}
+	bad := *hdd
+	bad.Device = "ram"
+	bad.SpeedupCompress = hdd.SpeedupCompress * 10
+	if err := checkCompressOrdering([]*BenchReport{hdd, &bad}); err == nil {
+		t.Fatal("inverted ladder accepted")
 	}
 }
 

@@ -34,7 +34,12 @@ type BenchTrend struct {
 }
 
 // CheckBenchTrend re-runs every BENCH_*.json artifact in dir and returns one
-// trend row per (dataset, config). threshold <= 0 selects
+// trend row per (dataset, config) — plus a "<config>:decode" row gating the
+// modeled decode cost of every entry that recorded one. It also asserts the
+// compression trade is ordered along the device ladder: for each (dataset,
+// algo) pair benched on multiple devices, speedup_compress must satisfy
+// hdd ≥ ssd ≥ nvme ≥ ram (compression buys the most where bandwidth is
+// scarcest); a violation is returned as an error. threshold <= 0 selects
 // BenchRegressionThreshold.
 func CheckBenchTrend(dir string, threshold float64) ([]BenchTrend, error) {
 	if threshold <= 0 {
@@ -49,6 +54,7 @@ func CheckBenchTrend(dir string, threshold float64) ([]BenchTrend, error) {
 	}
 	sort.Strings(paths)
 	var trends []BenchTrend
+	var reports []*BenchReport
 	for _, path := range paths {
 		//lint:ignore huslint/rawio bench artifacts are CI reports, not graph data; they never pass through storage.Store
 		buf, err := os.ReadFile(path)
@@ -64,8 +70,42 @@ func CheckBenchTrend(dir string, threshold float64) ([]BenchTrend, error) {
 			return nil, fmt.Errorf("experiments: %s: %w", path, err)
 		}
 		trends = append(trends, rows...)
+		reports = append(reports, &old)
+	}
+	if err := checkCompressOrdering(reports); err != nil {
+		return trends, err
 	}
 	return trends, nil
+}
+
+// deviceLadderRank orders profiles from most to least bandwidth-starved.
+var deviceLadderRank = map[string]int{"hdd": 0, "ssd": 1, "nvme": 2, "ram": 3}
+
+// checkCompressOrdering asserts speedup_compress never increases when
+// moving down the device ladder within one (dataset, algo) pair.
+func checkCompressOrdering(reports []*BenchReport) error {
+	type key struct{ dataset, algo string }
+	groups := map[key][]*BenchReport{}
+	for _, rep := range reports {
+		if rep.SpeedupCompress <= 0 {
+			continue // pre-compression artifact
+		}
+		k := key{rep.Dataset, rep.Algo}
+		groups[k] = append(groups[k], rep)
+	}
+	for k, reps := range groups {
+		sort.Slice(reps, func(i, j int) bool {
+			return deviceLadderRank[reps[i].Device] < deviceLadderRank[reps[j].Device]
+		})
+		for i := 1; i < len(reps); i++ {
+			slow, fast := reps[i-1], reps[i]
+			if fast.SpeedupCompress > slow.SpeedupCompress {
+				return fmt.Errorf("experiments: %s/%s: speedup_compress inverted across the device ladder: %s %.3f < %s %.3f (compression must pay most where bandwidth is scarcest)",
+					k.dataset, k.algo, slow.Device, slow.SpeedupCompress, fast.Device, fast.SpeedupCompress)
+			}
+		}
+	}
+	return nil
 }
 
 // benchTrendReport replays one artifact's configuration and diffs it.
@@ -105,6 +145,21 @@ func benchTrendReport(old *BenchReport, threshold float64) ([]BenchTrend, error)
 			row.Regressed = row.Ratio > threshold
 		}
 		rows = append(rows, row)
+		// The decode-cost gate: an entry that committed a modeled decode
+		// cost must not see it regress past the same threshold (a codec or
+		// rate change that silently made decoding pricier).
+		if oe.DecodeModeledNs > 0 {
+			dec := BenchTrend{
+				Dataset: old.Dataset,
+				Algo:    algo,
+				Config:  oe.Config + ":decode",
+				OldNs:   oe.DecodeModeledNs,
+				NewNs:   ne.DecodeModeledNs,
+				Ratio:   float64(ne.DecodeModeledNs) / float64(oe.DecodeModeledNs),
+			}
+			dec.Regressed = dec.Ratio > threshold
+			rows = append(rows, dec)
+		}
 	}
 	return rows, nil
 }

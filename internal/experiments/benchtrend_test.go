@@ -37,8 +37,17 @@ func TestCheckBenchTrendCleanOnFreshArtifact(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(trends) != 6 {
-		t.Fatalf("trend rows = %d, want 6 (sync, prefetch, prefetch+cache, pipeline, pipeline-depth2, pipeline-depth2-nocache)", len(trends))
+	if len(trends) != 9 {
+		t.Fatalf("trend rows = %d, want 9 (sync, prefetch, prefetch+cache, pipeline, pipeline-depth2, pipeline-depth2-nocache, sem, compress, compress:decode)", len(trends))
+	}
+	var sawDecode bool
+	for _, tr := range trends {
+		if tr.Config == "compress:decode" {
+			sawDecode = true
+		}
+	}
+	if !sawDecode {
+		t.Fatal("no compress:decode trend row — the decode-cost gate is not armed")
 	}
 	for _, tr := range trends {
 		if tr.Regressed {
