@@ -66,6 +66,7 @@ func run() error {
 	}
 
 	if *out != "" {
+		//lint:ignore huslint/rawio user-facing edge-list output at the CLI boundary; not block data, storage.Store checksums do not apply
 		f, err := os.Create(*out)
 		if err != nil {
 			return err

@@ -178,6 +178,7 @@ func run() (*core.Result, error) {
 
 	var g *graph.Graph
 	if *input != "" {
+		//lint:ignore huslint/rawio user-supplied edge-list input at the CLI boundary; ingested before any storage.Store exists
 		f, err := os.Open(*input)
 		if err != nil {
 			return nil, err
@@ -370,6 +371,7 @@ func run() (*core.Result, error) {
 	}
 
 	if *valuesOut != "" {
+		//lint:ignore huslint/rawio human-readable result export at the CLI boundary; not graph block data
 		f, err := os.Create(*valuesOut)
 		if err != nil {
 			return nil, err

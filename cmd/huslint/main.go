@@ -3,21 +3,37 @@
 // flows through storage.Store (rawio), errors crossing the storage boundary
 // are classified and matched structurally (errclass), field atomicity is
 // all-or-nothing (atomicstats), pooled values do not outlive their Put
-// (poolescape), and worker loops honor their abort signals (ctxloop).
+// (poolescape), worker loops honor their abort signals (ctxloop), every
+// spawned goroutine has a join/quit path (spawnjoin), no mutex is held
+// across a may-block call and no mutex pair is taken in both orders
+// (lockhold), and barrier-published stats are written only on the
+// coordinator or atomically (barrierstats).
 //
 // Usage:
 //
-//	go run ./cmd/huslint ./...
+//	go run ./cmd/huslint [flags] ./internal/... ./cmd/...
+//
+// Flags:
+//
+//	-analyzers a,b   run only the named analyzers (default: all)
+//	-list            list available analyzers and exit
+//	-format f        output format: text (vet style), json, or sarif 2.1.0
+//	-o file          write the formatted findings to file instead of stdout
+//	                 (text findings still print to stdout so CI logs and
+//	                 problem matchers see them)
+//	-timing          print per-analyzer wall time to stderr
 //
 // Exit status: 0 clean, 1 findings, 2 load or internal failure. Findings
 // print in vet style: file:line:col: message [huslint/analyzer]. A finding
-// is suppressed by a `//lint:ignore huslint/<name> <reason>` comment on the
-// offending line or the line above; the reason is mandatory.
+// is suppressed by a `//lint:ignore huslint/<name> <reason>` comment: a
+// trailing comment suppresses its own line, a standalone comment the line
+// below; the reason is mandatory.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
@@ -27,6 +43,9 @@ import (
 func main() {
 	names := flag.String("analyzers", "", "comma-separated analyzer names to run (default: all)")
 	list := flag.Bool("list", false, "list available analyzers and exit")
+	format := flag.String("format", "text", "output format: text, json, or sarif")
+	outPath := flag.String("o", "", "write formatted findings to this file instead of stdout")
+	timing := flag.Bool("timing", false, "print per-analyzer timing to stderr")
 	flag.Parse()
 
 	if *list {
@@ -34,6 +53,10 @@ func main() {
 			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
 		}
 		return
+	}
+	if *format != "text" && *format != "json" && *format != "sarif" {
+		fmt.Fprintf(os.Stderr, "huslint: unknown -format %q (have text, json, sarif)\n", *format)
+		os.Exit(2)
 	}
 
 	analyzers := lint.Analyzers()
@@ -64,16 +87,56 @@ func main() {
 		fmt.Fprintf(os.Stderr, "huslint: %v\n", err)
 		os.Exit(2)
 	}
-	diags, err := lint.Run(wd, patterns, analyzers)
+	res, err := lint.RunFull(wd, patterns, analyzers)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "huslint: %v\n", err)
 		os.Exit(2)
 	}
-	for _, d := range diags {
-		fmt.Println(d.String())
+
+	if *timing {
+		fmt.Fprintf(os.Stderr, "huslint: load %v, facts %v\n", res.LoadTime, res.FactTime)
+		for _, t := range res.Timings {
+			fmt.Fprintf(os.Stderr, "huslint: %-12s %v\n", t.Name, t.Duration)
+		}
 	}
-	if len(diags) > 0 {
-		fmt.Fprintf(os.Stderr, "huslint: %d finding(s)\n", len(diags))
+
+	// Formatted output goes to -o (or stdout); vet-style lines always go
+	// to stdout when a file sink is in play, so CI problem matchers and
+	// humans both see the findings.
+	var sink io.Writer = os.Stdout
+	if *outPath != "" {
+		// huslint is a source-analysis tool: its report file is not graph
+		// data and does not belong behind storage.Store.
+		f, err := os.Create(*outPath) //lint:ignore huslint/rawio lint report artifact, not graph data; storage.Store checksums/fault-injection do not apply
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "huslint: %v\n", err)
+			os.Exit(2)
+		}
+		defer f.Close()
+		sink = f
+	}
+
+	switch *format {
+	case "json":
+		err = lint.WriteJSON(sink, res.Diags, wd)
+	case "sarif":
+		err = lint.WriteSARIF(sink, res.Diags, wd)
+	default:
+		for _, d := range res.Diags {
+			fmt.Fprintln(sink, d.String())
+		}
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "huslint: %v\n", err)
+		os.Exit(2)
+	}
+	if *outPath != "" {
+		for _, d := range res.Diags {
+			fmt.Println(d.String())
+		}
+	}
+	if len(res.Diags) > 0 {
+		fmt.Fprintf(os.Stderr, "huslint: %d finding(s)\n", len(res.Diags))
 		os.Exit(1)
 	}
 }

@@ -151,6 +151,10 @@ type decodeCounters struct {
 }
 
 // DecodeStats is a snapshot of a store's cumulative decode accounting.
+// The snapshot's fields are barrier-published: the live counters are
+// atomics the decode workers update, and a snapshot is materialized only
+// in serial sections (iteration barriers, run teardown) — a plain write
+// from a spawned goroutine is a race (huslint/barrierstats).
 type DecodeStats struct {
 	// Ops counts codec decode operations (non-none codecs only).
 	Ops int64

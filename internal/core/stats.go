@@ -9,7 +9,11 @@ import (
 )
 
 // IterStats records one iteration of an engine run: what the predictor saw,
-// which model ran, and what it cost.
+// which model ran, and what it cost. Its fields are barrier-published:
+// written only by the coordinator between iteration begin/finish (workers
+// report through atomics that the coordinator folds in at the barrier), so
+// any plain write reachable from a spawned goroutine is a race (enforced
+// by huslint/barrierstats).
 type IterStats struct {
 	// Iter is the zero-based iteration number.
 	Iter int

@@ -20,7 +20,9 @@ import (
 // concurrently with later intervals' writes; the per-interval done flag is
 // the release/acquire edge, so estimate only ever observes fully-published
 // intervals and falls back to the previous iteration's (immutable) mirror
-// for the rest.
+// for the rest. The tracker's own fields are barrier-published: only the
+// coordinator touches them, between iterations (huslint/barrierstats
+// enforces that no spawned goroutine writes them plainly).
 type deltaTracker struct {
 	p    int
 	live []intervalDelta
@@ -41,7 +43,9 @@ type intervalDelta struct {
 }
 
 // intervalPrev mirrors the previous iteration's published values; written
-// only by rotate, read only by the gate, never concurrently.
+// only by rotate, read only by the gate, never concurrently. Like the
+// tracker, it is barrier-published: rotate runs in the serial section
+// between Finish and the next Begin.
 type intervalPrev struct {
 	active   int64
 	maxDelta float64

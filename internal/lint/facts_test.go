@@ -1,0 +1,100 @@
+package lint
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+const depPath = "husgraph/internal/lint/testdata/factchain/dep"
+
+func depFacts(t *testing.T) *PkgFacts {
+	t.Helper()
+	pkg := loadFixture(t, "factchain/dep", depPath)
+	pf, _ := ComputeFacts(pkg, NewFactSet())
+	return pf
+}
+
+// TestFactSerializationRoundTrip proves Encode/Decode are inverses: the
+// decoded facts re-encode to byte-identical JSON (json.Marshal orders map
+// keys, so the comparison is stable).
+func TestFactSerializationRoundTrip(t *testing.T) {
+	pf := depFacts(t)
+	b, err := pf.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := DecodePkgFacts(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := back.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b, b2) {
+		t.Errorf("round-trip changed the encoding:\n first: %s\nsecond: %s", b, b2)
+	}
+	if back.Path != depPath {
+		t.Errorf("decoded path = %q, want %q", back.Path, depPath)
+	}
+}
+
+// TestDepFactContent pins the facts the consumer-side analyzers depend on.
+func TestDepFactContent(t *testing.T) {
+	pf := depFacts(t)
+	pump := pf.Funcs[depPath+".PumpForever"]
+	if pump == nil || !pump.Unbounded || pump.ConsultsAbort {
+		t.Errorf("PumpForever fact = %+v, want unbounded without abort", pump)
+	}
+	wait := pf.Funcs[depPath+".WaitForValue"]
+	if wait == nil || len(wait.Blocks) == 0 || wait.Blocks[0].Kind != BlockRecv {
+		t.Errorf("WaitForValue fact = %+v, want a chan-receive block", wait)
+	}
+	add := pf.Funcs["(*"+depPath+".Registry).Add"]
+	if add == nil || len(add.Acquires) != 1 || add.Acquires[0].Mutex != depPath+".Registry.Mu" {
+		t.Errorf("Registry.Add fact = %+v, want it to acquire Registry.Mu", add)
+	}
+	keep := pf.Funcs["(*"+depPath+".Sink).Keep"]
+	if keep == nil || len(keep.Retains) != 1 || keep.Retains[0] != 0 {
+		t.Errorf("Sink.Keep fact = %+v, want Retains=[0]", keep)
+	}
+}
+
+// TestTransitivePropagation summarizes the consumer against dep's
+// serialized facts and checks the fixpoint pulled dep's behavior across
+// the package boundary with a via chain.
+func TestTransitivePropagation(t *testing.T) {
+	fs := NewFactSet()
+	if err := fs.Add(depFacts(t)); err != nil {
+		t.Fatal(err)
+	}
+	const consumerPath = "husgraph/internal/lint/testdata/factchain/consumer"
+	pkg := loadFixture(t, "factchain/consumer", consumerPath)
+	pf, _ := ComputeFacts(pkg, fs)
+
+	blk := pf.Funcs["(*"+consumerPath+".cache).BlockUnderLock"]
+	found := false
+	for _, b := range blk.Blocks {
+		if b.Kind == BlockRecv && strings.Contains(b.Via, "WaitForValue") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("BlockUnderLock fact = %+v, want a chan-receive block via WaitForValue", blk)
+	}
+	inv := pf.Funcs["(*"+consumerPath+".cache).InvertOrder"]
+	found = false
+	for _, a := range inv.Acquires {
+		if a.Mutex == depPath+".Registry.Mu" && strings.Contains(a.Via, "Add") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("InvertOrder fact = %+v, want Registry.Mu acquired via Add", inv)
+	}
+	leak := pf.Funcs[consumerPath+".LeakToSink"]
+	if leak == nil || len(leak.Retains) != 0 {
+		t.Errorf("LeakToSink fact = %+v, want no retained params (b is local, not a param)", leak)
+	}
+}

@@ -25,8 +25,15 @@ func loadFixture(t *testing.T, sub, pkgPath string) *Package {
 
 func checkFixture(t *testing.T, a *Analyzer, sub, pkgPath string) {
 	t.Helper()
+	checkFixtureFull(t, []*Analyzer{a}, sub, pkgPath, nil)
+}
+
+// checkFixtureFull is checkFixture with an explicit analyzer set and an
+// optional pre-seeded fact set (for cross-package fixtures).
+func checkFixtureFull(t *testing.T, as []*Analyzer, sub, pkgPath string, facts *FactSet) {
+	t.Helper()
 	pkg := loadFixture(t, sub, pkgPath)
-	diags, err := RunPackage(pkg, []*Analyzer{a})
+	diags, err := RunPackage(pkg, as, facts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -100,9 +107,43 @@ func TestCtxLoopFixtures(t *testing.T) {
 	checkFixture(t, CtxLoop, "ctxloop/ok", "husgraph/internal/engine")
 }
 
+func TestSpawnJoinFixtures(t *testing.T) {
+	checkFixture(t, SpawnJoin, "spawnjoin/bad", "husgraph/internal/worker")
+	checkFixture(t, SpawnJoin, "spawnjoin/ok", "husgraph/internal/worker")
+}
+
+func TestLockHoldFixtures(t *testing.T) {
+	checkFixture(t, LockHold, "lockhold/bad", "husgraph/internal/locks")
+	checkFixture(t, LockHold, "lockhold/ok", "husgraph/internal/locks")
+}
+
+func TestBarrierStatsFixtures(t *testing.T) {
+	checkFixture(t, BarrierStats, "barrierstats/bad", "husgraph/internal/stats")
+	checkFixture(t, BarrierStats, "barrierstats/ok", "husgraph/internal/stats")
+}
+
+// TestFactChainTransitive is the cross-package gate: the dep fixture is
+// summarized first and only its *serialized* facts are handed to the
+// consumer's analysis, which must still see dep's blocking, looping,
+// locking and retention through the call chain.
+func TestFactChainTransitive(t *testing.T) {
+	const depPath = "husgraph/internal/lint/testdata/factchain/dep"
+	fs := NewFactSet()
+	depPkg := loadFixture(t, "factchain/dep", depPath)
+	pf, _ := ComputeFacts(depPkg, fs)
+	if err := fs.Add(pf); err != nil {
+		t.Fatal(err)
+	}
+	if fs.Encoded(depPath) == nil {
+		t.Fatal("dep facts did not cross the serialization boundary")
+	}
+	checkFixtureFull(t, Analyzers(), "factchain/consumer",
+		"husgraph/internal/lint/testdata/factchain/consumer", fs)
+}
+
 func TestIgnoreDirectiveSuppresses(t *testing.T) {
 	pkg := loadFixture(t, "ignore/ok", "husgraph/internal/engine")
-	diags, err := RunPackage(pkg, Analyzers())
+	diags, err := RunPackage(pkg, Analyzers(), nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -113,7 +154,7 @@ func TestIgnoreDirectiveSuppresses(t *testing.T) {
 
 func TestMalformedIgnoreDirectives(t *testing.T) {
 	pkg := loadFixture(t, "ignore/bad", "husgraph/internal/engine")
-	diags, err := RunPackage(pkg, Analyzers())
+	diags, err := RunPackage(pkg, Analyzers(), nil)
 	if err != nil {
 		t.Fatal(err)
 	}

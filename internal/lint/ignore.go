@@ -1,6 +1,7 @@
 package lint
 
 import (
+	"go/ast"
 	"go/token"
 	"strings"
 )
@@ -10,23 +11,37 @@ import (
 //
 //	//lint:ignore huslint/<name> <reason>
 //
-// The directive suppresses that analyzer's diagnostics on its own line and
-// on the line immediately below (covering both end-of-line and
-// standalone-comment placement). The reason is mandatory and the analyzer
-// name must exist — a malformed directive is reported as a diagnostic
-// instead of silently ignoring nothing.
+// Matching is position-keyed: a trailing directive (on the same line as
+// code) suppresses that analyzer's diagnostics on its own line only, and a
+// standalone directive (a comment on its own line) suppresses them on the
+// line immediately below only — a directive can never silently blanket a
+// line it wasn't written against. One comment may carry several
+// directives, separated by "; lint:ignore ..." (reasons may themselves
+// contain semicolons: a segment that doesn't start a new directive belongs
+// to the previous reason). The reason is mandatory and the analyzer name
+// must exist — a malformed directive is reported as a diagnostic instead
+// of silently ignoring nothing.
 
 const (
 	directivePrefix = "lint:ignore"
 	analyzerPrefix  = "huslint/"
 )
 
-// directive is one parsed //lint:ignore comment.
+// directive is one parsed //lint:ignore directive.
 type directive struct {
 	pos      token.Position
+	trailing bool   // comment shares its line with code
 	analyzer string // analyzer name (without the huslint/ prefix)
 	reason   string
 	problem  string // non-empty: the directive is malformed
+}
+
+// targetLine is the line whose diagnostics the directive suppresses.
+func (d directive) targetLine() int {
+	if d.trailing {
+		return d.pos.Line
+	}
+	return d.pos.Line + 1
 }
 
 // parseDirectives extracts every lint:ignore directive from the package's
@@ -34,6 +49,7 @@ type directive struct {
 func parseDirectives(pkg *Package, known map[string]bool) []directive {
 	var dirs []directive
 	for _, file := range pkg.Files {
+		codeLines := codeEndLines(pkg.Fset, file)
 		for _, cg := range file.Comments {
 			for _, c := range cg.List {
 				text, ok := strings.CutPrefix(c.Text, "//")
@@ -44,26 +60,67 @@ func parseDirectives(pkg *Package, known map[string]bool) []directive {
 				if !ok {
 					continue
 				}
-				d := directive{pos: pkg.Fset.Position(c.Pos())}
-				fields := strings.Fields(text)
-				switch {
-				case len(fields) == 0:
-					d.problem = "lint:ignore needs an analyzer (huslint/<name>) and a reason"
-				case !strings.HasPrefix(fields[0], analyzerPrefix):
-					d.problem = "lint:ignore target must be huslint/<name>, got " + fields[0]
-				case !known[strings.TrimPrefix(fields[0], analyzerPrefix)]:
-					d.problem = "lint:ignore names unknown analyzer " + fields[0]
-				case len(fields) < 2:
-					d.problem = "lint:ignore " + fields[0] + " is missing its reason; bare ignores are rejected"
-				default:
-					d.analyzer = strings.TrimPrefix(fields[0], analyzerPrefix)
-					d.reason = strings.Join(fields[1:], " ")
+				pos := pkg.Fset.Position(c.Pos())
+				trailing := codeLines[pos.Line]
+				for _, body := range splitDirectives(text) {
+					d := directive{pos: pos, trailing: trailing}
+					fields := strings.Fields(body)
+					switch {
+					case len(fields) == 0:
+						d.problem = "lint:ignore needs an analyzer (huslint/<name>) and a reason"
+					case !strings.HasPrefix(fields[0], analyzerPrefix):
+						d.problem = "lint:ignore target must be huslint/<name>, got " + fields[0]
+					case !known[strings.TrimPrefix(fields[0], analyzerPrefix)]:
+						d.problem = "lint:ignore names unknown analyzer " + fields[0]
+					case len(fields) < 2:
+						d.problem = "lint:ignore " + fields[0] + " is missing its reason; bare ignores are rejected"
+					default:
+						d.analyzer = strings.TrimPrefix(fields[0], analyzerPrefix)
+						d.reason = strings.Join(fields[1:], " ")
+					}
+					dirs = append(dirs, d)
 				}
-				dirs = append(dirs, d)
 			}
 		}
 	}
 	return dirs
+}
+
+// splitDirectives splits a comment body (the text after the first
+// "lint:ignore") into one body per directive: a new directive starts at a
+// ";"-separated segment beginning with "lint:ignore"; any other segment is
+// part of the previous directive's reason.
+func splitDirectives(text string) []string {
+	segs := strings.Split(text, ";")
+	bodies := []string{segs[0]}
+	for _, seg := range segs[1:] {
+		if t, ok := strings.CutPrefix(strings.TrimLeft(seg, " \t"), directivePrefix); ok {
+			bodies = append(bodies, t)
+			continue
+		}
+		bodies[len(bodies)-1] += ";" + seg
+	}
+	return bodies
+}
+
+// codeEndLines reports the lines of the file on which a code token ends —
+// a line comment on such a line trails code. Computed from AST positions
+// (every expression, statement and closing brace belongs to a node whose
+// End lands on its line), so no source re-read is needed; comment nodes
+// themselves are excluded.
+func codeEndLines(fset *token.FileSet, file *ast.File) map[int]bool {
+	lines := make(map[int]bool)
+	ast.Inspect(file, func(n ast.Node) bool {
+		switch n.(type) {
+		case nil, *ast.Comment, *ast.CommentGroup:
+			return true
+		}
+		if n.End().IsValid() {
+			lines[fset.Position(n.End()).Line] = true
+		}
+		return true
+	})
+	return lines
 }
 
 // applyDirectives filters diags through the well-formed directives and
@@ -75,7 +132,7 @@ func applyDirectives(diags []Diagnostic, dirs []directive) []Diagnostic {
 			if dir.problem == "" &&
 				dir.analyzer == d.Analyzer &&
 				dir.pos.Filename == d.Pos.Filename &&
-				(dir.pos.Line == d.Pos.Line || dir.pos.Line == d.Pos.Line-1) {
+				dir.targetLine() == d.Pos.Line {
 				return true
 			}
 		}

@@ -1,0 +1,118 @@
+package lint
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSplitDirectives(t *testing.T) {
+	cases := []struct {
+		text string
+		want []string
+	}{
+		// One directive, no semicolons.
+		{" huslint/rawio simple reason", []string{" huslint/rawio simple reason"}},
+		// Semicolon inside the reason rejoins the previous segment.
+		{" huslint/rawio part one; part two", []string{" huslint/rawio part one; part two"}},
+		// Two directives in one comment.
+		{" huslint/rawio r1; lint:ignore huslint/errclass r2",
+			[]string{" huslint/rawio r1", " huslint/errclass r2"}},
+		// Second directive's reason keeps its own semicolon.
+		{" huslint/rawio r1; lint:ignore huslint/errclass with; semicolon",
+			[]string{" huslint/rawio r1", " huslint/errclass with; semicolon"}},
+	}
+	for _, c := range cases {
+		got := splitDirectives(c.text)
+		if len(got) != len(c.want) {
+			t.Errorf("splitDirectives(%q) = %q, want %q", c.text, got, c.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Errorf("splitDirectives(%q)[%d] = %q, want %q", c.text, i, got[i], c.want[i])
+			}
+		}
+	}
+}
+
+// TestDirectivePositions parses the edge fixture and checks each
+// directive's classification (trailing vs standalone) and target line.
+func TestDirectivePositions(t *testing.T) {
+	pkg := loadFixture(t, "ignore/edge", "husgraph/internal/engine")
+	known := make(map[string]bool)
+	for _, a := range Analyzers() {
+		known[a.Name] = true
+	}
+	dirs := parseDirectives(pkg, known)
+	byReason := func(sub string) *directive {
+		t.Helper()
+		for i := range dirs {
+			if strings.Contains(dirs[i].reason, sub) {
+				return &dirs[i]
+			}
+		}
+		t.Fatalf("no directive with reason containing %q in %+v", sub, dirs)
+		return nil
+	}
+	for _, d := range dirs {
+		if d.problem != "" {
+			t.Errorf("edge fixture directive unexpectedly malformed: %s", d.problem)
+		}
+	}
+	if d := byReason("a blank line separates"); d.trailing || d.targetLine() != d.pos.Line+1 {
+		t.Errorf("standalone directive misclassified: %+v", *d)
+	}
+	if d := byReason("own line only"); !d.trailing || d.targetLine() != d.pos.Line {
+		t.Errorf("trailing directive misclassified: %+v", *d)
+	}
+	// The multi-directive comment yields two directives at the same
+	// position, and the second keeps the semicolon inside its reason.
+	if d := byReason("not graph data"); d.analyzer != "rawio" {
+		t.Errorf("first multi-directive analyzer = %q, want rawio", d.analyzer)
+	}
+	if d := byReason("a semicolon inside"); d.analyzer != "errclass" ||
+		d.reason != "reason with; a semicolon inside" {
+		t.Errorf("second multi-directive parsed as %+v", *d)
+	}
+}
+
+// TestIgnoreEdgeFixture runs rawio over the edge fixture: exactly the
+// `// survives:` lines must keep their findings, everything else is
+// suppressed, and no directive is malformed.
+func TestIgnoreEdgeFixture(t *testing.T) {
+	pkg := loadFixture(t, "ignore/edge", "husgraph/internal/engine")
+	diags, err := RunPackage(pkg, []*Analyzer{RawIO}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	surviving := make(map[int]bool)
+	for _, file := range pkg.Files {
+		for _, cg := range file.Comments {
+			for _, c := range cg.List {
+				if strings.Contains(c.Text, "// survives:") {
+					surviving[pkg.Fset.Position(c.Pos()).Line] = true
+				}
+			}
+		}
+	}
+	if len(surviving) != 3 {
+		t.Fatalf("edge fixture should mark 3 surviving lines, found %d", len(surviving))
+	}
+	seen := make(map[int]bool)
+	for _, d := range diags {
+		if d.Analyzer != "rawio" {
+			t.Errorf("unexpected %s diagnostic: %s", d.Analyzer, d)
+			continue
+		}
+		if !surviving[d.Pos.Line] {
+			t.Errorf("finding on line %d should have been suppressed: %s", d.Pos.Line, d)
+			continue
+		}
+		seen[d.Pos.Line] = true
+	}
+	for line := range surviving {
+		if !seen[line] {
+			t.Errorf("line %d marked `// survives:` but its finding is gone", line)
+		}
+	}
+}

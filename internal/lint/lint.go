@@ -6,21 +6,28 @@
 // fault injection are never bypassed), errors crossing the storage boundary
 // are classified with the ErrTransient/ErrPermanent/ErrCorrupt sentinels and
 // matched with errors.Is, shared counters are touched atomically everywhere
-// or nowhere, pooled scratch never outlives its Put, and worker loops can
-// always be aborted. Each analyzer in this package turns one of those
-// conventions into a machine-checked invariant.
+// or nowhere, pooled scratch never outlives its Put, worker loops can
+// always be aborted, every spawned goroutine has a join or quit path, no
+// mutex is held across a may-block call (or taken in both orders), and
+// barrier-published stats are written only in the coordinator's serial
+// sections. Each analyzer in this package turns one of those conventions
+// into a machine-checked invariant.
 //
 // The framework mirrors golang.org/x/tools/go/analysis (Analyzer, Pass,
 // Reportf) but is built entirely on the standard library: packages are
 // loaded via `go list -export -deps -test -json` and type-checked with
 // go/parser + go/types against the compiler export data in the build cache,
-// so the suite works with no module downloads (see load.go).
+// so the suite works with no module downloads (see load.go). The
+// concurrency analyzers see through calls — including cross-package calls —
+// via per-function facts summarized in dependency order and serialized per
+// package (see facts.go).
 //
-// Intentional exceptions are suppressed with a self-documenting comment on
-// the flagged line or the line above it:
+// Intentional exceptions are suppressed with a self-documenting comment:
 //
 //	//lint:ignore huslint/<name> <reason>
 //
+// Matching is position-keyed (see ignore.go): a trailing directive covers
+// its own line only, a standalone directive covers the line below only.
 // The reason is mandatory; a bare ignore is itself a diagnostic.
 package lint
 
@@ -61,6 +68,14 @@ type Pass struct {
 	Pkg *types.Package
 	// Info holds the type-checker's facts about every expression.
 	Info *types.Info
+	// Facts is the cross-package fact set, with this package's own facts
+	// and those of every dependency already installed (see facts.go). Nil
+	// only when a caller runs an analyzer without the fact pipeline; the
+	// fact-consuming analyzers no-op then.
+	Facts *FactSet
+
+	// litKeys maps this package's function literals to their fact keys.
+	litKeys map[*ast.FuncLit]string
 
 	report func(Diagnostic)
 }
@@ -88,7 +103,7 @@ func (d Diagnostic) String() string {
 
 // Analyzers returns the full suite in reporting order.
 func Analyzers() []*Analyzer {
-	return []*Analyzer{RawIO, ErrClass, AtomicStats, PoolEscape, CtxLoop}
+	return []*Analyzer{RawIO, ErrClass, AtomicStats, PoolEscape, CtxLoop, SpawnJoin, LockHold, BarrierStats}
 }
 
 // AnalyzerNames returns the names of the full suite.

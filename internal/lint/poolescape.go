@@ -139,6 +139,7 @@ func runPoolEscape(pass *Pass) error {
 				return
 			}
 			w.stmts(body.List, make(map[types.Object]token.Pos))
+			w.checkFactRetention(body)
 		})
 	}
 	return nil
@@ -377,6 +378,53 @@ func (w *poolWalker) stmt(s ast.Stmt, dead map[types.Object]token.Pos) {
 			return true
 		})
 	}
+}
+
+// checkFactRetention flags pooled values passed to callees whose
+// cross-package fact says they retain that parameter (store it into a
+// field, global or element, capture it in a goroutine, or hand it to a
+// retaining callee of their own) — the value then outlives this
+// function's Put no matter how carefully the local path is ordered.
+func (w *poolWalker) checkFactRetention(body *ast.BlockStmt) {
+	if w.pass.Facts == nil {
+		return
+	}
+	inspectShallow(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		callee := calleeOf(w.pass.Info, call)
+		if callee == nil {
+			return true
+		}
+		// Put and the in-package releasers are the sanctioned retirement
+		// path, not an escape.
+		if isMethodOn(callee, "sync", "Pool", "Put") {
+			return true
+		}
+		if _, isReleaser := w.pf.releasers[callee]; isReleaser {
+			return true
+		}
+		f := w.pass.Facts.Fact(funcKey(callee))
+		if f == nil || len(f.Retains) == 0 {
+			return true
+		}
+		for i, arg := range call.Args {
+			v := w.pooledIdent(arg)
+			if v == nil {
+				continue
+			}
+			for _, ri := range f.Retains {
+				if ri == i {
+					w.pass.Reportf(call.Pos(),
+						"pooled %s passed to %s, which retains that argument beyond the call; the value can outlive its Put and be handed to another goroutine by the pool",
+						objName(v), shortKey(funcKey(callee)))
+				}
+			}
+		}
+		return true
+	})
 }
 
 func (w *poolWalker) caseClauses(body *ast.BlockStmt, dead map[types.Object]token.Pos) {

@@ -1,0 +1,170 @@
+package lint
+
+import (
+	"encoding/json"
+	"io"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Diagnostic emitters for CI. The text format (Diagnostic.String) stays
+// the human default; -format json emits a small stable schema for
+// scripting, and -format sarif emits SARIF 2.1.0, the format GitHub
+// code scanning ingests to render findings as PR annotations.
+
+// sarifSchemaURI and sarifVersion pin the emitted SARIF dialect.
+const (
+	sarifSchemaURI = "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/Schemata/sarif-schema-2.1.0.json"
+	sarifVersion   = "2.1.0"
+)
+
+// sarifLog &c. model the subset of SARIF 2.1.0 huslint emits.
+type sarifLog struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name           string      `json:"name"`
+	InformationURI string      `json:"informationUri,omitempty"`
+	Rules          []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID               string       `json:"id"`
+	ShortDescription sarifMessage `json:"shortDescription"`
+}
+
+type sarifResult struct {
+	RuleID    string          `json:"ruleId"`
+	Level     string          `json:"level"`
+	Message   sarifMessage    `json:"message"`
+	Locations []sarifLocation `json:"locations"`
+}
+
+type sarifMessage struct {
+	Text string `json:"text"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysical `json:"physicalLocation"`
+}
+
+type sarifPhysical struct {
+	ArtifactLocation sarifArtifact `json:"artifactLocation"`
+	Region           sarifRegion   `json:"region"`
+}
+
+type sarifArtifact struct {
+	URI string `json:"uri"`
+}
+
+type sarifRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn,omitempty"`
+}
+
+// WriteSARIF emits diags as one SARIF 2.1.0 run. File paths are made
+// relative to root (slash-separated, as SARIF artifact URIs require) so
+// GitHub can anchor annotations in the checkout.
+func WriteSARIF(w io.Writer, diags []Diagnostic, root string) error {
+	rules := make(map[string]string) // id -> doc
+	for _, a := range Analyzers() {
+		rules["huslint/"+a.Name] = a.Doc
+	}
+	// The directive checker reports as the pseudo-analyzer "ignore".
+	rules["huslint/ignore"] = "malformed //lint:ignore suppression directive"
+
+	log := sarifLog{
+		Schema:  sarifSchemaURI,
+		Version: sarifVersion,
+		Runs: []sarifRun{{
+			Tool: sarifTool{Driver: sarifDriver{
+				Name:  "huslint",
+				Rules: sortedRules(rules),
+			}},
+			Results: make([]sarifResult, 0, len(diags)),
+		}},
+	}
+	for _, d := range diags {
+		line := d.Pos.Line
+		if line < 1 {
+			line = 1 // SARIF requires startLine >= 1
+		}
+		log.Runs[0].Results = append(log.Runs[0].Results, sarifResult{
+			RuleID:  "huslint/" + d.Analyzer,
+			Level:   "error",
+			Message: sarifMessage{Text: d.Message},
+			Locations: []sarifLocation{{PhysicalLocation: sarifPhysical{
+				ArtifactLocation: sarifArtifact{URI: relativeURI(d.Pos.Filename, root)},
+				Region:           sarifRegion{StartLine: line, StartColumn: d.Pos.Column},
+			}}},
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(log)
+}
+
+func sortedRules(rules map[string]string) []sarifRule {
+	ids := make([]string, 0, len(rules))
+	for id := range rules {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	out := make([]sarifRule, 0, len(ids))
+	for _, id := range ids {
+		out = append(out, sarifRule{ID: id, ShortDescription: sarifMessage{Text: rules[id]}})
+	}
+	return out
+}
+
+// relativeURI renders a diagnostic's filename as a repo-relative,
+// slash-separated SARIF artifact URI; paths outside root stay as given
+// (slash-normalized).
+func relativeURI(filename, root string) string {
+	if root != "" {
+		if rel, err := filepath.Rel(root, filename); err == nil && !strings.HasPrefix(rel, "..") {
+			return filepath.ToSlash(rel)
+		}
+	}
+	return filepath.ToSlash(filename)
+}
+
+// jsonDiag is the -format json record for one finding.
+type jsonDiag struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Column   int    `json:"column"`
+	Message  string `json:"message"`
+}
+
+// WriteJSON emits diags as a JSON array (stable field names, one object
+// per finding), with paths relative to root.
+func WriteJSON(w io.Writer, diags []Diagnostic, root string) error {
+	out := make([]jsonDiag, 0, len(diags))
+	for _, d := range diags {
+		out = append(out, jsonDiag{
+			Analyzer: d.Analyzer,
+			File:     relativeURI(d.Pos.Filename, root),
+			Line:     d.Pos.Line,
+			Column:   d.Pos.Column,
+			Message:  d.Message,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}

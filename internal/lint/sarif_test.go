@@ -1,0 +1,153 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+func sampleDiags() []Diagnostic {
+	return []Diagnostic{
+		{
+			Analyzer: "spawnjoin",
+			Pos:      token.Position{Filename: "/repo/internal/core/engine.go", Line: 42, Column: 3},
+			Message:  "goroutine leaks",
+		},
+		{
+			Analyzer: "lockhold",
+			Pos:      token.Position{Filename: "/elsewhere/outside.go", Line: 0, Column: 0},
+			Message:  "blocked under lock",
+		},
+	}
+}
+
+// TestWriteSARIF structurally validates the emitted document against the
+// SARIF 2.1.0 shape GitHub code scanning requires: pinned $schema and
+// version, a tool.driver with one rule per analyzer, and results whose
+// locations use relative slash-separated URIs and 1-based start lines.
+func TestWriteSARIF(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteSARIF(&buf, sampleDiags(), "/repo"); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Schema  string `json:"$schema"`
+		Version string `json:"version"`
+		Runs    []struct {
+			Tool struct {
+				Driver struct {
+					Name  string `json:"name"`
+					Rules []struct {
+						ID               string `json:"id"`
+						ShortDescription struct {
+							Text string `json:"text"`
+						} `json:"shortDescription"`
+					} `json:"rules"`
+				} `json:"driver"`
+			} `json:"tool"`
+			Results []struct {
+				RuleID  string `json:"ruleId"`
+				Level   string `json:"level"`
+				Message struct {
+					Text string `json:"text"`
+				} `json:"message"`
+				Locations []struct {
+					PhysicalLocation struct {
+						ArtifactLocation struct {
+							URI string `json:"uri"`
+						} `json:"artifactLocation"`
+						Region struct {
+							StartLine int `json:"startLine"`
+						} `json:"region"`
+					} `json:"physicalLocation"`
+				} `json:"locations"`
+			} `json:"results"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("emitted SARIF is not valid JSON: %v", err)
+	}
+	if doc.Version != "2.1.0" || !strings.Contains(doc.Schema, "sarif-schema-2.1.0") {
+		t.Errorf("version/schema = %q / %q, want the pinned 2.1.0 dialect", doc.Version, doc.Schema)
+	}
+	if len(doc.Runs) != 1 {
+		t.Fatalf("runs = %d, want 1", len(doc.Runs))
+	}
+	run := doc.Runs[0]
+	if run.Tool.Driver.Name != "huslint" {
+		t.Errorf("driver name = %q, want huslint", run.Tool.Driver.Name)
+	}
+	ruleIDs := make(map[string]bool)
+	for _, r := range run.Tool.Driver.Rules {
+		ruleIDs[r.ID] = true
+		if r.ShortDescription.Text == "" {
+			t.Errorf("rule %s has no shortDescription", r.ID)
+		}
+	}
+	for _, a := range Analyzers() {
+		if !ruleIDs["huslint/"+a.Name] {
+			t.Errorf("rules missing huslint/%s", a.Name)
+		}
+	}
+	if !ruleIDs["huslint/ignore"] {
+		t.Error("rules missing the huslint/ignore pseudo-analyzer")
+	}
+	if len(run.Results) != 2 {
+		t.Fatalf("results = %d, want 2", len(run.Results))
+	}
+	for _, res := range run.Results {
+		if !strings.HasPrefix(res.RuleID, "huslint/") || res.Level != "error" || res.Message.Text == "" {
+			t.Errorf("malformed result: %+v", res)
+		}
+		if len(res.Locations) != 1 {
+			t.Fatalf("result has %d locations, want 1", len(res.Locations))
+		}
+		loc := res.Locations[0].PhysicalLocation
+		if loc.Region.StartLine < 1 {
+			t.Errorf("startLine = %d, SARIF requires >= 1", loc.Region.StartLine)
+		}
+		if strings.Contains(loc.ArtifactLocation.URI, "\\") {
+			t.Errorf("artifact URI %q is not slash-separated", loc.ArtifactLocation.URI)
+		}
+	}
+	if uri := run.Results[0].Locations[0].PhysicalLocation.ArtifactLocation.URI; uri != "internal/core/engine.go" {
+		t.Errorf("in-root artifact URI = %q, want repo-relative internal/core/engine.go", uri)
+	}
+	if uri := run.Results[1].Locations[0].PhysicalLocation.ArtifactLocation.URI; uri != "/elsewhere/outside.go" {
+		t.Errorf("outside-root artifact URI = %q, want the slash-normalized original", uri)
+	}
+}
+
+func TestWriteJSON(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, sampleDiags(), "/repo"); err != nil {
+		t.Fatal(err)
+	}
+	var out []struct {
+		Analyzer string `json:"analyzer"`
+		File     string `json:"file"`
+		Line     int    `json:"line"`
+		Column   int    `json:"column"`
+		Message  string `json:"message"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatalf("emitted JSON is invalid: %v", err)
+	}
+	if len(out) != 2 {
+		t.Fatalf("records = %d, want 2", len(out))
+	}
+	if out[0].Analyzer != "spawnjoin" || out[0].File != "internal/core/engine.go" ||
+		out[0].Line != 42 || out[0].Message == "" {
+		t.Errorf("first record = %+v", out[0])
+	}
+	// An empty diagnostic list still emits a JSON array, not null.
+	buf.Reset()
+	if err := WriteJSON(&buf, nil, "/repo"); err != nil {
+		t.Fatal(err)
+	}
+	if s := strings.TrimSpace(buf.String()); s != "[]" {
+		t.Errorf("empty diag list emits %q, want []", s)
+	}
+}

@@ -1,0 +1,89 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// SpawnJoin enforces the goroutine-lifecycle contract: every go statement
+// must launch a function with a reachable join or quit path — a
+// sync.WaitGroup.Done matched by a Wait, a quit/ctx.Done() case it
+// consults, or a completion send/close a joiner can receive. This is the
+// static twin of the chaos harness's goroutine-leak settle check: a
+// goroutine that loops forever without consulting an abort signal, or
+// parks on an indefinite channel operation with no way to signal or be
+// signalled, survives Shutdown and fails the settle.
+//
+// The facts are cross-package: the spawned function may consult its quit
+// channel three calls deep in another package, and the analyzer follows
+// the summarized call chain there. Dynamic spawn targets (computed
+// function values) have no fact and are skipped — the analyzer is a
+// sound-effort check, not a proof.
+var SpawnJoin = &Analyzer{
+	Name: "spawnjoin",
+	Doc: "every go statement needs a reachable join/quit path (WaitGroup.Done, " +
+		"select on quit/ctx.Done(), or a completion send/close); goroutines without one " +
+		"leak past Shutdown and fail the chaos settle check",
+	Run: runSpawnJoin,
+}
+
+func runSpawnJoin(pass *Pass) error {
+	if pass.Facts == nil {
+		return nil
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			g, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			checkSpawn(pass, g)
+			return true
+		})
+	}
+	return nil
+}
+
+// checkSpawn applies the lifecycle rules to one go statement.
+func checkSpawn(pass *Pass, g *ast.GoStmt) {
+	key := spawnTargetKey(pass, g)
+	if key == "" {
+		return // dynamic target: no fact to consult
+	}
+	f := pass.Facts.Fact(key)
+	if f == nil {
+		return
+	}
+	name := shortKey(key)
+	// Rule 1: an unbounded loop must consult an abort signal, or shutdown
+	// can never stop the goroutine.
+	if f.Unbounded && !f.ConsultsAbort {
+		pass.Reportf(g.Pos(),
+			"goroutine %s loops unboundedly (at %s) without consulting any quit/ctx signal; Shutdown cannot stop it and the chaos leak-settle check will fail — add a select case on the abort channel",
+			name, f.UnboundedAt)
+		return
+	}
+	// Rule 2: a goroutine that can park indefinitely (plain receive,
+	// abort-less select, WaitGroup.Wait) needs a join path: consulting an
+	// abort, calling wg.Done (joined by a Wait elsewhere), or
+	// sending/closing a channel a joiner can receive.
+	if f.ConsultsAbort || f.CallsWGDone || f.SignalsChan {
+		return
+	}
+	for _, b := range f.Blocks {
+		if b.Kind.indefinite() {
+			pass.Reportf(g.Pos(),
+				"goroutine %s may park indefinitely on %s and has no join path (no WaitGroup.Done, no quit/ctx case, no completion send/close); a caller waiting to join it deadlocks",
+				name, b.describe())
+			return
+		}
+	}
+}
+
+// spawnTargetKey resolves a go statement's target to its fact key, or ""
+// for dynamic targets.
+func spawnTargetKey(pass *Pass, g *ast.GoStmt) string {
+	if lit, ok := g.Call.Fun.(*ast.FuncLit); ok {
+		return pass.litKeys[lit]
+	}
+	return funcKey(calleeOf(pass.Info, g.Call))
+}

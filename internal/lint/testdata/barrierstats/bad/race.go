@@ -1,0 +1,45 @@
+// Fixture: barrier-published stats written off the coordinator — a
+// spawned goroutine updating plain fields races the Begin/Finish barrier
+// that is supposed to order every access.
+package stats
+
+// IterStats is barrier-published: plain fields, written only by the
+// coordinator between iteration Begin and Finish.
+type IterStats struct {
+	Iter    int
+	IOBytes int64
+	Runtime float64
+}
+
+type engine struct {
+	stats IterStats
+	work  chan int
+	done  chan struct{}
+}
+
+// tally is the violation: it runs as a goroutine and writes the plain
+// fields directly.
+func (e *engine) tally() {
+	for v := range e.work {
+		e.stats.IOBytes += int64(v)
+	}
+	close(e.done)
+}
+
+func (e *engine) Start() {
+	go e.tally() // want "writes barrier-published field stats.IterStats.IOBytes"
+}
+
+// helper hides the write one call away; the fact system carries it back
+// to the spawn.
+func (e *engine) bump() {
+	e.stats.Iter++
+}
+
+func (e *engine) StartIndirect() {
+	go func() { // want "writes barrier-published field stats.IterStats.Iter"
+		<-e.work
+		e.bump()
+		close(e.done)
+	}()
+}

@@ -1,0 +1,45 @@
+// Fixture: barrier-published stats handled correctly — plain writes stay
+// in the coordinator's serial sections, goroutines go through sync/atomic
+// counters that the coordinator folds in at the barrier.
+package stats
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// IterStats is barrier-published: plain fields, written only by the
+// coordinator between iteration Begin and Finish.
+type IterStats struct {
+	Iter    int
+	IOBytes int64
+	Runtime float64
+}
+
+type engine struct {
+	stats   IterStats
+	ioBytes atomic.Int64 // workers add here; folded in at Finish
+	work    chan int
+	wg      sync.WaitGroup
+}
+
+// worker updates only the atomic; the plain struct is untouched off the
+// coordinator.
+func (e *engine) worker() {
+	defer e.wg.Done()
+	for v := range e.work {
+		e.ioBytes.Add(int64(v))
+	}
+}
+
+// RunIteration is the coordinator: spawn, join, then publish the plain
+// fields in the serial section after the barrier.
+func (e *engine) RunIteration() {
+	e.wg.Add(1)
+	go e.worker()
+	close(e.work)
+	e.wg.Wait()
+	e.stats.Iter++
+	e.stats.IOBytes = e.ioBytes.Load()
+	e.stats.Runtime = 1.5
+}

@@ -1,0 +1,68 @@
+// Fixture: the consumer half of the cross-package fact test. Nothing in
+// this file blocks, loops, locks a second mutex, or stores a pooled value
+// — every violation is only diagnosable through the dep package's
+// serialized facts.
+package consumer
+
+import (
+	"sync"
+
+	"husgraph/internal/lint/testdata/factchain/dep"
+)
+
+// SpawnPump leaks: dep.PumpForever loops unboundedly without an abort
+// signal, which only dep's fact reveals.
+func SpawnPump(ticks chan int) {
+	go dep.PumpForever(ticks) // want "loops unboundedly"
+}
+
+// SpawnWait parks: dep.WaitForValue blocks on a receive and the goroutine
+// has no join path.
+func SpawnWait(ch chan int) {
+	go func() { // want "park indefinitely"
+		dep.WaitForValue(ch)
+	}()
+}
+
+type cache struct {
+	mu    sync.Mutex
+	last  int
+	table *dep.Registry
+}
+
+// BlockUnderLock holds cache.mu across dep.WaitForValue, whose blocking
+// receive is one package away.
+func (c *cache) BlockUnderLock(ch chan int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.last = dep.WaitForValue(ch) // want "chan-receive via"
+}
+
+// InvertOrder completes a cross-package lock-order inversion: this path
+// takes cache.mu then (via dep.Add) Registry.Mu; UnderRegistry takes them
+// the other way around.
+func (c *cache) InvertOrder(k string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.table.Add(k)
+}
+
+func (c *cache) UnderRegistry() {
+	c.table.Mu.Lock()
+	defer c.table.Mu.Unlock()
+	c.mu.Lock() // want "lock order inversion"
+	c.bump()
+	c.mu.Unlock()
+}
+
+func (c *cache) bump() { c.last++ }
+
+var scratch = sync.Pool{New: func() any { return make([]byte, 0, 64) }}
+
+// LeakToSink hands a pooled buffer to dep.Sink.Keep, which retains it —
+// visible only through the retention fact.
+func LeakToSink(s *dep.Sink) {
+	b := scratch.Get().([]byte)
+	s.Keep(b) // want "retains that argument"
+	scratch.Put(b)
+}

@@ -1,0 +1,50 @@
+// Package dep is the dependency half of the cross-package fact fixture:
+// every interesting behavior — blocking, unbounded looping, mutex
+// acquisition, argument retention — lives here, invisible to a
+// single-package analysis of the consumer. The consumer package is
+// analyzed with only this package's serialized facts in hand.
+package dep
+
+import "sync"
+
+// PumpForever loops unboundedly with no abort signal; a consumer spawning
+// it leaks the goroutine.
+func PumpForever(ticks chan int) {
+	for {
+		<-ticks
+	}
+}
+
+// WaitForValue parks on a plain receive; the block is only visible to the
+// consumer through this function's fact.
+func WaitForValue(ch chan int) int {
+	return <-ch
+}
+
+// Registry guards a shared table with an exported mutex, so consumers can
+// take it directly as well as through Add.
+type Registry struct {
+	Mu    sync.Mutex
+	items map[string]int
+}
+
+// Add acquires Registry.Mu — a fact consumers' lock-order analysis needs.
+func (r *Registry) Add(k string) {
+	r.Mu.Lock()
+	defer r.Mu.Unlock()
+	if r.items == nil {
+		r.items = make(map[string]int)
+	}
+	r.items[k]++
+}
+
+// Sink retains byte slices handed to Keep.
+type Sink struct {
+	buf []byte
+}
+
+// Keep stores its argument — a retention fact: the argument outlives the
+// call.
+func (s *Sink) Keep(b []byte) {
+	s.buf = b
+}

@@ -1,0 +1,34 @@
+// Fixture: position-keyed directive matching. Every directive here is
+// well-formed; the trailing "survives" markers flag lines whose findings
+// must outlive them all. Loaded under husgraph/internal/engine (rawio in
+// scope).
+package engine
+
+import "os"
+
+// A standalone directive reaches the next line only; a blank line in
+// between puts the call out of range.
+func standaloneGap(path string) ([]byte, error) {
+	//lint:ignore huslint/rawio too far: a blank line separates this from the call
+
+	return os.ReadFile(path) // survives: directive targets the blank line
+}
+
+// A directive below the code it names reaches nothing.
+func directiveBelow(path string) ([]byte, error) {
+	b, err := os.ReadFile(path) // survives: directives never reach upward
+	//lint:ignore huslint/rawio placed after the call it names
+	return b, err
+}
+
+// A trailing directive owns its line only.
+func trailingScope(path string) ([]byte, error) {
+	_ = path //lint:ignore huslint/rawio own line only; the next line is out of range
+	return os.ReadFile(path) // survives: trailing directive does not leak downward
+}
+
+// One comment, two directives; the second reason keeps its semicolon.
+func multiDirective(path string) ([]byte, error) {
+	//lint:ignore huslint/rawio report artifact, not graph data; lint:ignore huslint/errclass reason with; a semicolon inside
+	return os.ReadFile(path)
+}

@@ -1,0 +1,53 @@
+// Fixture: lock-discipline violations — mutexes held across may-block
+// operations (plain channel ops, sleeps, storage I/O, blocking callees)
+// and a mutex pair acquired in both orders.
+package locks
+
+import (
+	"sync"
+	"time"
+
+	"husgraph/internal/storage"
+)
+
+type server struct {
+	mu    sync.Mutex
+	ch    chan int
+	store storage.Store
+	state int
+}
+
+// recvUnderLock parks on a channel receive with the mutex held.
+func (s *server) recvUnderLock() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	v := <-s.ch // want "chan-receive while locks.server.mu is held"
+	s.state = v
+}
+
+// sleepUnderLock stalls every other goroutine for the nap's duration.
+func (s *server) sleepUnderLock() {
+	s.mu.Lock()
+	time.Sleep(time.Millisecond) // want "time.Sleep while locks.server.mu is held"
+	s.mu.Unlock()
+}
+
+// ioUnderLock performs storage I/O inside the critical section.
+func (s *server) ioUnderLock() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, err := s.store.ReadAll("blob") // want "storage I/O while locks.server.mu is held"
+	return err
+}
+
+// blockingHelper is what makes calleeUnderLock a violation: the block is
+// one call away, visible only through the helper's fact.
+func (s *server) blockingHelper() int {
+	return <-s.ch
+}
+
+func (s *server) calleeUnderLock() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.state = s.blockingHelper() // want "chan-receive via"
+}

@@ -1,0 +1,33 @@
+// Fixture: inconsistent lock ordering — registry.mu before index.mu in
+// one path, index.mu before registry.mu in another. Two goroutines on the
+// two paths deadlock under the right schedule.
+package locks
+
+import "sync"
+
+type registry struct {
+	mu    sync.Mutex
+	items map[string]int
+}
+
+type index struct {
+	mu   sync.Mutex
+	keys []string
+}
+
+func addBoth(r *registry, ix *index, k string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	r.items[k] = len(ix.keys)
+	ix.keys = append(ix.keys, k)
+}
+
+func dropBoth(r *registry, ix *index, k string) {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	r.mu.Lock() // want "lock order inversion"
+	defer r.mu.Unlock()
+	delete(r.items, k)
+}

@@ -1,0 +1,100 @@
+// Fixture: clean lock discipline — tight critical sections, channel work
+// released before blocking, selects with an escape hatch, and a single
+// consistent acquisition order.
+package locks
+
+import (
+	"sync"
+	"time"
+
+	"husgraph/internal/storage"
+)
+
+type server struct {
+	mu    sync.Mutex
+	quit  chan struct{}
+	ch    chan int
+	store storage.Store
+	state int
+}
+
+// copyThenBlock releases the lock before parking on the channel.
+func (s *server) copyThenBlock() {
+	s.mu.Lock()
+	v := s.state
+	s.mu.Unlock()
+	s.ch <- v
+}
+
+// ioOutsideLock does the read first and only locks to install the result.
+func (s *server) ioOutsideLock() error {
+	b, err := s.store.ReadAll("blob")
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	s.state = len(b)
+	s.mu.Unlock()
+	return nil
+}
+
+// selectWithAbort under a lock has an escape hatch: the quit case makes
+// the wait abortable, so it is not an indefinite park.
+func (s *server) selectWithAbort() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	select {
+	case v := <-s.ch:
+		s.state = v
+	case <-s.quit:
+	}
+}
+
+// nonBlockingSelect polls with a default clause.
+func (s *server) nonBlockingSelect() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	select {
+	case v := <-s.ch:
+		s.state = v
+	default:
+	}
+}
+
+// sleepAfterUnlock naps only once the critical section is over.
+func (s *server) sleepAfterUnlock() {
+	s.mu.Lock()
+	s.state++
+	s.mu.Unlock()
+	time.Sleep(time.Millisecond)
+}
+
+type registry struct {
+	mu    sync.Mutex
+	items map[string]int
+}
+
+type index struct {
+	mu   sync.Mutex
+	keys []string
+}
+
+// Both paths take registry.mu before index.mu: one consistent order, no
+// inversion.
+func addBoth(r *registry, ix *index, k string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	r.items[k] = len(ix.keys)
+	ix.keys = append(ix.keys, k)
+}
+
+func dropBoth(r *registry, ix *index, k string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	delete(r.items, k)
+	ix.keys = ix.keys[:0]
+}

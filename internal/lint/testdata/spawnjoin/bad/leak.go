@@ -1,0 +1,47 @@
+// Fixture: goroutine-lifecycle violations — spawns whose target loops
+// forever without an abort signal, or parks indefinitely with no join
+// path, leaking past Shutdown exactly the way the chaos harness's settle
+// check catches dynamically.
+package worker
+
+type hub struct {
+	data    chan int
+	results []int
+}
+
+// drain loops forever pulling work; nothing ever tells it to stop.
+func (h *hub) drain() {
+	for {
+		v := <-h.data
+		h.results = append(h.results, v)
+	}
+}
+
+func (h *hub) Start() {
+	go h.drain() // want "loops unboundedly"
+}
+
+// park receives one value and exits, but nothing joins it: no WaitGroup,
+// no quit case, no completion signal a caller could wait on.
+func park(in chan int) {
+	v := <-in
+	_ = v
+}
+
+func Launch(in chan int) {
+	go park(in) // want "park indefinitely"
+}
+
+// Transitive: the spawned literal looks innocent, but the helper it calls
+// does the forever-looping.
+func spin(ticks chan int) {
+	for {
+		<-ticks
+	}
+}
+
+func LaunchIndirect(ticks chan int) {
+	go func() { // want "loops unboundedly"
+		spin(ticks)
+	}()
+}

@@ -1,0 +1,92 @@
+// Fixture: goroutine lifecycles with legitimate join/quit paths — quit
+// channels in selects, WaitGroup joins, completion sends and closes, and
+// context cancellation — plus shapes that terminate structurally.
+package worker
+
+import (
+	"context"
+	"sync"
+)
+
+type pool struct {
+	work chan int
+	quit chan struct{}
+	wg   sync.WaitGroup
+}
+
+// worker covers its quit channel: Shutdown closes quit and the goroutine
+// exits.
+func (p *pool) worker() {
+	for {
+		select {
+		case v := <-p.work:
+			_ = v
+		case <-p.quit:
+			return
+		}
+	}
+}
+
+func (p *pool) Start() {
+	go p.worker()
+}
+
+// counted is joined through the WaitGroup.
+func (p *pool) counted() {
+	defer p.wg.Done()
+	v := <-p.work
+	_ = v
+}
+
+func (p *pool) StartCounted() {
+	p.wg.Add(1)
+	go p.counted()
+}
+
+// signaler parks on a receive but hands its result to a channel the
+// caller reads — the send is the join.
+func signaler(in chan int, out chan int) {
+	out <- <-in
+}
+
+func LaunchSignaler(in, out chan int) {
+	go signaler(in, out)
+}
+
+// closer broadcasts completion by closing done.
+func closer(in chan int, done chan struct{}) {
+	<-in
+	close(done)
+}
+
+func LaunchCloser(in chan int, done chan struct{}) {
+	go closer(in, done)
+}
+
+// ctxWorker honors context cancellation.
+func ctxWorker(ctx context.Context, work chan int) {
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case v := <-work:
+			_ = v
+		}
+	}
+}
+
+func LaunchCtx(ctx context.Context, work chan int) {
+	go ctxWorker(ctx, work)
+}
+
+// rangeWorker terminates when the channel closes and reports through the
+// WaitGroup — the parallel-for shape.
+func LaunchRange(work chan int, wg *sync.WaitGroup) {
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for v := range work {
+			_ = v
+		}
+	}()
+}
