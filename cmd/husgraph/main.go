@@ -6,7 +6,7 @@
 //
 //	husgraph -dataset twitter-sim -algo BFS [-system hus|graphchi|gridgraph|xstream]
 //	         [-model hybrid|rop|cop] [-device hdd|ssd|nvme|ram] [-threads N] [-p P]
-//	         [-format raw|compressed|mixed] [-sem] [-sem-budget-mb MB]
+//	         [-shards K] [-format raw|compressed|mixed] [-sem] [-sem-budget-mb MB]
 //	         [-trace] [-stats] [-input edges.txt] [-store DIR]
 //	         [-prefetch DEPTH] [-cache-mb MB] [-pipeline-depth K] [-cache-admission POLICY]
 //	         [-checkpoint N] [-resume] [-retries N] [-retry-backoff D] [-retry-jitter J]
@@ -28,6 +28,14 @@
 // Pipelining rides on the async prefetch pipeline, so combining it with an
 // explicit -prefetch 0 or -cache-mb 0 is a contradiction and rejected at
 // startup rather than silently degraded.
+//
+// -shards K runs the hus engine as K worker shards, each owning P/K
+// contiguous intervals with its own store handle, cache-budget slice and
+// I/O scheduler, exchanging frontier pieces at the iteration barrier
+// (internal/shard). Results are bit-identical to -shards 1 at every K; K
+// must divide P, and K > 1 is hus-only — both contradictions are rejected
+// at startup, as is a -sem residency the whole shard fleet cannot fit in
+// -sem-budget-mb. -stats adds the per-shard and exchange columns.
 //
 // With -input, a whitespace edge list ("src dst [weight]" per line) is
 // processed instead of a registry dataset. With -store, the dual-block
@@ -77,6 +85,7 @@ import (
 	"husgraph/internal/gen"
 	"husgraph/internal/graph"
 	"husgraph/internal/report"
+	"husgraph/internal/shard"
 	"husgraph/internal/storage"
 )
 
@@ -119,6 +128,7 @@ func run() (*core.Result, error) {
 	deviceName := flag.String("device", "hdd", "device profile: hdd|ssd|nvme|ram")
 	threads := flag.Int("threads", 0, "worker threads (0 = GOMAXPROCS)")
 	p := flag.Int("p", 8, "partition count")
+	shards := flag.Int("shards", 1, "worker-shard count K: run the engine as K interval-owning shards exchanging at the iteration barrier; must divide P, bit-identical results at every K (hus only)")
 	memBudget := flag.Int64("membudget", 0, "if > 0, choose P so one block's working set fits this many bytes (paper §3.2)")
 	trace := flag.Bool("trace", false, "print per-iteration statistics")
 	storeDir := flag.String("store", "", "keep the dual-block store in real files under this directory")
@@ -154,6 +164,10 @@ func run() (*core.Result, error) {
 	explicit := map[string]bool{}
 	flag.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
 	pipeline, err := pipelineConfig(explicit, *pipelineIters, *pipelineDepth, *prefetch, *cacheMB)
+	if err != nil {
+		return nil, err
+	}
+	shardK, err := shardsConfig(*shards, *system, *p, explicit["membudget"] && *memBudget > 0)
 	if err != nil {
 		return nil, err
 	}
@@ -267,7 +281,7 @@ func run() (*core.Result, error) {
 				semBudget = core.SystemRAMBytes()
 			}
 		}
-		eng := core.New(ds, core.Config{
+		cfg := core.Config{
 			Model:            model,
 			SemiExternal:     *sem,
 			SemBudgetBytes:   semBudget,
@@ -287,9 +301,19 @@ func run() (*core.Result, error) {
 			CacheBudgetBytes: *cacheMB << 20,
 			PipelineIters:    pipeline,
 			CacheAdmission:   *cacheAdmission,
-		})
-		if res, err = eng.Run(algo.New(g)); err != nil {
-			return nil, err
+		}
+		if shardK > 1 {
+			co, err := shard.New(ds, shard.Config{Config: cfg, Shards: shardK})
+			if err != nil {
+				return nil, err
+			}
+			if res, err = co.Run(algo.New(g)); err != nil {
+				return nil, err
+			}
+		} else {
+			if res, err = core.New(ds, cfg).Run(algo.New(g)); err != nil {
+				return nil, err
+			}
 		}
 	} else {
 		r := experiments.NewRunner(experiments.Options{Threads: *threads, P: *p})
@@ -370,6 +394,38 @@ func run() (*core.Result, error) {
 		fmt.Println()
 	}
 
+	if *stats && shardK > 1 {
+		// The sharded view: one row per iteration per shard, plus the
+		// barrier exchange the coordinator priced for each iteration.
+		t := report.NewTable("per-shard execution stats",
+			"iter", "shard", "model", "active E", "I/O MB", "I/O time", "runtime", "exchange", "exch MB", "merge", "skew")
+		for _, it := range res.Iterations {
+			mode := "pull"
+			if it.ExchangePush {
+				mode = "push"
+			}
+			for _, ss := range it.Shards {
+				t.AddRow(
+					fmt.Sprintf("%d", it.Iter+1),
+					fmt.Sprintf("%d", ss.Shard),
+					ss.Stats.Model.String(),
+					fmt.Sprintf("%d", ss.Stats.ActiveEdges),
+					report.MB(ss.Stats.IO.TotalBytes()),
+					ss.Stats.IOTime.Round(time.Microsecond).String(),
+					ss.Stats.Runtime.Round(time.Microsecond).String(),
+					mode,
+					report.MB(it.ExchangeBytes),
+					it.MergeTime.Round(time.Microsecond).String(),
+					fmt.Sprintf("%.2f", it.ShardSkew),
+				)
+			}
+		}
+		if err := t.Render(os.Stdout); err != nil {
+			return nil, err
+		}
+		fmt.Println()
+	}
+
 	if *valuesOut != "" {
 		//lint:ignore huslint/rawio human-readable result export at the CLI boundary; not graph block data
 		f, err := os.Create(*valuesOut)
@@ -415,6 +471,11 @@ func run() (*core.Result, error) {
 		fmt.Printf("  pipelining:     depth %d, %s MB speculative reads, %v I/O hidden behind earlier compute\n",
 			pipeline, report.MB(res.TotalSpecReadBytes()), res.TotalOverlapCredit().Round(time.Microsecond))
 	}
+	if shardK > 1 {
+		fmt.Printf("  sharding:       %d shards, %s MB exchanged (%v), merge %v, worst skew %.2f\n",
+			shardK, report.MB(res.TotalExchangeBytes()), res.TotalExchangeTime().Round(time.Microsecond),
+			res.TotalMergeTime().Round(time.Microsecond), res.MaxShardSkew())
+	}
 	if *retries > 0 || *checkpointEvery > 0 || *resume || *readDeadline > 0 {
 		rec := res.Recovery
 		fmt.Printf("  recovery:       %d read retries, %d hedged read(s), %d checkpoint(s) written, resumed at iteration %d, %d corrupt generation(s) skipped\n",
@@ -439,6 +500,31 @@ func run() (*core.Result, error) {
 // run silently; now it is a startup error. `set` holds the flags the user
 // actually passed (flag.Visit), so the defaults — no -prefetch, no
 // -cache-mb — still auto-configure instead of erroring.
+// shardsConfig validates the -shards flag against the rest of the command
+// line, in the same fail-at-startup spirit as pipelineConfig: a shard count
+// that cannot work is an error, not a silent fallback. K > 1 is hus-only,
+// and K must divide the partition count — except under -membudget, where P
+// is chosen later from the working-set budget; the coordinator re-validates
+// divisibility against the resolved P either way.
+func shardsConfig(shards int, system string, p int, memBudgetP bool) (int, error) {
+	if shards <= 0 {
+		if shards < 0 {
+			return 0, fmt.Errorf("-shards %d: shard count must be >= 1", shards)
+		}
+		return 1, nil
+	}
+	if shards == 1 {
+		return 1, nil
+	}
+	if system != "hus" {
+		return 0, fmt.Errorf("-shards %d is hus-only, but -system %s was selected; drop -shards or use -system hus", shards, system)
+	}
+	if !memBudgetP && p%shards != 0 {
+		return 0, fmt.Errorf("-shards %d does not evenly divide -p %d; pick a divisor of P", shards, p)
+	}
+	return shards, nil
+}
+
 func pipelineConfig(set map[string]bool, iters, depth, prefetch int, cacheMB int64) (int, error) {
 	if set["pipeline-iters"] && set["pipeline-depth"] {
 		return 0, fmt.Errorf("-pipeline-iters and -pipeline-depth are the same knob; pass only -pipeline-depth")

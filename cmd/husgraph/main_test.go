@@ -34,6 +34,48 @@ func TestExitCode(t *testing.T) {
 	}
 }
 
+func TestShardsConfig(t *testing.T) {
+	cases := []struct {
+		name      string
+		shards    int
+		system    string
+		p         int
+		memBudget bool
+		want      int
+		errPart   string
+	}{
+		{name: "default off", shards: 1, system: "hus", p: 8, want: 1},
+		{name: "zero means one", shards: 0, system: "hus", p: 8, want: 1},
+		{name: "negative rejected", shards: -2, system: "hus", p: 8, errPart: "must be >= 1"},
+		{name: "two over eight", shards: 2, system: "hus", p: 8, want: 2},
+		{name: "non-divisor rejected", shards: 3, system: "hus", p: 8, errPart: "does not evenly divide"},
+		{name: "baseline system rejected", shards: 2, system: "gridgraph", p: 8, errPart: "hus-only"},
+		{name: "membudget defers divisibility", shards: 3, system: "hus", p: 8, memBudget: true, want: 3},
+		{name: "shards 1 allowed on baselines", shards: 1, system: "xstream", p: 8, want: 1},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got, err := shardsConfig(tc.shards, tc.system, tc.p, tc.memBudget)
+			if tc.errPart != "" {
+				if err == nil {
+					t.Fatalf("want error containing %q, got K=%d", tc.errPart, got)
+				}
+				//lint:ignore huslint/errclass the assertion is about the rendered flag-error text a user sees, not an error class the program branches on
+				if !strings.Contains(err.Error(), tc.errPart) {
+					t.Fatalf("error %q does not mention %q", err, tc.errPart)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != tc.want {
+				t.Fatalf("resolved K=%d, want %d", got, tc.want)
+			}
+		})
+	}
+}
+
 func TestPipelineConfig(t *testing.T) {
 	cases := []struct {
 		name     string

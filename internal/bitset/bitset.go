@@ -222,6 +222,34 @@ func (b *Bitset) Or(other *Bitset) {
 	}
 }
 
+// OrAtomic sets b to the union b ∪ other with per-word CAS loops, safe for
+// concurrent use with the Atomic methods on b (other must not be written
+// concurrently). Words already covering other's bits are skipped without a
+// write, so K disjoint-interval merges mostly CAS distinct words. Like all
+// racing reads, bits being set in b concurrently are preserved; bits set in
+// other before the call are always merged. Capacities must match.
+func (b *Bitset) OrAtomic(other *Bitset) {
+	if b.n != other.n {
+		panic("bitset: OrAtomic capacity mismatch")
+	}
+	for i, ow := range other.words {
+		if ow == 0 {
+			continue
+		}
+		w := &b.words[i]
+		for {
+			old := atomic.LoadUint64(w)
+			merged := old | ow
+			if merged == old {
+				break
+			}
+			if atomic.CompareAndSwapUint64(w, old, merged) {
+				break
+			}
+		}
+	}
+}
+
 // And sets b to the intersection b ∩ other. Capacities must match.
 func (b *Bitset) And(other *Bitset) {
 	if b.n != other.n {

@@ -180,6 +180,34 @@ func (f *Frontier) AnyInAtomic(lo, hi int) bool {
 	return f.dense.AnyInRangeAtomic(lo, hi)
 }
 
+// MergeAtomic ORs other's members into f's dense bitmap with per-word CAS,
+// safe for concurrent use with AddAtomic/AnyInAtomic on f (other must be
+// quiescent — a shard's piece handed over at the barrier). Only the bitmap
+// is merged: the count and sparse list are left stale, so the caller must
+// Reindex once all pieces are in before using Count/Members/Range. Universe
+// sizes must match.
+func (f *Frontier) MergeAtomic(other *Frontier) {
+	f.dense.OrAtomic(other.dense)
+}
+
+// Reindex rebuilds the count and sparse member list from the dense bitmap
+// after one or more MergeAtomic calls. The rebuilt state is exactly what an
+// organically-built frontier with the same members has: the sparse list is
+// kept iff the member count fits the sparse capacity (an organic frontier
+// drops it at the same threshold). Requires external synchronization (no
+// concurrent writers).
+func (f *Frontier) Reindex() {
+	f.count = int64(f.dense.Count())
+	f.sparse = f.sparse[:0]
+	f.sparseOK = int(f.count) <= f.sparseCap()
+	if f.sparseOK {
+		f.dense.Range(func(v int) bool {
+			f.sparse = append(f.sparse, v)
+			return true
+		})
+	}
+}
+
 // Bitmap exposes the underlying dense bitmap for read-only membership tests.
 // Mutating the returned bitset corrupts the frontier.
 func (f *Frontier) Bitmap() *Bitset { return f.dense }

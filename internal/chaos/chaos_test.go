@@ -212,6 +212,58 @@ func TestChaosCompressedKillAndResume(t *testing.T) {
 	}
 }
 
+// TestChaosShardedMatrix runs the whole algorithm matrix through the K=2
+// shard coordinator under seeded fault schedules, verified against the
+// unsharded clean oracle — bit-identity across the sharding seam with
+// retries and hedges landing inside individual shards' windows. Degrade
+// stays off: K independent breakers interleave their ladder events, which
+// the chain verification (per-shard, not per-run) would misread.
+func TestChaosShardedMatrix(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+	models := []core.Model{core.ModelHybrid, core.ModelROP, core.ModelCOP}
+	for i, a := range Matrix() {
+		a, model := a, models[i%len(models)]
+		t.Run(a.Name, func(t *testing.T) {
+			sched := RandomSchedule(41 + int64(i))
+			sched.KillAtIter = 0 // the kill path gets its own dedicated test
+			rep := runBounded(t, a, Tuning{Model: model, Shards: 2}, sched, 60*time.Second)
+			if err := Verify(rep); err != nil {
+				t.Fatal(err)
+			}
+			if rep.Counters.Injected() == 0 {
+				t.Fatalf("schedule %s injected nothing", sched.Name)
+			}
+		})
+	}
+	settleGoroutines(t, baseline)
+}
+
+// TestChaosShardedKillAndResume is the K=2 crash smoke: the run is killed
+// at the iteration barrier while both shards hold cross-iteration
+// speculation in flight (PipelineIters defaults to 2), the store reopens
+// cold, and the resumed coordinator must land on the oracle's exact values
+// from its checkpoint.
+func TestChaosShardedKillAndResume(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+	sched := RandomSchedule(4)
+	sched.KillAtIter = 2
+	a, err := AlgoByName("BFS")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := runBounded(t, a, Tuning{Model: core.ModelCOP, Shards: 2}, sched, 60*time.Second)
+	if err := Verify(rep); err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Killed {
+		t.Fatal("schedule did not kill the run")
+	}
+	if !rep.Resumed || rep.Chaotic.Recovery.ResumedIter <= 0 {
+		t.Fatalf("killed sharded run did not resume from a checkpoint (ResumedIter=%d)", rep.Chaotic.Recovery.ResumedIter)
+	}
+	settleGoroutines(t, baseline)
+}
+
 // TestChaosSoak is the long-haul entrypoint: CHAOS_SOAK=N go test -run
 // TestChaosSoak ./internal/chaos sweeps N random seeds per algorithm.
 // Skipped unless CHAOS_SOAK is set.

@@ -84,12 +84,13 @@ func defaultDecodeNsPerByte(threads int) float64 {
 }
 
 // iterationWork returns the edge and block work of the coming iteration
-// under the chosen model: ROP touches the active out-edges in the blocks
-// of active rows; COP scans every in-edge of every streamed block.
+// under the chosen model, scoped to the engine's owned intervals: ROP
+// touches the active out-edges in the blocks of active owned rows; COP
+// scans every in-edge of every block streamed into an owned column.
 func (e *Engine) iterationWork(model Model, frontier *bitset.Frontier, activeEdges int64) (edges, blocks int64) {
 	l := e.ds.Layout
 	if model == ModelROP {
-		for i := 0; i < l.P; i++ {
+		for _, i := range e.owned {
 			lo, hi := l.Bounds(i)
 			if frontier.CountIn(lo, hi) == 0 {
 				continue
@@ -102,14 +103,21 @@ func (e *Engine) iterationWork(model Model, frontier *bitset.Frontier, activeEdg
 		}
 		return activeEdges, blocks
 	}
-	for j := 0; j < l.P; j++ {
-		if e.cfg.COPBlockSkip {
+	// Source rows j skipped by COP's block-level selective scheduling
+	// contribute to no column; precompute the predicate once per row.
+	var skip []bool
+	if e.cfg.COPBlockSkip {
+		skip = make([]bool, l.P)
+		for j := 0; j < l.P; j++ {
 			jlo, jhi := l.Bounds(j)
-			if frontier.CountIn(jlo, jhi) == 0 {
+			skip[j] = frontier.CountIn(jlo, jhi) == 0
+		}
+	}
+	for _, i := range e.owned { // column i
+		for j := 0; j < l.P; j++ {
+			if skip != nil && skip[j] {
 				continue
 			}
-		}
-		for i := 0; i < l.P; i++ {
 			edges += e.ds.BlockEdgeCount[j][i]
 			blocks++
 		}

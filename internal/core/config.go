@@ -173,6 +173,14 @@ type Config struct {
 	// that iteration's statistics — for live progress reporting. It runs
 	// on the engine goroutine; keep it fast.
 	OnIteration func(IterStats)
+	// Owner scopes the engine to a subset of the layout's intervals: its
+	// planners, predictors and executors then cover only owned ROP rows,
+	// COP columns and finalization sweeps. nil means all intervals — the
+	// classic single-engine configuration. The shard coordinator
+	// (internal/shard) runs K engines with disjoint contiguous owners over
+	// the same store; owners must list intervals ascending and span the
+	// layout's P (validated at New).
+	Owner IntervalOwner
 	// COPBlockSkip skips streaming in-block(j,i) when source interval j
 	// holds no active vertices — GridGraph's block-level selective
 	// scheduling grafted onto COP. The paper's Alg. 3 streams every
@@ -184,6 +192,12 @@ type Config struct {
 	// deterministic ladder tests; nil uses time.Now.
 	degradeNow func() time.Time
 }
+
+// WithDefaults returns the config with zero fields resolved to their
+// defaults — the view an engine built from this config actually runs with.
+// The shard coordinator uses it so its run loop (iteration bound,
+// tolerance, checkpoint cadence) agrees with its engines'.
+func (c Config) WithDefaults() Config { return c.withDefaults() }
 
 // withDefaults resolves zero fields.
 func (c Config) withDefaults() Config {

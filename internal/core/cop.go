@@ -9,32 +9,25 @@ import (
 	"husgraph/internal/ioplan"
 )
 
-// runCOP executes one Column-oriented Pull iteration (paper Alg. 3).
+// runCOP executes one Column-oriented Pull iteration (paper Alg. 3) over
+// the engine's owned columns.
 //
-// For every interval i, the column of in-blocks (0, i)..(P-1, i) is
+// For every owned interval i, the column of in-blocks (0, i)..(P-1, i) is
 // streamed sequentially; within each in-block, destination vertices are
 // partitioned across workers (each owns its destinations, so there are no
 // write conflicts, §3.5) and pull messages from their active in-neighbors.
 // After a column completes, S_i ← D_i (Alg. 3 line 20), so later columns
 // pull already-updated values: monotone programs converge faster, additive
 // programs become a Gauss–Seidel sweep (same fixed point). Incremental
-// programs defer synchronization to iteration end (a delta must be
-// consumed exactly once).
+// programs defer synchronization to iteration end — Step.FinalizeOwned
+// consumes the deferred deltas (a delta must be consumed exactly once).
+// The caller initializes D (InitAccumulators).
 //
 // Returns the largest per-vertex value change (non-Monotone only).
 func (e *Engine) runCOP(prog Program, s, d []float64, frontier, next *bitset.Frontier, win *ioplan.Window, copSkip func(int) bool) (float64, error) {
 	l := e.ds.Layout
 	dev := e.ds.Device()
-	monotone := prog.Kind() == Monotone
 	nv := int64(blockstore.VertexValueBytes)
-
-	if monotone {
-		copy(d, s)
-	} else {
-		for i := range d {
-			d[i] = 0
-		}
-	}
 
 	// The column traversal order was handed to the scheduler as this
 	// window's plan (ioplan.COPKeys with the same copSkip closure): while
@@ -44,7 +37,7 @@ func (e *Engine) runCOP(prog Program, s, d []float64, frontier, next *bitset.Fro
 	// mirrors the plan exactly — every planned key is consumed by exactly
 	// one Next call.
 	var maxDelta float64
-	for i := 0; i < l.P; i++ { // column i updates interval i
+	for _, i := range e.owned { // column i updates interval i
 		lo, hi := l.Bounds(i)
 		if !e.cfg.SemiExternal {
 			dev.ReadSeq(int64(l.Size(i)) * nv) // load D_i (Alg. 3 line 1)
@@ -174,35 +167,6 @@ func (e *Engine) runCOP(prog Program, s, d []float64, frontier, next *bitset.Fro
 		}
 		if !e.cfg.SemiExternal {
 			dev.WriteSeq(int64(l.Size(i)) * nv) // write back D_i
-		}
-	}
-	if prog.Kind() == Incremental {
-		// Interval by interval so the delta tracker sees per-interval
-		// totals; the gate mostly reads them through next iteration's prev
-		// mirror (this finalization runs after this window's gate fired).
-		for i := 0; i < l.P; i++ {
-			lo, hi := l.Bounds(i)
-			var sumD, maxD float64
-			var activated int64
-			for v := lo; v < hi; v++ {
-				newVal, activate := prog.Apply(graph.VertexID(v), s[v], d[v])
-				delta := math.Abs(newVal - s[v])
-				sumD += delta
-				if delta > maxD {
-					maxD = delta
-				}
-				s[v] = newVal
-				if activate {
-					next.Add(v)
-					activated++
-				}
-			}
-			if maxD > maxDelta {
-				maxDelta = maxD
-			}
-			if e.vd != nil {
-				e.vd.noteInterval(i, sumD, maxD, activated)
-			}
 		}
 	}
 	return maxDelta, nil

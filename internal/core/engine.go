@@ -22,6 +22,12 @@ type Engine struct {
 	cfg Config
 	ctx *Context
 
+	// owned lists the intervals this engine plans, predicts and executes
+	// (ascending); ownsAll short-circuits the scoping for the classic
+	// single-engine configuration. Resolved from Config.Owner at New.
+	owned   []int
+	ownsAll bool
+
 	// scratch pools decode buffers across block loads; spans/runs hold
 	// ROP's per-destination-block range buffers (worker j owns index j
 	// during a row, so no locking is needed).
@@ -90,6 +96,13 @@ func New(ds *blockstore.DualStore, cfg Config) *Engine {
 		spans: make([][]span, ds.Layout.P),
 		runs:  make([][]run, ds.Layout.P),
 	}
+	owned, ownsAll, err := resolveOwner(e.cfg.Owner, ds.Layout.P)
+	if err != nil {
+		// An invalid owner is a programmer error on the sharding layer's
+		// side (the CLI validates -shards before any engine exists).
+		panic(err)
+	}
+	e.owned, e.ownsAll = owned, ownsAll
 	e.scratch.New = func() any { return new(blockstore.Scratch) }
 	if e.cfg.CacheBudgetBytes > 0 {
 		// The CLI validates the admission name; an invalid one reaching
@@ -136,9 +149,46 @@ func New(ds *blockstore.DualStore, cfg Config) *Engine {
 		Degraded:      degraded,
 	})
 	if e.cfg.PipelineIters > 0 {
-		e.vd = newDeltaTracker(ds.Layout.P)
+		e.vd = newDeltaTracker(ds.Layout.P, e.owned)
 	}
 	return e
+}
+
+// ownedOrNil returns nil for the all-intervals owner — letting planners
+// take their unscoped path — and the owned interval list otherwise.
+func (e *Engine) ownedOrNil() []int {
+	if e.ownsAll {
+		return nil
+	}
+	return e.owned
+}
+
+// ownedActive counts the active vertices in owned intervals.
+func (e *Engine) ownedActive(f *bitset.Frontier) int {
+	if e.ownsAll {
+		return f.Count()
+	}
+	l := e.ds.Layout
+	c := 0
+	for _, i := range e.owned {
+		lo, hi := l.Bounds(i)
+		c += f.CountIn(lo, hi)
+	}
+	return c
+}
+
+// ownedVertexWork returns the per-vertex serial work term of one iteration
+// for this engine: every vertex of every owned interval (the full vertex
+// count for the unscoped engine — finalization sweeps all of them).
+func (e *Engine) ownedVertexWork() int64 {
+	if e.ownsAll {
+		return int64(e.ds.Layout.NumVertices)
+	}
+	var t int64
+	for _, i := range e.owned {
+		t += int64(e.ds.Layout.Size(i))
+	}
+	return t
 }
 
 // Context returns the graph context handed to programs.
@@ -189,14 +239,9 @@ func (e *Engine) RunContext(ctx context.Context, prog Program) (*Result, error) 
 		}
 	}
 
-	if e.cfg.SemiExternal {
-		if err := e.pinSemResident(); err != nil {
-			return nil, err
-		}
+	if err := e.StartRun(); err != nil {
+		return nil, err
 	}
-
-	dev := e.ds.Device()
-	e.slackAvail = e.slackAvail[:0]
 	// Speculation parked at the barrier when the run ends (converged,
 	// cancelled, or failed) has no iteration left to adopt it; its device
 	// charges land in the device totals but no iteration's IO, and its
@@ -206,9 +251,6 @@ func (e *Engine) RunContext(ctx context.Context, prog Program) (*Result, error) 
 		e.prefetchUnused.Add(unused)
 	}()
 	if e.breaker != nil {
-		// The wall-clock ticker ages pressure out even while the engine is
-		// stuck inside one long iteration (e.g. every read hedging).
-		e.breaker.Start()
 		defer e.breaker.Stop()
 	}
 	for iter := startIter; iter < e.cfg.MaxIters; iter++ {
@@ -228,176 +270,17 @@ func (e *Engine) RunContext(ctx context.Context, prog Program) (*Result, error) 
 			res.Converged = true
 			break
 		}
-		ioBefore := dev.Stats()
-		specBefore := e.sched.SpecIO()
-		retriesBefore := e.ds.Retries()
-		hedgesBefore := e.ds.Hedges()
-		unusedBefore := e.prefetchUnused.Load()
-		decBefore := e.ds.DecodeStats()
-		var cacheBefore blockstore.CacheStats
-		if e.cache != nil {
-			cacheBefore = e.cache.Stats()
-		}
-		start := time.Now()
-
-		st := IterStats{Iter: iter, ActiveVertices: frontier.Count(), DegradeLevel: e.applyDegradeLevel()}
-		st.ActiveEdges = e.activeOutEdges(frontier)
-		st.Model = e.chooseModel(frontier, &st)
-		if e.vd != nil {
-			// Safe here: the previous window's gate goroutine is gone
-			// (Finish waited for it), so nothing reads the tracker while
-			// the completed iteration's deltas rotate into the prev mirror.
-			e.vd.rotate()
-		}
-
 		next := bitset.NewFrontier(n)
-		var plan []blockstore.BlockKey
-		var copSkip func(int) bool
-		if st.Model == ModelROP {
-			// With pinned out-indices (semi-external mode) a ROP iteration
-			// has nothing to plan: the selective edge-range loads stay on
-			// the consume path, and the indices they need are in memory.
-			if e.semIdx == nil {
-				plan = ioplan.ROPKeys(e.ds.Layout, e.ds.BlockEdgeCount, frontier)
-			}
-		} else {
-			copSkip = e.copSkipFunc(frontier)
-			plan = ioplan.COPKeys(e.ds.Layout, copSkip)
+		step := e.BeginIter(prog, iter, ModelHybrid, frontier, next)
+		InitAccumulators(prog.Kind(), s, d)
+		if err := step.Exec(s, d); err == nil {
+			step.FinalizeOwned(s, d)
 		}
-		prov := e.provisionalPlan(prog, st.Model, frontier, next)
-		if prov != nil && e.breaker != nil {
-			// Re-check the ladder at gate time: it may step down while this
-			// iteration runs, and speculation launched then would amplify
-			// exactly the pressure the breaker is shedding.
-			inner, br := prov, e.breaker
-			prov = func(depth int) []blockstore.BlockKey {
-				lvl := br.Level()
-				if lvl >= resilience.LevelNoSpec || (lvl >= resilience.LevelShallowSpec && depth > 1) {
-					return nil
-				}
-				return inner(depth)
-			}
-		}
-		win := e.sched.Begin(plan, prov)
-		var maxDelta float64
-		var err error
-		if st.Model == ModelROP {
-			maxDelta, err = e.runROP(prog, s, d, frontier, next, win)
-		} else {
-			maxDelta, err = e.runCOP(prog, s, d, frontier, next, win, copSkip)
-		}
-		// Finish before the error check: the window's pipelines must be
-		// torn down (and their device charges landed) on every path.
-		ws := e.sched.Finish(win)
-		e.prefetchUnused.Add(ws.UnusedBytes)
+		st, err := step.End()
 		if err != nil {
 			return nil, &IterError{Program: prog.Name(), Iter: iter, Model: st.Model, Err: err}
 		}
-
-		st.ComputeTime = time.Since(start)
-		edgeWork, blockWork := e.iterationWork(st.Model, frontier, st.ActiveEdges)
-		st.ComputeModeled = ModeledComputeTime(edgeWork, int64(n), blockWork, e.cfg.Threads)
-		decDelta := e.ds.DecodeStats().Sub(decBefore)
-		st.DecodeTime = decDelta.Time
-		st.DecodedBytes = decDelta.DecodedBytes()
-		st.CompressedBytes = decDelta.CompressedBytes
-		st.DecodeModeled = ModeledDecodeTime(decDelta.VarintBytes, decDelta.RLEBytes, e.cfg.Threads)
-		if db := st.DecodedBytes; db > 0 {
-			// Feed the predictor's decode-cost EWMA from what this iteration
-			// actually decoded (modeled rates, so replays are deterministic).
-			rate := float64(st.DecodeModeled) / float64(db)
-			if e.decKnown {
-				e.decNsPerByte = 0.75*e.decNsPerByte + 0.25*rate
-			} else {
-				e.decNsPerByte, e.decKnown = rate, true
-			}
-		}
-		// Attribution across the barrier: speculative reads issued during
-		// this window belong to the iteration that consumes them, so they
-		// are subtracted from this iteration's raw device delta; the batch
-		// this iteration consumed is added back.
-		rawIO := dev.Stats().Sub(ioBefore)
-		specIssued := e.sched.SpecIO().Sub(specBefore)
-		st.IO = rawIO.Sub(specIssued).Add(ws.SpecIO)
-		st.IOTime = st.IO.SimIO
-		st.SpecReadBytes = ws.SpecIO.ReadBytes()
-		st.SpecIOTime = ws.SpecIO.SimIO
-		st.SpecDepth = ws.SpecDepth
-		st.PrefetchStall = ws.Stall
-		// Overlap credit: a batch adopted at depth d ran behind the last d
-		// iterations' compute, so up to min(its device time, their pooled
-		// idle tails) of this iteration's I/O time is already hidden.
-		// Claimed slack is consumed oldest-first so chained windows never
-		// hide two batches behind the same idle time.
-		var credit time.Duration
-		if d := ws.SpecDepth; d > 0 && ws.SpecIO.SimIO > 0 {
-			if d > len(e.slackAvail) {
-				d = len(e.slackAvail)
-			}
-			pool := e.slackAvail[len(e.slackAvail)-d:]
-			var hideable time.Duration
-			for _, sl := range pool {
-				hideable += sl
-			}
-			credit = ws.SpecIO.SimIO
-			if hideable < credit {
-				credit = hideable
-			}
-			if st.IOTime < credit {
-				credit = st.IOTime
-			}
-			rem := credit
-			for k := range pool {
-				take := pool[k]
-				if take > rem {
-					take = rem
-				}
-				pool[k] -= take
-				rem -= take
-				if rem == 0 {
-					break
-				}
-			}
-		}
-		st.OverlapCredit = credit
-		// Decode placement mirrors where the decompression actually runs:
-		// asynchronous pipelines decode in their prefetch workers, so the
-		// work overlaps the device and lands on the CPU side of the
-		// max(); synchronous loads decode inline after each read returns,
-		// extending the I/O path. This is what makes compression pay most
-		// on slow devices — on an HDD the shrunk reads dominate and the
-		// decode hides behind them; on RAM-class storage the decode is the
-		// bottleneck and compression can only break even.
-		ioSide := st.IOTime - credit
-		cpuSide := st.ComputeModeled
-		if e.cfg.PrefetchDepth > 0 && st.DegradeLevel < resilience.LevelNoPrefetch {
-			cpuSide += st.DecodeModeled
-		} else {
-			ioSide += st.DecodeModeled
-		}
-		st.Runtime = ioSide
-		if cpuSide > st.Runtime {
-			st.Runtime = cpuSide
-		}
-		slack := st.ComputeModeled - st.IOTime
-		if slack < 0 {
-			slack = 0
-		}
-		e.slackAvail = append(e.slackAvail, slack)
-		st.MaxDelta = maxDelta
-		st.Retries = e.ds.Retries() - retriesBefore
-		st.Hedges = e.ds.Hedges() - hedgesBefore
-		st.PrefetchUnusedBytes = e.prefetchUnused.Load() - unusedBefore
-		if e.cache != nil {
-			delta := e.cache.Stats().Sub(cacheBefore)
-			st.CacheHits, st.CacheMisses, st.CacheEvictions = delta.Hits, delta.Misses, delta.Evictions
-		}
-		if e.breaker != nil {
-			for _, ev := range e.breaker.TakeEvents() {
-				ev.Iter = iter
-				res.Recovery.DegradeEvents = append(res.Recovery.DegradeEvents, ev)
-			}
-		}
+		res.Recovery.DegradeEvents = append(res.Recovery.DegradeEvents, step.Events...)
 		res.Iterations = append(res.Iterations, st)
 		if e.cfg.OnIteration != nil {
 			e.cfg.OnIteration(st)
@@ -411,7 +294,7 @@ func (e *Engine) RunContext(ctx context.Context, prog Program) (*Result, error) 
 			res.Recovery.CheckpointsWritten++
 		}
 
-		if prog.Kind() != Monotone && e.cfg.Tolerance > 0 && maxDelta < e.cfg.Tolerance {
+		if prog.Kind() != Monotone && e.cfg.Tolerance > 0 && st.MaxDelta < e.cfg.Tolerance {
 			res.Converged = true
 			break
 		}
@@ -478,14 +361,16 @@ func (e *Engine) applyDegradeLevel() resilience.Level {
 func (e *Engine) Cache() *blockstore.BlockCache { return e.cache }
 
 // SemResidentBytes sizes semi-external mode's in-memory footprint for
-// this store: the vertex working arrays (S, D, both degree arrays, two
-// frontier bitmaps) plus every nonempty block's decoded out-index. This
-// is the quantity checked against Config.SemBudgetBytes.
+// this engine: the vertex working arrays (S, D, both degree arrays, two
+// frontier bitmaps) plus the decoded out-index of every nonempty block in
+// an owned row. This is the quantity checked against
+// Config.SemBudgetBytes; an engine scoped by an IntervalOwner pins (and
+// budgets) only its own rows.
 func (e *Engine) SemResidentBytes() (vertexBytes, indexBytes int64) {
 	l := e.ds.Layout
 	n := int64(l.NumVertices)
 	vertexBytes = 2*n*int64(blockstore.VertexValueBytes) + 2*n*4 + 2*(n+7)/8
-	for i := 0; i < l.P; i++ {
+	for _, i := range e.owned {
 		rowIdx := int64(l.Size(i)+1) * blockstore.IndexEntryBytes
 		for j := 0; j < l.P; j++ {
 			if e.ds.BlockEdgeCount[i][j] != 0 {
@@ -513,8 +398,10 @@ func (e *Engine) pinSemResident() error {
 	}
 	l := e.ds.Layout
 	idx := make([][][]uint32, l.P)
-	for i := 0; i < l.P; i++ {
+	for i := range idx {
 		idx[i] = make([][]uint32, l.P)
+	}
+	for _, i := range e.owned {
 		for j := 0; j < l.P; j++ {
 			if e.ds.BlockEdgeCount[i][j] == 0 {
 				continue
@@ -579,7 +466,7 @@ func (e *Engine) provisionalPlan(prog Program, model Model, frontier, next *bits
 			// way it will go.
 			return e.valueDeltaProvisional(prog)
 		}
-		plan := ioplan.COPKeys(l, nil)
+		plan := ioplan.COPKeysFor(l, nil, e.ownedOrNil())
 		return func(int) []blockstore.BlockKey { return plan }
 	case ModelROP:
 		if e.cfg.Model == ModelCOP {
@@ -596,7 +483,7 @@ func (e *Engine) provisionalPlan(prog Program, model Model, frontier, next *bits
 				return nil // no frontier to probe two barriers out
 			}
 			plan := make([]blockstore.BlockKey, 0, l.P*l.P)
-			for i := 0; i < l.P; i++ {
+			for _, i := range e.owned {
 				lo, hi := l.Bounds(i)
 				if !next.AnyInAtomic(lo, hi) {
 					continue
@@ -640,15 +527,27 @@ func (e *Engine) loadOutRun(i, j int, s, end uint32, sc *blockstore.Scratch) ([]
 	return buf, nil
 }
 
-// activeOutEdges sums the out-degrees of the frontier: the paper's
-// "active edges" metric (Fig. 1) and the Σ d_v term of C_rop.
+// activeOutEdges sums the out-degrees of the frontier's vertices in owned
+// intervals: the paper's "active edges" metric (Fig. 1) and the Σ d_v term
+// of C_rop, scoped to what this engine will actually push.
 func (e *Engine) activeOutEdges(f *bitset.Frontier) int64 {
 	var t int64
 	deg := e.ds.OutDegrees
-	f.Range(func(v int) bool {
-		t += int64(deg[v])
-		return true
-	})
+	if e.ownsAll {
+		f.Range(func(v int) bool {
+			t += int64(deg[v])
+			return true
+		})
+		return t
+	}
+	l := e.ds.Layout
+	for _, i := range e.owned {
+		lo, hi := l.Bounds(i)
+		f.RangeIn(lo, hi, func(v int) bool {
+			t += int64(deg[v])
+			return true
+		})
+	}
 	return t
 }
 
@@ -696,7 +595,7 @@ func (e *Engine) predict(f *bitset.Frontier) (crop, ccop time.Duration) {
 	var ropDecBytes, copDecBytes float64
 
 	var seqBytes int64
-	for i := 0; i < l.P; i++ {
+	for _, i := range e.owned {
 		lo, hi := l.Bounds(i)
 		k := int64(f.CountIn(lo, hi))
 		if k == 0 {
@@ -786,7 +685,7 @@ func (e *Engine) predict(f *bitset.Frontier) (crop, ccop time.Duration) {
 	// what lets the predictor keep preferring COP once the hot columns
 	// have been cached.
 	var copBytes int64
-	for j := 0; j < l.P; j++ {
+	for _, j := range e.owned {
 		rawIdx := int64(l.Size(j)+1) * blockstore.IndexEntryBytes
 		for i := 0; i < l.P; i++ {
 			if e.cache != nil && e.cache.Peek(blockstore.BlockKey{Kind: blockstore.KindInBlock, I: i, J: j}) {

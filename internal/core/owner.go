@@ -1,0 +1,84 @@
+package core
+
+import "fmt"
+
+// IntervalOwner scopes an engine to a subset of the layout's P intervals.
+//
+// The dual-block partitioning (P intervals × P×P blocks) is the unit of
+// placement: a shard that owns interval i executes ROP row i (pushing out of
+// its sources), COP column i (pulling into its destinations), and the
+// finalization of vertices in i. The engine's planners, predictors and
+// executors all iterate owned intervals only, so K engines with disjoint
+// owners over the same store partition an iteration's I/O exactly.
+//
+// Owners must be static for the life of the engine and list intervals in
+// ascending order. The nil owner means "all intervals" — the classic
+// single-engine configuration, and the identity case the sharded runtime is
+// verified against.
+type IntervalOwner interface {
+	// NumIntervals returns the layout's total interval count P.
+	NumIntervals() int
+	// Owns reports whether interval i belongs to this owner.
+	Owns(i int) bool
+	// Intervals returns the owned intervals in ascending order. Callers
+	// must not mutate the returned slice.
+	Intervals() []int
+}
+
+// IntervalRange owns the contiguous intervals [Lo, Hi) of a layout with P
+// intervals — the shape the shard coordinator deals out (shard s of K owns
+// [s·P/K, (s+1)·P/K)).
+type IntervalRange struct {
+	Lo, Hi, P int
+	ivs       []int
+}
+
+// NewIntervalRange returns the owner of intervals [lo, hi) out of p.
+func NewIntervalRange(lo, hi, p int) (*IntervalRange, error) {
+	if lo < 0 || hi > p || lo >= hi {
+		return nil, fmt.Errorf("core: interval range [%d,%d) invalid for P=%d", lo, hi, p)
+	}
+	r := &IntervalRange{Lo: lo, Hi: hi, P: p, ivs: make([]int, 0, hi-lo)}
+	for i := lo; i < hi; i++ {
+		r.ivs = append(r.ivs, i)
+	}
+	return r, nil
+}
+
+// NumIntervals implements IntervalOwner.
+func (r *IntervalRange) NumIntervals() int { return r.P }
+
+// Owns implements IntervalOwner.
+func (r *IntervalRange) Owns(i int) bool { return i >= r.Lo && i < r.Hi }
+
+// Intervals implements IntervalOwner.
+func (r *IntervalRange) Intervals() []int { return r.ivs }
+
+// AllIntervals returns the owner of every interval of a P-interval layout.
+func AllIntervals(p int) *IntervalRange {
+	r, _ := NewIntervalRange(0, p, p)
+	return r
+}
+
+// resolveOwner normalizes cfg.Owner for a layout with p intervals: nil
+// means all intervals. It validates that the owner agrees with the layout.
+func resolveOwner(o IntervalOwner, p int) (owned []int, ownsAll bool, err error) {
+	if o == nil {
+		o = AllIntervals(p)
+	}
+	if o.NumIntervals() != p {
+		return nil, false, fmt.Errorf("core: owner spans %d intervals, layout has %d", o.NumIntervals(), p)
+	}
+	ivs := o.Intervals()
+	if len(ivs) == 0 {
+		return nil, false, fmt.Errorf("core: owner owns no intervals")
+	}
+	prev := -1
+	for _, i := range ivs {
+		if i <= prev || i >= p {
+			return nil, false, fmt.Errorf("core: owner intervals not ascending in [0,%d): %v", p, ivs)
+		}
+		prev = i
+	}
+	return ivs, len(ivs) == p, nil
+}

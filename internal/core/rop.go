@@ -10,36 +10,30 @@ import (
 	"husgraph/internal/ioplan"
 )
 
-// runROP executes one Row-oriented Push iteration (paper Alg. 2).
+// ropAccumulate executes the accumulate phase of a Row-oriented Push
+// iteration (paper Alg. 2) over the engine's owned rows.
 //
-// For every interval i containing active vertices, the row of out-blocks
-// (i, 0)..(i, P-1) is processed by overlapping workers — their destination
-// intervals are disjoint, so no write synchronization is needed. Each
-// active vertex's out-edges are located through the out-index and loaded
-// selectively; ranges whose gap is cheaper to read through than to seek
-// over are coalesced into one access (per-vertex loads are issued in
-// ascending source order, Alg. 2 lines 5–7, so on real hardware the disk
-// scheduler and readahead merge them exactly like this).
+// For every owned interval i containing active vertices, the row of
+// out-blocks (i, 0)..(i, P-1) is processed by overlapping workers — their
+// destination intervals are disjoint, so no write synchronization is
+// needed. Each active vertex's out-edges are located through the out-index
+// and loaded selectively; ranges whose gap is cheaper to read through than
+// to seek over are coalesced into one access (per-vertex loads are issued
+// in ascending source order, Alg. 2 lines 5–7, so on real hardware the
+// disk scheduler and readahead merge them exactly like this).
 //
 // Monotone programs eagerly synchronize vertex values after each row
 // (Alg. 2 lines 17–19), so later rows push already-improved values.
-// Additive and Incremental programs accumulate into D across all rows and
-// are applied and synchronized once at the end of the iteration (see the
-// package comment for why). Returns the largest per-vertex value change
-// (non-Monotone only).
-func (e *Engine) runROP(prog Program, s, d []float64, frontier, next *bitset.Frontier, win *ioplan.Window) (float64, error) {
+// Additive and Incremental programs accumulate into D across all rows;
+// Step.FinalizeOwned applies and synchronizes them once at the end of the
+// iteration (see the package comment for why). The caller initializes D
+// (InitAccumulators) — once per iteration, even when K owner-scoped
+// engines push into it in turn.
+func (e *Engine) ropAccumulate(prog Program, s, d []float64, frontier, next *bitset.Frontier, win *ioplan.Window) error {
 	l := e.ds.Layout
 	dev := e.ds.Device()
 	monotone := prog.Kind() == Monotone
 	nv := int64(blockstore.VertexValueBytes)
-
-	if monotone {
-		copy(d, s)
-	} else {
-		for i := range d {
-			d[i] = 0
-		}
-	}
 
 	var errMu sync.Mutex
 	var firstErr error
@@ -60,7 +54,7 @@ func (e *Engine) runROP(prog Program, s, d []float64, frontier, next *bitset.Fro
 	// stay on the consume path: their ranges depend on the out-index just
 	// delivered, and go through the run-granular cache.
 	coalesce := dev.Profile().CoalesceBytes()
-	for i := 0; i < l.P; i++ {
+	for _, i := range e.owned {
 		lo, hi := l.Bounds(i)
 		if frontier.CountIn(lo, hi) == 0 {
 			continue // selective scheduling: no active sources in this row
@@ -175,7 +169,7 @@ func (e *Engine) runROP(prog Program, s, d []float64, frontier, next *bitset.Fro
 			}
 		})
 		if firstErr != nil {
-			return 0, firstErr
+			return firstErr
 		}
 
 		if monotone {
@@ -187,14 +181,22 @@ func (e *Engine) runROP(prog Program, s, d []float64, frontier, next *bitset.Fro
 		}
 	}
 
-	if monotone {
-		return 0, nil
-	}
-	// Additive/Incremental finalization: apply and synchronize once,
-	// synchronously — interval by interval so the delta tracker sees
-	// per-interval totals for next-frontier speculation (valuedelta.go).
+	return nil
+}
+
+// applyOwned runs the end-of-iteration apply/activate/synchronize sweep
+// over the engine's owned intervals — Additive/Incremental ROP
+// finalization (COP applies per column during the streaming sweep) and
+// Incremental COP's deferred deltas. Interval by interval so the delta
+// tracker sees per-interval totals for next-frontier speculation
+// (valuedelta.go). Writes are owner-disjoint (owned vertex values, this
+// engine's own tracker and frontier adds), so K shards may run it
+// concurrently after every shard's accumulate phase completed. Returns the
+// largest per-vertex value change.
+func (e *Engine) applyOwned(prog Program, s, d []float64, next *bitset.Frontier) float64 {
+	l := e.ds.Layout
 	var maxDelta float64
-	for i := 0; i < l.P; i++ {
+	for _, i := range e.owned {
 		lo, hi := l.Bounds(i)
 		var sumD, maxD float64
 		var activated int64
@@ -218,12 +220,7 @@ func (e *Engine) runROP(prog Program, s, d []float64, frontier, next *bitset.Fro
 			e.vd.noteInterval(i, sumD, maxD, activated)
 		}
 	}
-	if !e.cfg.SemiExternal {
-		for i := 0; i < l.P; i++ {
-			dev.WriteSeq(int64(l.Size(i)) * nv)
-		}
-	}
-	return maxDelta, nil
+	return maxDelta
 }
 
 // span is one active vertex's byte range within a block; run is a

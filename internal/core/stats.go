@@ -106,6 +106,44 @@ type IterStats struct {
 	// ran behind; Runtime is max(IOTime − OverlapCredit, ComputeModeled).
 	// Each iteration's idle tail is claimed at most once across the run.
 	OverlapCredit time.Duration
+
+	// Sharded-execution fields, filled by the internal/shard coordinator
+	// and zero for unsharded runs (K=1 is the identity case: no exchange,
+	// no merge, no skew).
+	//
+	// ExchangeBytes and ExchangeMsgs are the modeled bytes-on-the-wire and
+	// message count of the iteration-barrier exchange under the mode the
+	// coordinator chose; ExchangePush records that choice (push = every
+	// shard ships its local activations to the K−1 others, pull = the
+	// coordinator broadcasts the merged state). ExchangeTime prices them at
+	// the exchange cost model's EWMA-tracked ns/B plus a per-message setup
+	// cost, and is added to Runtime — exchange happens at the barrier,
+	// after every shard's wall.
+	ExchangeBytes int64
+	ExchangeMsgs  int64
+	ExchangePush  bool
+	ExchangeTime  time.Duration
+	// MergeTime is the modeled cost of OR-merging the K frontier pieces at
+	// the barrier (modeled, not measured, so replays stay deterministic).
+	MergeTime time.Duration
+	// ShardSkew is max/mean of the per-shard modeled Runtime — 1.0 when
+	// the shards' walls are perfectly balanced, growing with imbalance.
+	// Zero for unsharded runs.
+	ShardSkew float64
+	// Shards holds the per-shard iteration statistics this combined
+	// iteration was folded from (nil for unsharded runs and K=1).
+	Shards []ShardIterStats
+}
+
+// ShardIterStats is one shard's view of one iteration of a sharded run:
+// the shard index plus the IterStats its owner-scoped engine produced.
+// Retries/Hedges deltas are measured against the fork-shared store
+// counters while K windows overlap, so a shard's count may include a
+// concurrent shard's faults; the combined IterStats' totals are measured
+// once at the barrier and are exact.
+type ShardIterStats struct {
+	Shard int
+	Stats IterStats
 }
 
 // RecoveryStats reports what the durability machinery did during a run:
@@ -282,6 +320,48 @@ func (r *Result) TotalOverlapCredit() time.Duration {
 		t += it.OverlapCredit
 	}
 	return t
+}
+
+// TotalExchangeBytes returns the summed modeled exchange traffic of a
+// sharded run (zero for unsharded runs).
+func (r *Result) TotalExchangeBytes() int64 {
+	var t int64
+	for _, it := range r.Iterations {
+		t += it.ExchangeBytes
+	}
+	return t
+}
+
+// TotalExchangeTime returns the summed modeled exchange time of a sharded
+// run (zero for unsharded runs).
+func (r *Result) TotalExchangeTime() time.Duration {
+	var t time.Duration
+	for _, it := range r.Iterations {
+		t += it.ExchangeTime
+	}
+	return t
+}
+
+// TotalMergeTime returns the summed modeled frontier-merge time of a
+// sharded run (zero for unsharded runs).
+func (r *Result) TotalMergeTime() time.Duration {
+	var t time.Duration
+	for _, it := range r.Iterations {
+		t += it.MergeTime
+	}
+	return t
+}
+
+// MaxShardSkew returns the worst per-iteration shard skew of a sharded run
+// (zero for unsharded runs).
+func (r *Result) MaxShardSkew() float64 {
+	var m float64
+	for _, it := range r.Iterations {
+		if it.ShardSkew > m {
+			m = it.ShardSkew
+		}
+	}
+	return m
 }
 
 // ModelCounts returns how many iterations ran each model.

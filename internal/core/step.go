@@ -1,0 +1,367 @@
+package core
+
+import (
+	"time"
+
+	"husgraph/internal/bitset"
+	"husgraph/internal/blockstore"
+	"husgraph/internal/ioplan"
+	"husgraph/internal/resilience"
+	"husgraph/internal/storage"
+)
+
+// Step is one iteration of an engine, carved out of Run so a sharding
+// coordinator (internal/shard) can drive K owner-scoped engines through the
+// same begin → execute → finalize → account sequence the monolithic engine
+// runs. The lifecycle is:
+//
+//	step := e.BeginIter(prog, iter, model, frontier, next)
+//	InitAccumulators(prog.Kind(), s, d)        // once per iteration, not per engine
+//	err := step.Exec(s, d)                     // accumulate phase (serialized across shards)
+//	step.FinalizeOwned(s, d)                   // owner-disjoint apply/activate (skip on error)
+//	st, err := step.End()                      // window teardown + attribution
+//
+// BeginIter..End must run on one goroutine per engine; everything a Step
+// touches on its engine (scheduler window, delta tracker, slack pool,
+// counters) is confined to that goroutine, and the resulting IterStats is
+// published at the barrier by value.
+type Step struct {
+	e    *Engine
+	prog Program
+	st   IterStats
+
+	frontier *bitset.Frontier
+	next     *bitset.Frontier
+	win      *ioplan.Window
+	copSkip  func(int) bool
+
+	start         time.Time
+	ioBefore      storage.Stats
+	specBefore    storage.Stats
+	retriesBefore int64
+	hedgesBefore  int64
+	unusedBefore  int64
+	decBefore     blockstore.DecodeStats
+	cacheBefore   blockstore.CacheStats
+
+	maxDelta float64
+	execErr  error
+	ended    bool
+
+	// Events holds the degradation-ladder transitions collected by End,
+	// stamped with this iteration (empty without Config.Degrade).
+	Events []resilience.DegradeEvent
+}
+
+// InitAccumulators prepares the D array for one iteration: monotone
+// programs start from the current values (so eager per-row/column
+// synchronization sees a complete copy), others accumulate from zero.
+// Exposed so a sharding coordinator can initialize the shared arrays
+// exactly once before K owner-scoped executors run.
+func InitAccumulators(kind Kind, s, d []float64) {
+	if kind == Monotone {
+		copy(d, s)
+		return
+	}
+	for i := range d {
+		d[i] = 0
+	}
+}
+
+// StartRun prepares the engine for a sequence of steps: semi-external
+// residency is pinned (charged once), the overlap-credit slack pool is
+// reset, and the degradation breaker's wall-clock ticker starts. Run calls
+// it internally; a coordinator driving BeginIter directly must call it
+// first and pair it with FinishRun.
+func (e *Engine) StartRun() error {
+	if e.cfg.SemiExternal {
+		if err := e.pinSemResident(); err != nil {
+			return err
+		}
+	}
+	e.slackAvail = e.slackAvail[:0]
+	if e.breaker != nil {
+		// The wall-clock ticker ages pressure out even while the engine is
+		// stuck inside one long iteration (e.g. every read hedging).
+		e.breaker.Start()
+	}
+	return nil
+}
+
+// FinishRun retires speculation parked at the barrier when the run ends and
+// stops the breaker. It returns the orphan speculative I/O (device charges
+// no iteration's IO accounts for — fold into the last iteration's
+// speculative counters as Run does) and any final ladder transitions. Call
+// exactly once per StartRun.
+func (e *Engine) FinishRun() (orphanIO storage.Stats, events []resilience.DegradeEvent) {
+	orphanIO, unused := e.sched.Shutdown()
+	e.prefetchUnused.Add(unused)
+	if e.breaker != nil {
+		e.breaker.Stop()
+		events = e.breaker.TakeEvents()
+	}
+	return orphanIO, events
+}
+
+// PredictCosts exposes the §3.4 I/O cost prediction over this engine's
+// owned intervals: the modeled cost of running the coming iteration's ROP
+// rows (resp. COP columns) that this engine owns. The shard coordinator
+// collects these per shard and arbitrates one global model per iteration.
+func (e *Engine) PredictCosts(f *bitset.Frontier) (crop, ccop time.Duration) {
+	return e.predict(f)
+}
+
+// Retries returns the store's cumulative transient-fault retry count (shared
+// across forks of the same DualStore lineage); snapshot around runs to
+// attribute.
+func (e *Engine) Retries() int64 { return e.ds.Retries() }
+
+// Hedges returns the store's cumulative hedged duplicate read count.
+func (e *Engine) Hedges() int64 { return e.ds.Hedges() }
+
+// UnusedReadAheadBytes returns the engine's cumulative unused prefetch
+// bytes; snapshot around runs to attribute.
+func (e *Engine) UnusedReadAheadBytes() int64 { return e.prefetchUnused.Load() }
+
+// BeginIter opens iteration iter over frontier, building the read plan and
+// provisional speculation and starting the scheduler window. Activations
+// land in next. model selects the update model to execute; pass ModelHybrid
+// to let the engine choose (Run's path — the α shortcut and §3.4 predictor
+// decide), or a concrete model when an external arbiter (the shard
+// coordinator) already chose.
+func (e *Engine) BeginIter(prog Program, iter int, model Model, frontier, next *bitset.Frontier) *Step {
+	s := &Step{e: e, prog: prog, frontier: frontier, next: next}
+	s.ioBefore = e.ds.Device().Stats()
+	s.specBefore = e.sched.SpecIO()
+	s.retriesBefore = e.ds.Retries()
+	s.hedgesBefore = e.ds.Hedges()
+	s.unusedBefore = e.prefetchUnused.Load()
+	s.decBefore = e.ds.DecodeStats()
+	if e.cache != nil {
+		s.cacheBefore = e.cache.Stats()
+	}
+	s.start = time.Now()
+
+	s.st = IterStats{Iter: iter, ActiveVertices: e.ownedActive(frontier), DegradeLevel: e.applyDegradeLevel()}
+	s.st.ActiveEdges = e.activeOutEdges(frontier)
+	if model == ModelHybrid {
+		s.st.Model = e.chooseModel(frontier, &s.st)
+	} else {
+		s.st.Model = model
+	}
+	if e.vd != nil {
+		// Safe here: the previous window's gate goroutine is gone
+		// (Finish waited for it), so nothing reads the tracker while
+		// the completed iteration's deltas rotate into the prev mirror.
+		e.vd.rotate()
+	}
+
+	var plan []blockstore.BlockKey
+	if s.st.Model == ModelROP {
+		// With pinned out-indices (semi-external mode) a ROP iteration
+		// has nothing to plan: the selective edge-range loads stay on
+		// the consume path, and the indices they need are in memory.
+		if e.semIdx == nil {
+			plan = ioplan.ROPKeysFor(e.ds.Layout, e.ds.BlockEdgeCount, frontier, e.ownedOrNil())
+		}
+	} else {
+		s.copSkip = e.copSkipFunc(frontier)
+		plan = ioplan.COPKeysFor(e.ds.Layout, s.copSkip, e.ownedOrNil())
+	}
+	prov := e.provisionalPlan(prog, s.st.Model, frontier, next)
+	if prov != nil && e.breaker != nil {
+		// Re-check the ladder at gate time: it may step down while this
+		// iteration runs, and speculation launched then would amplify
+		// exactly the pressure the breaker is shedding.
+		inner, br := prov, e.breaker
+		prov = func(depth int) []blockstore.BlockKey {
+			lvl := br.Level()
+			if lvl >= resilience.LevelNoSpec || (lvl >= resilience.LevelShallowSpec && depth > 1) {
+				return nil
+			}
+			return inner(depth)
+		}
+	}
+	s.win = e.sched.Begin(plan, prov)
+	return s
+}
+
+// Model returns the update model this step executes (decided at BeginIter).
+func (s *Step) Model() Model { return s.st.Model }
+
+// Exec runs the accumulate phase of the iteration over the engine's owned
+// intervals: ROP pushes the owned rows (monotone programs eagerly
+// synchronize per row, exactly as before the carve), COP streams the owned
+// columns including their per-column finalization (the Gauss–Seidel sweep
+// is part of the accumulate order, not a barrier phase). The caller must
+// have initialized d (InitAccumulators). Exec does not return activations —
+// they land in the next frontier handed to BeginIter.
+func (s *Step) Exec(sv, d []float64) error {
+	var err error
+	var md float64
+	if s.st.Model == ModelROP {
+		err = s.e.ropAccumulate(s.prog, sv, d, s.frontier, s.next, s.win)
+	} else {
+		md, err = s.e.runCOP(s.prog, sv, d, s.frontier, s.next, s.win, s.copSkip)
+	}
+	if md > s.maxDelta {
+		s.maxDelta = md
+	}
+	s.execErr = err
+	return err
+}
+
+// FinalizeOwned runs the end-of-iteration apply/activate/synchronize phase
+// over owned intervals: Additive and Incremental ROP iterations apply their
+// accumulators here (COP applied per column during Exec); Incremental COP
+// iterations consume their deferred deltas. Writes are owner-disjoint
+// (vertex values of owned intervals, the engine's own delta tracker, its
+// own next-frontier adds), so K shards may finalize concurrently once every
+// shard's Exec has completed. Monotone steps are a no-op. Skip after an
+// Exec error.
+func (s *Step) FinalizeOwned(sv, d []float64) {
+	if s.prog.Kind() == Monotone {
+		return
+	}
+	needsApply := s.st.Model == ModelROP || s.prog.Kind() == Incremental
+	if !needsApply {
+		return
+	}
+	md := s.e.applyOwned(s.prog, sv, d, s.next)
+	if s.st.Model == ModelROP && !s.e.cfg.SemiExternal {
+		l := s.e.ds.Layout
+		dev := s.e.ds.Device()
+		nv := int64(blockstore.VertexValueBytes)
+		for _, i := range s.e.owned {
+			dev.WriteSeq(int64(l.Size(i)) * nv)
+		}
+	}
+	if md > s.maxDelta {
+		s.maxDelta = md
+	}
+}
+
+// End tears down the scheduler window and computes the iteration's full
+// attribution (I/O, speculation adoption, overlap credit, decode EWMA,
+// modeled runtime, cache and resilience deltas). It must be called on every
+// path — the window's pipelines have to land their device charges — and
+// returns the Exec error, if any, alongside the partial stats.
+func (s *Step) End() (IterStats, error) {
+	if s.ended {
+		return s.st, s.execErr
+	}
+	s.ended = true
+	e := s.e
+	st := &s.st
+	ws := e.sched.Finish(s.win)
+	e.prefetchUnused.Add(ws.UnusedBytes)
+	if s.execErr != nil {
+		return s.st, s.execErr
+	}
+
+	st.ComputeTime = time.Since(s.start)
+	edgeWork, blockWork := e.iterationWork(st.Model, s.frontier, st.ActiveEdges)
+	st.ComputeModeled = ModeledComputeTime(edgeWork, e.ownedVertexWork(), blockWork, e.cfg.Threads)
+	decDelta := e.ds.DecodeStats().Sub(s.decBefore)
+	st.DecodeTime = decDelta.Time
+	st.DecodedBytes = decDelta.DecodedBytes()
+	st.CompressedBytes = decDelta.CompressedBytes
+	st.DecodeModeled = ModeledDecodeTime(decDelta.VarintBytes, decDelta.RLEBytes, e.cfg.Threads)
+	if db := st.DecodedBytes; db > 0 {
+		// Feed the predictor's decode-cost EWMA from what this iteration
+		// actually decoded (modeled rates, so replays are deterministic).
+		rate := float64(st.DecodeModeled) / float64(db)
+		if e.decKnown {
+			e.decNsPerByte = 0.75*e.decNsPerByte + 0.25*rate
+		} else {
+			e.decNsPerByte, e.decKnown = rate, true
+		}
+	}
+	// Attribution across the barrier: speculative reads issued during
+	// this window belong to the iteration that consumes them, so they
+	// are subtracted from this iteration's raw device delta; the batch
+	// this iteration consumed is added back.
+	rawIO := e.ds.Device().Stats().Sub(s.ioBefore)
+	specIssued := e.sched.SpecIO().Sub(s.specBefore)
+	st.IO = rawIO.Sub(specIssued).Add(ws.SpecIO)
+	st.IOTime = st.IO.SimIO
+	st.SpecReadBytes = ws.SpecIO.ReadBytes()
+	st.SpecIOTime = ws.SpecIO.SimIO
+	st.SpecDepth = ws.SpecDepth
+	st.PrefetchStall = ws.Stall
+	// Overlap credit: a batch adopted at depth d ran behind the last d
+	// iterations' compute, so up to min(its device time, their pooled
+	// idle tails) of this iteration's I/O time is already hidden.
+	// Claimed slack is consumed oldest-first so chained windows never
+	// hide two batches behind the same idle time.
+	var credit time.Duration
+	if d := ws.SpecDepth; d > 0 && ws.SpecIO.SimIO > 0 {
+		if d > len(e.slackAvail) {
+			d = len(e.slackAvail)
+		}
+		pool := e.slackAvail[len(e.slackAvail)-d:]
+		var hideable time.Duration
+		for _, sl := range pool {
+			hideable += sl
+		}
+		credit = ws.SpecIO.SimIO
+		if hideable < credit {
+			credit = hideable
+		}
+		if st.IOTime < credit {
+			credit = st.IOTime
+		}
+		rem := credit
+		for k := range pool {
+			take := pool[k]
+			if take > rem {
+				take = rem
+			}
+			pool[k] -= take
+			rem -= take
+			if rem == 0 {
+				break
+			}
+		}
+	}
+	st.OverlapCredit = credit
+	// Decode placement mirrors where the decompression actually runs:
+	// asynchronous pipelines decode in their prefetch workers, so the
+	// work overlaps the device and lands on the CPU side of the
+	// max(); synchronous loads decode inline after each read returns,
+	// extending the I/O path. This is what makes compression pay most
+	// on slow devices — on an HDD the shrunk reads dominate and the
+	// decode hides behind them; on RAM-class storage the decode is the
+	// bottleneck and compression can only break even.
+	ioSide := st.IOTime - credit
+	cpuSide := st.ComputeModeled
+	if e.cfg.PrefetchDepth > 0 && st.DegradeLevel < resilience.LevelNoPrefetch {
+		cpuSide += st.DecodeModeled
+	} else {
+		ioSide += st.DecodeModeled
+	}
+	st.Runtime = ioSide
+	if cpuSide > st.Runtime {
+		st.Runtime = cpuSide
+	}
+	slack := st.ComputeModeled - st.IOTime
+	if slack < 0 {
+		slack = 0
+	}
+	e.slackAvail = append(e.slackAvail, slack)
+	st.MaxDelta = s.maxDelta
+	st.Retries = e.ds.Retries() - s.retriesBefore
+	st.Hedges = e.ds.Hedges() - s.hedgesBefore
+	st.PrefetchUnusedBytes = e.prefetchUnused.Load() - s.unusedBefore
+	if e.cache != nil {
+		delta := e.cache.Stats().Sub(s.cacheBefore)
+		st.CacheHits, st.CacheMisses, st.CacheEvictions = delta.Hits, delta.Misses, delta.Evictions
+	}
+	if e.breaker != nil {
+		for _, ev := range e.breaker.TakeEvents() {
+			ev.Iter = st.Iter
+			s.Events = append(s.Events, ev)
+		}
+	}
+	return s.st, nil
+}

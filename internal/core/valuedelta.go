@@ -24,10 +24,14 @@ import (
 // coordinator touches them, between iterations (huslint/barrierstats
 // enforces that no spawned goroutine writes them plainly).
 type deltaTracker struct {
-	p    int
-	live []intervalDelta
-	prev []intervalPrev
-	// prevValid reports that the previous iteration published every
+	p int
+	// owned lists the intervals this engine finalizes (ascending) — the
+	// only entries noteInterval ever publishes. live/prev stay sized p so
+	// interval ids index directly.
+	owned []int
+	live  []intervalDelta
+	prev  []intervalPrev
+	// prevValid reports that the previous iteration published every owned
 	// interval (a full non-monotone sweep, not a fresh run or an early
 	// abort), making prev usable as a fallback.
 	prevValid bool
@@ -52,11 +56,12 @@ type intervalPrev struct {
 	sumDelta float64
 }
 
-func newDeltaTracker(p int) *deltaTracker {
+func newDeltaTracker(p int, owned []int) *deltaTracker {
 	return &deltaTracker{
-		p:    p,
-		live: make([]intervalDelta, p),
-		prev: make([]intervalPrev, p),
+		p:     p,
+		owned: owned,
+		live:  make([]intervalDelta, p),
+		prev:  make([]intervalPrev, p),
 	}
 }
 
@@ -76,7 +81,7 @@ func (t *deltaTracker) noteInterval(i int, sum, max float64, active int64) {
 // goroutine running.
 func (t *deltaTracker) rotate() {
 	all := true
-	for i := range t.live {
+	for _, i := range t.owned {
 		d := &t.live[i]
 		if d.done.Load() {
 			t.prev[i] = intervalPrev{
@@ -110,7 +115,7 @@ type deltaEstimate struct {
 // before any interval finalizes.
 func (t *deltaTracker) estimate() (deltaEstimate, bool) {
 	est := deltaEstimate{rows: make([]bool, t.p)}
-	for i := range t.live {
+	for _, i := range t.owned {
 		var active int64
 		var max float64
 		if t.live[i].done.Load() {
@@ -161,15 +166,19 @@ func (e *Engine) valueDeltaProvisional(prog Program) ioplan.ProvisionalFunc {
 		}
 		if e.cfg.Model != ModelROP && float64(est.active) > e.cfg.Alpha*float64(l.NumVertices) {
 			// Broad deltas: the α shortcut will pick the dense COP scan.
-			return ioplan.COPKeys(l, nil)
+			// (A shard's est.active is its owned activity only — it may
+			// under-predict a globally dense frontier, costing speculation
+			// accuracy, never correctness: divergent plans are invalidated
+			// at the next Begin.)
+			return ioplan.COPKeysFor(l, nil, e.ownedOrNil())
 		}
-		// Sparse residual frontier: a ROP row plan over the intervals whose
-		// values are still moving.
+		// Sparse residual frontier: a ROP row plan over the owned intervals
+		// whose values are still moving.
 		if e.semIdx != nil {
 			return nil // ROP plans are out-indices, pinned resident under -sem
 		}
 		plan := make([]blockstore.BlockKey, 0, l.P*l.P)
-		for i := 0; i < l.P; i++ {
+		for _, i := range e.owned {
 			if !est.rows[i] {
 				continue
 			}

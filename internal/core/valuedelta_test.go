@@ -9,7 +9,7 @@ import (
 )
 
 func TestDeltaTrackerLifecycle(t *testing.T) {
-	vd := newDeltaTracker(3)
+	vd := newDeltaTracker(3, AllIntervals(3).Intervals())
 
 	// A fresh tracker has no published intervals and no previous
 	// iteration: it must decline rather than guess.

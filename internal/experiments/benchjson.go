@@ -9,6 +9,7 @@ import (
 	"husgraph/internal/blockstore"
 	"husgraph/internal/core"
 	"husgraph/internal/gen"
+	"husgraph/internal/shard"
 	"husgraph/internal/storage"
 )
 
@@ -68,6 +69,16 @@ type BenchEntry struct {
 	DecodeModeledNs int64 `json:"decode_modeled_ns,omitempty"`
 	DecodedBytes    int64 `json:"decoded_bytes,omitempty"`
 	CompressedBytes int64 `json:"compressed_bytes,omitempty"`
+	// Shards is the worker-shard count K of a sharded configuration (the
+	// "shard2"/"shard4" entries); ExchangeBytes/ExchangeTimeNs/MergeTimeNs
+	// are the run's modeled barrier exchange and frontier-merge totals, and
+	// MaxShardSkew the worst per-iteration max/mean shard-wall imbalance.
+	// All zero/absent on unsharded entries.
+	Shards         int     `json:"shards,omitempty"`
+	ExchangeBytes  int64   `json:"exchange_bytes,omitempty"`
+	ExchangeTimeNs int64   `json:"exchange_time_ns,omitempty"`
+	MergeTimeNs    int64   `json:"merge_time_ns,omitempty"`
+	MaxShardSkew   float64 `json:"max_shard_skew,omitempty"`
 }
 
 // BenchReport is the full JSON document for one dataset.
@@ -98,6 +109,13 @@ type BenchReport struct {
 	// cost buys back the least — the ordering -bench-check asserts.
 	SpeedupSem      float64 `json:"speedup_sem,omitempty"`
 	SpeedupCompress float64 `json:"speedup_compress,omitempty"`
+	// SpeedupShard maps each sharded configuration ("shard2", "shard4") to
+	// sync modeled-runtime divided by its modeled runtime — the K-shard
+	// parallel-I/O payoff net of the modeled exchange and merge costs.
+	// -bench-check asserts shard2 ≥ 1 on the bandwidth-starved profiles
+	// (hdd, ssd), where splitting the block traffic over K devices must
+	// beat the barrier overhead it buys.
+	SpeedupShard map[string]float64 `json:"speedup_shard,omitempty"`
 	// ValuesIdentical reports that every configuration produced
 	// bit-identical per-vertex values.
 	ValuesIdentical bool `json:"values_identical"`
@@ -119,6 +137,13 @@ func (r *Runner) RunHUSWithConfig(d gen.Dataset, a Algo, prof storage.Profile, c
 // RunHUSWithConfigFormat is RunHUSWithConfig over a store of the given
 // block format.
 func (r *Runner) RunHUSWithConfigFormat(d gen.Dataset, a Algo, prof storage.Profile, cfg core.Config, format blockstore.Format) (*core.Result, error) {
+	return r.RunHUSShardedFormat(d, a, prof, cfg, format, 1)
+}
+
+// RunHUSShardedFormat runs the algorithm through the K-shard coordinator
+// (internal/shard); shards <= 1 runs the plain engine, keeping the two
+// paths literally identical for the unsharded bench configurations.
+func (r *Runner) RunHUSShardedFormat(d gen.Dataset, a Algo, prof storage.Profile, cfg core.Config, format blockstore.Format, shards int) (*core.Result, error) {
 	ds, err := r.StoreFormat(d, a.Symmetric, a.Weighted, prof, format)
 	if err != nil {
 		return nil, err
@@ -129,8 +154,14 @@ func (r *Runner) RunHUSWithConfigFormat(d gen.Dataset, a Algo, prof storage.Prof
 	if cfg.MaxIters == 0 {
 		cfg.MaxIters = a.MaxIters
 	}
-	eng := core.New(ds, cfg)
-	return eng.Run(a.New(r.Graph(d, false)))
+	if shards <= 1 {
+		return core.New(ds, cfg).Run(a.New(r.Graph(d, false)))
+	}
+	co, err := shard.New(ds, shard.Config{Config: cfg, Shards: shards})
+	if err != nil {
+		return nil, err
+	}
+	return co.Run(a.New(r.Graph(d, false)))
 }
 
 // BenchDataset measures one dataset under PageRank across the bench
@@ -156,24 +187,31 @@ func (r *Runner) BenchDatasetAlgo(dataset, algo string, prof storage.Profile) (*
 		name   string
 		cfg    core.Config
 		format blockstore.Format
+		shards int
 	}{
-		{"sync", core.Config{}, blockstore.FormatRaw},
-		{"prefetch", core.Config{PrefetchDepth: 2}, blockstore.FormatRaw},
-		{"prefetch+cache", core.Config{PrefetchDepth: 2, CacheBudgetBytes: BenchCacheBudget}, blockstore.FormatRaw},
-		{"pipeline", core.Config{PrefetchDepth: 2, CacheBudgetBytes: BenchCacheBudget, PipelineIters: 1, CacheAdmission: "tinylfu"}, blockstore.FormatRaw},
-		{"pipeline-depth2", core.Config{PrefetchDepth: 2, CacheBudgetBytes: BenchCacheBudget, PipelineIters: 2, CacheAdmission: "tinylfu"}, blockstore.FormatRaw},
+		{name: "sync", cfg: core.Config{}, format: blockstore.FormatRaw},
+		{name: "prefetch", cfg: core.Config{PrefetchDepth: 2}, format: blockstore.FormatRaw},
+		{name: "prefetch+cache", cfg: core.Config{PrefetchDepth: 2, CacheBudgetBytes: BenchCacheBudget}, format: blockstore.FormatRaw},
+		{name: "pipeline", cfg: core.Config{PrefetchDepth: 2, CacheBudgetBytes: BenchCacheBudget, PipelineIters: 1, CacheAdmission: "tinylfu"}, format: blockstore.FormatRaw},
+		{name: "pipeline-depth2", cfg: core.Config{PrefetchDepth: 2, CacheBudgetBytes: BenchCacheBudget, PipelineIters: 2, CacheAdmission: "tinylfu"}, format: blockstore.FormatRaw},
 		// With no cache, adopted speculative reads hit the device, so the
 		// overlap credit measures I/O genuinely hidden behind compute
 		// rather than cache hits the budget would have absorbed anyway.
-		{"pipeline-depth2-nocache", core.Config{PrefetchDepth: 2, PipelineIters: 2}, blockstore.FormatRaw},
+		{name: "pipeline-depth2-nocache", cfg: core.Config{PrefetchDepth: 2, PipelineIters: 2}, format: blockstore.FormatRaw},
 		// GraphMP's semi-external model, split into its two levers: "sem"
 		// keeps vertex state resident over a raw store; "compress" adds the
 		// mixed-format store on top. speedup_compress = sem / compress, so
 		// it prices the compression trade alone (edge bytes saved vs decode
 		// paid) with the vertex traffic already off the device — the
 		// deployment compression is built for.
-		{"sem", core.Config{SemiExternal: true}, blockstore.FormatRaw},
-		{"compress", core.Config{SemiExternal: true}, blockstore.FormatMixed},
+		{name: "sem", cfg: core.Config{SemiExternal: true}, format: blockstore.FormatRaw},
+		{name: "compress", cfg: core.Config{SemiExternal: true}, format: blockstore.FormatMixed},
+		// K-shard execution over the plain sync configuration: the block
+		// traffic splits across K interval-owning shards (each with its own
+		// accounting device and scheduler) while the barrier pays the modeled
+		// exchange and merge. speedup_shard = sync / shardK.
+		{name: "shard2", cfg: core.Config{}, format: blockstore.FormatRaw, shards: 2},
+		{name: "shard4", cfg: core.Config{}, format: blockstore.FormatRaw, shards: 4},
 	}
 	rep := &BenchReport{
 		Dataset: d.Name,
@@ -186,7 +224,7 @@ func (r *Runner) BenchDatasetAlgo(dataset, algo string, prof storage.Profile) (*
 	var refValues []float64
 	rep.ValuesIdentical = true
 	for _, c := range configs {
-		res, err := r.RunHUSWithConfigFormat(d, a, prof, c.cfg, c.format)
+		res, err := r.RunHUSShardedFormat(d, a, prof, c.cfg, c.format, c.shards)
 		if err != nil {
 			return nil, fmt.Errorf("experiments: bench %s/%s: %w", d.Name, c.name, err)
 		}
@@ -222,6 +260,11 @@ func (r *Runner) BenchDatasetAlgo(dataset, algo string, prof storage.Profile) (*
 			DecodeModeledNs:     res.TotalDecodeModeled().Nanoseconds(),
 			DecodedBytes:        res.TotalDecodedBytes(),
 			CompressedBytes:     res.TotalCompressedBytes(),
+			Shards:              c.shards,
+			ExchangeBytes:       res.TotalExchangeBytes(),
+			ExchangeTimeNs:      res.TotalExchangeTime().Nanoseconds(),
+			MergeTimeNs:         res.TotalMergeTime().Nanoseconds(),
+			MaxShardSkew:        res.MaxShardSkew(),
 		})
 		if refValues == nil {
 			refValues = res.Values
@@ -260,6 +303,14 @@ func (r *Runner) BenchDatasetAlgo(dataset, algo string, prof storage.Profile) (*
 		rep.SpeedupSem = base / sm
 		if cp := float64(byName["compress"].NsPerIter); cp > 0 {
 			rep.SpeedupCompress = sm / cp
+		}
+	}
+	for _, name := range []string{"shard2", "shard4"} {
+		if sh := float64(byName[name].NsPerIter); sh > 0 {
+			if rep.SpeedupShard == nil {
+				rep.SpeedupShard = make(map[string]float64, 2)
+			}
+			rep.SpeedupShard[name] = base / sh
 		}
 	}
 	return rep, nil

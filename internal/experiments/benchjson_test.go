@@ -20,7 +20,7 @@ func TestBenchDatasetSpeedupAndIdentity(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(rep.Entries) != 8 {
+	if len(rep.Entries) != 10 {
 		t.Fatalf("entries: %d", len(rep.Entries))
 	}
 	if !rep.ValuesIdentical {
@@ -92,6 +92,24 @@ func TestBenchDatasetSpeedupAndIdentity(t *testing.T) {
 	}
 	if rep.SpeedupCompress < 1.5 {
 		t.Fatalf("speedup_compress on hdd = %v, want >= 1.5", rep.SpeedupCompress)
+	}
+	// Sharded entries: bit-identical values already covered by
+	// ValuesIdentical above; the exchange must be metered, and on hdd the
+	// parallel I/O must beat the modeled barrier overhead.
+	sh2, sh4 := rep.Entries[8], rep.Entries[9]
+	if sh2.Config != "shard2" || sh2.Shards != 2 || sh4.Config != "shard4" || sh4.Shards != 4 {
+		t.Fatalf("entries 8/9 are %q(K=%d)/%q(K=%d), want shard2/shard4", sh2.Config, sh2.Shards, sh4.Config, sh4.Shards)
+	}
+	if sh2.ExchangeBytes <= 0 || sh2.MergeTimeNs <= 0 || sh2.MaxShardSkew < 1 {
+		t.Fatalf("shard2 entry metered no exchange: %+v", sh2)
+	}
+	for _, name := range []string{"shard2", "shard4"} {
+		if s, ok := rep.SpeedupShard[name]; !ok || s <= 0 {
+			t.Fatalf("speedup_shard[%s] = %v (present=%v)", name, s, ok)
+		}
+	}
+	if rep.SpeedupShard["shard2"] < 1 {
+		t.Fatalf("speedup_shard[shard2] on hdd = %v, want >= 1", rep.SpeedupShard["shard2"])
 	}
 }
 

@@ -75,7 +75,32 @@ func CheckBenchTrend(dir string, threshold float64) ([]BenchTrend, error) {
 	if err := checkCompressOrdering(reports); err != nil {
 		return trends, err
 	}
+	if err := checkShardSpeedup(reports); err != nil {
+		return trends, err
+	}
 	return trends, nil
+}
+
+// checkShardSpeedup asserts K=2 sharding pays for itself on the
+// bandwidth-starved profiles: on hdd and ssd the shard2 configuration's
+// modeled wall must not exceed K=1's (speedup_shard ≥ 1) — splitting the
+// block traffic over two devices has to beat the modeled exchange and
+// merge it buys. Faster profiles (nvme, ram) are exempt: there compute and
+// barrier costs dominate and the trade legitimately thins out.
+func checkShardSpeedup(reports []*BenchReport) error {
+	for _, rep := range reports {
+		if len(rep.SpeedupShard) == 0 {
+			continue // pre-sharding artifact
+		}
+		if rep.Device != "hdd" && rep.Device != "ssd" {
+			continue
+		}
+		if s := rep.SpeedupShard["shard2"]; s > 0 && s < 1 {
+			return fmt.Errorf("experiments: %s/%s on %s: speedup_shard[shard2] = %.3f < 1: K=2 modeled wall exceeds K=1; the exchange/merge overhead outweighs the parallel I/O",
+				rep.Dataset, rep.Algo, rep.Device, s)
+		}
+	}
+	return nil
 }
 
 // deviceLadderRank orders profiles from most to least bandwidth-starved.

@@ -37,8 +37,8 @@ func TestCheckBenchTrendCleanOnFreshArtifact(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(trends) != 9 {
-		t.Fatalf("trend rows = %d, want 9 (sync, prefetch, prefetch+cache, pipeline, pipeline-depth2, pipeline-depth2-nocache, sem, compress, compress:decode)", len(trends))
+	if len(trends) != 11 {
+		t.Fatalf("trend rows = %d, want 11 (sync, prefetch, prefetch+cache, pipeline, pipeline-depth2, pipeline-depth2-nocache, sem, compress, compress:decode, shard2, shard4)", len(trends))
 	}
 	var sawDecode bool
 	for _, tr := range trends {

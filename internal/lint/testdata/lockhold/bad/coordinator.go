@@ -1,0 +1,30 @@
+// Fixture: lock-discipline violations in the shard-coordinator shape —
+// the stats mutex held across the token receive and across the barrier
+// send, serializing every shard behind one goroutine's channel wait.
+package locks
+
+import "sync"
+
+type shardState struct {
+	mu      sync.Mutex
+	stats   int
+	token   chan int
+	barrier chan int
+}
+
+// tokenUnderLock waits for the serialization token with the stats mutex
+// held: any shard publishing stats meanwhile deadlocks the wavefront.
+func (s *shardState) tokenUnderLock() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	tok := <-s.token // want "chan-receive while locks.shardState.mu is held"
+	s.stats += tok
+}
+
+// barrierUnderLock publishes to the barrier inside the critical section;
+// if the coordinator is not yet draining, every other shard stalls.
+func (s *shardState) barrierUnderLock() {
+	s.mu.Lock()
+	s.barrier <- s.stats // want "chan-send while locks.shardState.mu is held"
+	s.mu.Unlock()
+}

@@ -1,0 +1,33 @@
+// Fixture: clean lock discipline in the shard-coordinator shape — shared
+// per-shard stats are snapshotted under the mutex and published to the
+// barrier channel only after release, and the token handoff never holds
+// the lock.
+package locks
+
+import "sync"
+
+type shardState struct {
+	mu      sync.Mutex
+	stats   int
+	token   chan int
+	barrier chan int
+}
+
+// publishAtBarrier snapshots the iteration stats inside a tight critical
+// section and parks on the barrier send only after unlocking.
+func (s *shardState) publishAtBarrier() {
+	s.mu.Lock()
+	snap := s.stats
+	s.mu.Unlock()
+	s.barrier <- snap
+}
+
+// passToken receives and forwards the serialization token with no lock
+// held, then locks only to fold the owned delta into the shared stats.
+func (s *shardState) passToken(next chan int) {
+	tok := <-s.token
+	next <- tok
+	s.mu.Lock()
+	s.stats++
+	s.mu.Unlock()
+}

@@ -1,0 +1,37 @@
+// Fixture: shard-coordinator spawn shapes gone wrong — a worker loop
+// that drains its command channel with no quit case (Shutdown can never
+// stop it), and a token relay that parks forever with no join path.
+package worker
+
+type badCoordinator struct {
+	cmds    []chan int
+	tokens  []chan int
+	barrier chan int
+}
+
+// shardLoop drains commands forever: there is no quit/ctx case, so after
+// the last iteration the goroutine parks on cmds[i] until process exit.
+func (c *badCoordinator) shardLoop(i int) {
+	for {
+		cmd := <-c.cmds[i]
+		c.barrier <- cmd
+	}
+}
+
+func (c *badCoordinator) Start() {
+	for i := range c.cmds {
+		go c.shardLoop(i) // want "loops unboundedly"
+	}
+}
+
+// relayToken parks on the inbound token channel; nothing joins it — no
+// WaitGroup, no quit case, and the outbound send is to a channel the
+// coordinator may have stopped reading.
+func (c *badCoordinator) relayToken(i int) {
+	tok := <-c.tokens[i]
+	_ = tok
+}
+
+func (c *badCoordinator) InjectToken(i int) {
+	go c.relayToken(i) // want "park indefinitely"
+}

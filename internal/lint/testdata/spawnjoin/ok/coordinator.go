@@ -1,0 +1,53 @@
+// Fixture: the shard-coordinator spawn shape — K worker loops, each
+// joined through a WaitGroup and covering a quit channel in its command
+// select, relaying a token and publishing per-iteration results to a
+// barrier channel the coordinator drains.
+package worker
+
+import "sync"
+
+type coordinator struct {
+	cmds    []chan int
+	tokens  []chan int
+	barrier chan int
+	quit    chan struct{}
+	wg      sync.WaitGroup
+}
+
+// shardLoop is one worker shard: it parks on its command channel but the
+// select covers quit, so Shutdown (close(quit)) always reaches it, and
+// the deferred Done gives the coordinator a join path.
+func (c *coordinator) shardLoop(i int) {
+	defer c.wg.Done()
+	for {
+		select {
+		case <-c.quit:
+			return
+		case cmd := <-c.cmds[i]:
+			c.runIter(i, cmd)
+		}
+	}
+}
+
+// runIter is the serialized section: take the token, do the owned work,
+// pass the token on, report at the barrier. It only runs while the
+// coordinator is mid-iteration, so the plain channel ops are paired with
+// a live consumer.
+func (c *coordinator) runIter(i, cmd int) {
+	tok := <-c.tokens[i]
+	c.tokens[i+1] <- tok
+	c.barrier <- cmd
+}
+
+// Start spawns the K shard loops; Wait joins them after close(quit).
+func (c *coordinator) Start() {
+	for i := range c.cmds {
+		c.wg.Add(1)
+		go c.shardLoop(i)
+	}
+}
+
+func (c *coordinator) Wait() {
+	close(c.quit)
+	c.wg.Wait()
+}

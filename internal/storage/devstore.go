@@ -1,0 +1,85 @@
+package storage
+
+// DeviceStore wraps an inner Store and accounts every access to its own
+// Device, mirroring the access-pattern contract exactly (Put and ReadAll
+// sequential, ReadAt one random access). The shard runtime gives each of
+// its K engines a DeviceStore over the one shared substrate, so every
+// shard's I/O is charged to — and timed against — its own device, modeling
+// K devices serving disjoint interval ranges in parallel.
+//
+// The inner store keeps charging its own base device as it always did;
+// that device then accumulates the union of all wrappers' traffic (a
+// whole-run total, with no parallelism), while the per-shard devices carry
+// the per-shard attribution the coordinator aggregates with max().
+type DeviceStore struct {
+	inner Store
+	dev   *Device
+}
+
+// NewDeviceStore wraps inner, charging dev for every access.
+func NewDeviceStore(inner Store, dev *Device) *DeviceStore {
+	return &DeviceStore{inner: inner, dev: dev}
+}
+
+// Device implements Store: the wrapper's own accounting device.
+func (s *DeviceStore) Device() *Device { return s.dev }
+
+// Put implements Store.
+func (s *DeviceStore) Put(name string, data []byte) error {
+	if err := s.inner.Put(name, data); err != nil {
+		return err
+	}
+	s.dev.WriteSeq(int64(len(data)))
+	return nil
+}
+
+// ReadAll implements Store.
+func (s *DeviceStore) ReadAll(name string) ([]byte, error) {
+	b, err := s.inner.ReadAll(name)
+	if err != nil {
+		return nil, err
+	}
+	s.dev.ReadSeq(int64(len(b)))
+	return b, nil
+}
+
+// ReadAllInto implements Store.
+func (s *DeviceStore) ReadAllInto(name string, buf []byte) ([]byte, error) {
+	b, err := s.inner.ReadAllInto(name, buf)
+	if err != nil {
+		return nil, err
+	}
+	s.dev.ReadSeq(int64(len(b)))
+	return b, nil
+}
+
+// ReadAt implements Store.
+func (s *DeviceStore) ReadAt(name string, off, n int64) ([]byte, error) {
+	b, err := s.inner.ReadAt(name, off, n)
+	if err != nil {
+		return nil, err
+	}
+	s.dev.ReadRand(n, 1)
+	return b, nil
+}
+
+// ReadAtInto implements Store.
+func (s *DeviceStore) ReadAtInto(name string, off, n int64, buf []byte) ([]byte, error) {
+	b, err := s.inner.ReadAtInto(name, off, n, buf)
+	if err != nil {
+		return nil, err
+	}
+	s.dev.ReadRand(n, 1)
+	return b, nil
+}
+
+// Size implements Store (metadata: charges nothing, like the substrates).
+func (s *DeviceStore) Size(name string) (int64, error) { return s.inner.Size(name) }
+
+// Delete implements Store.
+func (s *DeviceStore) Delete(name string) error { return s.inner.Delete(name) }
+
+// List implements Store.
+func (s *DeviceStore) List() []string { return s.inner.List() }
+
+var _ Store = (*DeviceStore)(nil)
