@@ -6,7 +6,7 @@
 //
 //	husgraph -dataset twitter-sim -algo BFS [-system hus|graphchi|gridgraph|xstream]
 //	         [-model hybrid|rop|cop] [-device hdd|ssd|nvme|ram] [-threads N] [-p P]
-//	         [-shards K] [-format raw|compressed|mixed] [-sem] [-sem-budget-mb MB]
+//	         [-shards K] [-delta W] [-format raw|compressed|mixed] [-sem] [-sem-budget-mb MB]
 //	         [-trace] [-stats] [-input edges.txt] [-store DIR]
 //	         [-prefetch DEPTH] [-cache-mb MB] [-pipeline-depth K] [-cache-admission POLICY]
 //	         [-checkpoint N] [-resume] [-retries N] [-retry-backoff D] [-retry-jitter J]
@@ -28,6 +28,16 @@
 // Pipelining rides on the async prefetch pipeline, so combining it with an
 // explicit -prefetch 0 or -cache-mb 0 is a contradiction and rejected at
 // startup rather than silently degraded.
+//
+// Algorithm names are case-insensitive. -algo sssp-delta and -algo coreness
+// run bucketed (priority-ordered) execution: activated vertices are parked
+// in priority buckets at the iteration barrier and each iteration processes
+// exactly the next bucket — delta-stepping's distance buckets and coreness
+// peeling's degree buckets. -delta W overrides delta-stepping's bucket
+// width in distance units (sssp-delta only, rejected elsewhere); results
+// are identical at any width, only the iteration schedule changes. Bucketed
+// runs cannot be combined with -checkpoint or -resume — the parked bucket
+// state is not derivable from a value checkpoint.
 //
 // -shards K runs the hus engine as K worker shards, each owning P/K
 // contiguous intervals with its own store handle, cache-budget slice and
@@ -79,6 +89,7 @@ import (
 	"os"
 	"time"
 
+	"husgraph/internal/algos"
 	"husgraph/internal/blockstore"
 	"husgraph/internal/core"
 	"husgraph/internal/experiments"
@@ -122,7 +133,7 @@ func exitCode(err error) int {
 func run() (*core.Result, error) {
 	dataset := flag.String("dataset", "livejournal-sim", "registry dataset name (see husgen -list)")
 	input := flag.String("input", "", "edge-list file to load instead of a registry dataset")
-	algoName := flag.String("algo", "PageRank", "algorithm: PageRank|BFS|WCC|SSSP|PageRank-Delta|KCore|PPR")
+	algoName := flag.String("algo", "PageRank", "algorithm (case-insensitive): PageRank|BFS|WCC|SSSP|PageRank-Delta|KCore|PPR|SSSP-Delta|Coreness")
 	system := flag.String("system", "hus", "engine: hus|graphchi|gridgraph|xstream")
 	modelName := flag.String("model", "hybrid", "update model for hus: hybrid|rop|cop")
 	deviceName := flag.String("device", "hdd", "device profile: hdd|ssd|nvme|ram")
@@ -159,6 +170,7 @@ func run() (*core.Result, error) {
 	faultStall := flag.Int("fault-stall", 0, "inject N reads hung forever (requires -read-deadline with hedging to complete)")
 	faultAfter := flag.Int64("fault-after", 10, "number of healthy reads before injected faults begin")
 	faultSeed := flag.Int64("fault-seed", 1, "seed for the deterministic fault injector")
+	delta := flag.Float64("delta", 0, "bucket width for delta-stepping (-algo SSSP-Delta only; 0 keeps the registered width)")
 	flag.Parse()
 
 	explicit := map[string]bool{}
@@ -188,6 +200,20 @@ func run() (*core.Result, error) {
 	algo, err := experiments.AlgoByName(*algoName)
 	if err != nil {
 		return nil, err
+	}
+	if explicit["delta"] {
+		// Same fail-at-startup spirit as -shards/-pipeline: a width that
+		// cannot apply is an error, not a silently ignored flag.
+		if algo.Name != "SSSP-Delta" {
+			return nil, fmt.Errorf("-delta applies only to -algo SSSP-Delta, not %s", algo.Name)
+		}
+		if *delta <= 0 {
+			return nil, fmt.Errorf("-delta %g: bucket width must be > 0", *delta)
+		}
+		w := *delta
+		algo.New = func(g *graph.Graph) core.Program {
+			return algos.DeltaSSSP{Source: gen.BFSSource(g), Delta: w}
+		}
 	}
 
 	var g *graph.Graph
@@ -386,6 +412,27 @@ func run() (*core.Result, error) {
 				it.OverlapCredit.Round(time.Microsecond).String(),
 				fmt.Sprintf("%d", it.Hedges),
 				it.DegradeLevel.String(),
+			)
+		}
+		if err := t.Render(os.Stdout); err != nil {
+			return nil, err
+		}
+		fmt.Println()
+	}
+
+	if *stats && len(res.Iterations) > 0 && res.Iterations[0].Bucketed {
+		// Bucketed runs: the priority schedule — which bucket each
+		// iteration drained and how many vertices stayed parked behind it.
+		t := report.NewTable("per-iteration bucket schedule",
+			"iter", "model", "bucket pri", "parked", "active V", "active E")
+		for _, it := range res.Iterations {
+			t.AddRow(
+				fmt.Sprintf("%d", it.Iter+1),
+				it.Model.String(),
+				fmt.Sprintf("%d", it.BucketPri),
+				fmt.Sprintf("%d", it.BucketPending),
+				fmt.Sprintf("%d", it.ActiveVertices),
+				fmt.Sprintf("%d", it.ActiveEdges),
 			)
 		}
 		if err := t.Render(os.Stdout); err != nil {

@@ -130,10 +130,9 @@ type Tuning struct {
 	// Shards runs the chaotic side through the K-shard coordinator
 	// (internal/shard) while the clean oracle stays on the single engine,
 	// so bit-identity is checked across the sharding seam itself. K must
-	// divide P. Sharded runs keep Degrade off in the matrix: K independent
-	// per-shard breakers interleave their ladder events, so the
-	// one-rung-chain verification only applies per shard, not to the
-	// concatenated run log.
+	// divide P. With Degrade on, the K per-shard breakers interleave their
+	// ladder events in the merged run log; Verify replays the log against
+	// K chains (verifyLadderChains), so degradation is checked at any K.
 	Shards int
 	// Vertices and Edges scale the R-MAT test graph.
 	Vertices, Edges int
@@ -330,32 +329,53 @@ func Verify(rep *Report) error {
 			return fmt.Errorf("%s/%s: %d retries for %d injected transient faults", rep.Algo, rep.Sched.Name, chaotic.Recovery.Retries, rep.Counters.Transient)
 		}
 	}
-	// Degradation events must form a contiguous one-rung chain stamped
-	// with non-decreasing iterations. Sharded runs concatenate K
-	// independent breakers' chains, so the contiguity invariant holds per
-	// shard, not across the combined log — skip it there.
+	// Degradation events must replay as K contiguous one-rung ladder
+	// chains (one per shard's breaker, K=1 being the plain single chain),
+	// stamped with non-decreasing iterations across the merged log.
 	evs := chaotic.Recovery.DegradeEvents
-	if rep.Tune.Shards > 1 {
-		evs = nil
-	}
-	for i, ev := range evs {
-		if d := ev.To - ev.From; d != 1 && d != -1 {
-			return fmt.Errorf("%s/%s: degrade event %d skips rungs: %v", rep.Algo, rep.Sched.Name, i, ev)
-		}
-		if i > 0 {
-			if ev.From != evs[i-1].To {
-				return fmt.Errorf("%s/%s: degrade chain broken at %d: %v after %v", rep.Algo, rep.Sched.Name, i, ev, evs[i-1])
-			}
-			if ev.Iter < evs[i-1].Iter {
-				return fmt.Errorf("%s/%s: degrade events out of order: %v after %v", rep.Algo, rep.Sched.Name, ev, evs[i-1])
-			}
-		}
+	if err := verifyLadderChains(evs, rep.Tune.Shards); err != nil {
+		return fmt.Errorf("%s/%s: %w", rep.Algo, rep.Sched.Name, err)
 	}
 	if lvl := chaotic.MaxDegradeLevel(); lvl > resilience.LevelNormal && len(evs) == 0 && chaotic.Recovery.ResumedIter == 0 {
 		return fmt.Errorf("%s/%s: iterations report level %v but no transition was recorded", rep.Algo, rep.Sched.Name, lvl)
 	}
 	if rep.Killed && rep.Resumed && chaotic.Recovery.ResumedIter <= 0 {
 		return fmt.Errorf("%s/%s: killed run resumed from iteration 0", rep.Algo, rep.Sched.Name)
+	}
+	return nil
+}
+
+// verifyLadderChains replays a merged degradation log against K
+// independent ladder chains, each starting at LevelNormal. Every event
+// must move exactly one rung, iterations must be globally non-decreasing
+// (shards publish at the shared barrier, so the merged log is
+// iteration-ordered even though per-shard events interleave), and each
+// event must continue SOME chain currently sitting at its From level.
+// Greedy assignment is exact here: chains carry no identity beyond their
+// current level, so any chain at From is as good as any other.
+func verifyLadderChains(evs []resilience.DegradeEvent, k int) error {
+	if k < 1 {
+		k = 1
+	}
+	levels := make([]resilience.Level, k) // all start at LevelNormal
+	for i, ev := range evs {
+		if d := ev.To - ev.From; d != 1 && d != -1 {
+			return fmt.Errorf("degrade event %d skips rungs: %v", i, ev)
+		}
+		if i > 0 && ev.Iter < evs[i-1].Iter {
+			return fmt.Errorf("degrade events out of order: %v after %v", ev, evs[i-1])
+		}
+		assigned := false
+		for c := range levels {
+			if levels[c] == ev.From {
+				levels[c] = ev.To
+				assigned = true
+				break
+			}
+		}
+		if !assigned {
+			return fmt.Errorf("degrade event %d continues no chain: no breaker sits at level %v before %v (chains at %v)", i, ev.From, ev, levels)
+		}
 	}
 	return nil
 }

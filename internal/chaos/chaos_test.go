@@ -10,6 +10,7 @@ import (
 
 	"husgraph/internal/blockstore"
 	"husgraph/internal/core"
+	"husgraph/internal/resilience"
 	"husgraph/internal/storage"
 )
 
@@ -216,8 +217,8 @@ func TestChaosCompressedKillAndResume(t *testing.T) {
 // shard coordinator under seeded fault schedules, verified against the
 // unsharded clean oracle — bit-identity across the sharding seam with
 // retries and hedges landing inside individual shards' windows. Degrade
-// stays off: K independent breakers interleave their ladder events, which
-// the chain verification (per-shard, not per-run) would misread.
+// is on: Verify replays the merged event log against K ladder chains, so
+// the interleaved per-shard breakers are checked, not skipped.
 func TestChaosShardedMatrix(t *testing.T) {
 	baseline := runtime.NumGoroutine()
 	models := []core.Model{core.ModelHybrid, core.ModelROP, core.ModelCOP}
@@ -226,7 +227,7 @@ func TestChaosShardedMatrix(t *testing.T) {
 		t.Run(a.Name, func(t *testing.T) {
 			sched := RandomSchedule(41 + int64(i))
 			sched.KillAtIter = 0 // the kill path gets its own dedicated test
-			rep := runBounded(t, a, Tuning{Model: model, Shards: 2}, sched, 60*time.Second)
+			rep := runBounded(t, a, Tuning{Model: model, Shards: 2, Degrade: true}, sched, 60*time.Second)
 			if err := Verify(rep); err != nil {
 				t.Fatal(err)
 			}
@@ -288,5 +289,45 @@ func TestChaosSoak(t *testing.T) {
 				}
 			})
 		}
+	}
+}
+
+// TestVerifyLadderChains pins the K-chain replay on hand-built logs: an
+// interleaving only valid as two chains, a rung skip, an iteration
+// regression, and an event no chain can continue.
+func TestVerifyLadderChains(t *testing.T) {
+	ev := func(iter int, from, to resilience.Level) resilience.DegradeEvent {
+		return resilience.DegradeEvent{Iter: iter, From: from, To: to}
+	}
+	interleaved := []resilience.DegradeEvent{
+		// Two breakers each step down one rung, then recover — merged at
+		// the barrier this reads 0→1, 0→1, 1→0, 1→0: broken as ONE chain,
+		// valid as two.
+		ev(1, resilience.LevelNormal, resilience.LevelNormal+1),
+		ev(1, resilience.LevelNormal, resilience.LevelNormal+1),
+		ev(3, resilience.LevelNormal+1, resilience.LevelNormal),
+		ev(3, resilience.LevelNormal+1, resilience.LevelNormal),
+	}
+	if err := verifyLadderChains(interleaved, 2); err != nil {
+		t.Fatalf("valid 2-shard interleaving rejected: %v", err)
+	}
+	if err := verifyLadderChains(interleaved, 1); err == nil {
+		t.Fatal("2-shard interleaving verified as a single chain")
+	}
+	if err := verifyLadderChains([]resilience.DegradeEvent{
+		ev(1, resilience.LevelNormal, resilience.LevelNormal+2),
+	}, 2); err == nil {
+		t.Fatal("rung skip not rejected")
+	}
+	if err := verifyLadderChains([]resilience.DegradeEvent{
+		ev(3, resilience.LevelNormal, resilience.LevelNormal+1),
+		ev(1, resilience.LevelNormal, resilience.LevelNormal+1),
+	}, 2); err == nil {
+		t.Fatal("iteration regression not rejected")
+	}
+	if err := verifyLadderChains([]resilience.DegradeEvent{
+		ev(1, resilience.LevelNormal+1, resilience.LevelNormal),
+	}, 4); err == nil {
+		t.Fatal("event with no chain at its From level not rejected")
 	}
 }

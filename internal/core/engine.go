@@ -81,6 +81,19 @@ type Engine struct {
 	// that iteration's workers — never concurrently with the write).
 	breaker      *resilience.Breaker
 	degradeLevel resilience.Level
+
+	// Bucketed-execution hint, set at the barrier (by Run's own router or
+	// the shard coordinator via SetBucketHint) before BeginIter: bucketed
+	// marks the coming iteration as bucket-driven, bucketPri/bucketPending
+	// describe its bucket, and bucketPeek is the materialized next bucket
+	// — the speculative planner's exact provisional plan source (nil when
+	// no later bucket exists). bucketPeek is quiescent for the whole
+	// iteration (the router runs only between iterations), so the window's
+	// gate goroutine may read it freely.
+	bucketed      bool
+	bucketPri     int64
+	bucketPending int
+	bucketPeek    *bitset.Frontier
 }
 
 // New creates an engine over the given store.
@@ -219,6 +232,13 @@ func (e *Engine) RunContext(ctx context.Context, prog Program) (*Result, error) 
 	s := values               // S: previous-iteration values (paper §3.3)
 	d := make([]float64, n)   // D: current-iteration values / accumulators
 	res := &Result{Values: s} // s is kept current; assigned again before return
+	var router *BucketRouter
+	if pp, ok := prog.(PriorityProgram); ok {
+		if e.cfg.CheckpointEvery > 0 || e.cfg.Resume {
+			return nil, fmt.Errorf("core: priority program %s cannot run with checkpointing or resume: parked bucket state is not derivable from a value checkpoint", prog.Name())
+		}
+		router = NewBucketRouter(pp, n)
+	}
 	startRetries := e.ds.Retries()
 	startHedges := e.ds.Hedges()
 	// Delta-based so a reused engine (kill → resume on the same instance)
@@ -241,6 +261,13 @@ func (e *Engine) RunContext(ctx context.Context, prog Program) (*Result, error) 
 
 	if err := e.StartRun(); err != nil {
 		return nil, err
+	}
+	if router != nil {
+		// Seed: the init frontier's members are parked at their initial
+		// priorities and the first bucket becomes iteration 0's frontier.
+		var hint BucketHint
+		frontier, hint = router.Route(frontier, s)
+		e.SetBucketHint(hint)
 	}
 	// Speculation parked at the barrier when the run ends (converged,
 	// cancelled, or failed) has no iteration left to adopt it; its device
@@ -285,7 +312,13 @@ func (e *Engine) RunContext(ctx context.Context, prog Program) (*Result, error) 
 		if e.cfg.OnIteration != nil {
 			e.cfg.OnIteration(st)
 		}
-		frontier = next
+		if router != nil {
+			var hint BucketHint
+			frontier, hint = router.Route(next, s)
+			e.SetBucketHint(hint)
+		} else {
+			frontier = next
+		}
 
 		if e.cfg.CheckpointEvery > 0 && (iter+1)%e.cfg.CheckpointEvery == 0 {
 			if err := e.writeCheckpoint(prog, iter+1, s, frontier); err != nil {
@@ -294,7 +327,10 @@ func (e *Engine) RunContext(ctx context.Context, prog Program) (*Result, error) 
 			res.Recovery.CheckpointsWritten++
 		}
 
-		if prog.Kind() != Monotone && e.cfg.Tolerance > 0 && st.MaxDelta < e.cfg.Tolerance {
+		// Tolerance never terminates a bucketed run: a quiescent iteration
+		// only means the current bucket settled — parked buckets remain, and
+		// convergence is structural (the router runs out of live vertices).
+		if router == nil && prog.Kind() != Monotone && e.cfg.Tolerance > 0 && st.MaxDelta < e.cfg.Tolerance {
 			res.Converged = true
 			break
 		}
@@ -447,6 +483,11 @@ func (e *Engine) copSkipFunc(frontier *bitset.Frontier) func(int) bool {
 //   - Non-monotone programs rebuild their frontier in finalization, after
 //     the gate fires; the value-delta heuristic (valuedelta.go) predicts
 //     it from the per-interval delta magnitudes instead of declining.
+//   - Bucketed (priority) programs carry an exact preview: the next bucket
+//     is already materialized at the barrier (bucketPeek), so its rows are
+//     certainly in the coming ROP plan — no value-delta guessing even for
+//     non-monotone peeling programs. Monotone bucketed programs still OR
+//     in the live next-frontier probe (same-bucket reinsertions).
 //   - Everything else (forced models contradicting the speculated one, COP
 //     block skipping making the plan frontier-dependent) speculates
 //     nothing.
@@ -461,6 +502,12 @@ func (e *Engine) provisionalPlan(prog Program, model Model, frontier, next *bits
 			return nil
 		}
 		if e.cfg.Model != ModelCOP && float64(frontier.Count()) <= e.cfg.Alpha*float64(l.NumVertices) {
+			if e.bucketed {
+				// Bucketed frontiers are sparse by construction, so the
+				// next model is a toss-up the value-delta heuristic has no
+				// signal for; the ROP path below owns the exact preview.
+				return nil
+			}
 			// Below the α shortcut the next model is prediction-dependent;
 			// for non-monotone programs the value deltas still say which
 			// way it will go.
@@ -471,6 +518,34 @@ func (e *Engine) provisionalPlan(prog Program, model Model, frontier, next *bits
 	case ModelROP:
 		if e.cfg.Model == ModelCOP {
 			return nil
+		}
+		if e.bucketed {
+			if e.semIdx != nil {
+				return nil // a ROP plan is all out-indices, and they are resident
+			}
+			peek := e.bucketPeek
+			if peek == nil && prog.Kind() != Monotone {
+				return nil // nothing materialized and finalization-built frontiers cannot be probed
+			}
+			probeNext := prog.Kind() == Monotone // eager activations land atomically; safe to probe live
+			return func(depth int) []blockstore.BlockKey {
+				if depth > 1 {
+					return nil // the bucket after next is not materialized
+				}
+				plan := make([]blockstore.BlockKey, 0, l.P*l.P)
+				for _, i := range e.owned {
+					lo, hi := l.Bounds(i)
+					if (peek == nil || peek.CountIn(lo, hi) == 0) && !(probeNext && next.AnyInAtomic(lo, hi)) {
+						continue
+					}
+					for j := 0; j < l.P; j++ {
+						if e.ds.BlockEdgeCount[i][j] != 0 {
+							plan = append(plan, blockstore.BlockKey{Kind: blockstore.KindOutIndex, I: i, J: j})
+						}
+					}
+				}
+				return plan
+			}
 		}
 		if prog.Kind() != Monotone {
 			return e.valueDeltaProvisional(prog)
@@ -498,6 +573,18 @@ func (e *Engine) provisionalPlan(prog Program, model Model, frontier, next *bits
 		}
 	}
 	return nil
+}
+
+// SetBucketHint installs the barrier-time bucket state for the coming
+// iteration (see the bucketed fields on Engine). Run's own router calls it
+// between iterations; the shard coordinator calls it on every worker
+// engine at the barrier, before the iteration command is sent — the
+// command channel's happens-before publishes the fields to the worker.
+func (e *Engine) SetBucketHint(h BucketHint) {
+	e.bucketed = true
+	e.bucketPri = h.Pri
+	e.bucketPending = h.Pending
+	e.bucketPeek = h.Peek
 }
 
 // loadOutRun loads byte range [s, end) of out-block(i,j), serving it from

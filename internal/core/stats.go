@@ -107,6 +107,16 @@ type IterStats struct {
 	// Each iteration's idle tail is claimed at most once across the run.
 	OverlapCredit time.Duration
 
+	// Bucketed-execution fields, filled only when the program implements
+	// PriorityProgram (zero otherwise). Bucketed marks the iteration as
+	// bucket-driven; BucketPri is the priority of the bucket processed as
+	// this iteration's frontier; BucketPending counts the vertices still
+	// parked in later buckets at the iteration's start — work the run
+	// holds beyond the visible frontier.
+	Bucketed      bool
+	BucketPri     int64
+	BucketPending int
+
 	// Sharded-execution fields, filled by the internal/shard coordinator
 	// and zero for unsharded runs (K=1 is the identity case: no exchange,
 	// no merge, no skew).

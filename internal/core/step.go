@@ -80,6 +80,7 @@ func (e *Engine) StartRun() error {
 		}
 	}
 	e.slackAvail = e.slackAvail[:0]
+	e.bucketed, e.bucketPri, e.bucketPending, e.bucketPeek = false, 0, 0, nil
 	if e.breaker != nil {
 		// The wall-clock ticker ages pressure out even while the engine is
 		// stuck inside one long iteration (e.g. every read hedging).
@@ -144,6 +145,11 @@ func (e *Engine) BeginIter(prog Program, iter int, model Model, frontier, next *
 
 	s.st = IterStats{Iter: iter, ActiveVertices: e.ownedActive(frontier), DegradeLevel: e.applyDegradeLevel()}
 	s.st.ActiveEdges = e.activeOutEdges(frontier)
+	if e.bucketed {
+		s.st.Bucketed = true
+		s.st.BucketPri = e.bucketPri
+		s.st.BucketPending = e.bucketPending
+	}
 	if model == ModelHybrid {
 		s.st.Model = e.chooseModel(frontier, &s.st)
 	} else {

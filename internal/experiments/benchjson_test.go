@@ -153,24 +153,30 @@ func TestWriteBenchJSONRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(paths) != 1 || filepath.Base(paths[0]) != "BENCH_livejournal-sim.json" {
+	// The dataset's default PageRank artifact plus its benchExtraAlgos
+	// row (Coreness rides on livejournal-sim).
+	if len(paths) != 2 ||
+		filepath.Base(paths[0]) != "BENCH_livejournal-sim.json" ||
+		filepath.Base(paths[1]) != "BENCH_livejournal-sim_Coreness.json" {
 		t.Fatalf("paths: %v", paths)
 	}
-	//lint:ignore huslint/rawio reading back a bench artifact, not graph data
-	buf, err := os.ReadFile(paths[0])
-	if err != nil {
-		t.Fatal(err)
-	}
-	var rep BenchReport
-	if err := json.Unmarshal(buf, &rep); err != nil {
-		t.Fatalf("artifact is not valid JSON: %v", err)
-	}
-	if rep.Dataset != "livejournal-sim" || rep.Algo != "PageRank" || rep.Device != "hdd" {
-		t.Fatalf("report header: %+v", rep)
-	}
-	for _, e := range rep.Entries {
-		if e.Iterations <= 0 || e.NsPerIter <= 0 || e.BytesRead <= 0 {
-			t.Fatalf("degenerate entry: %+v", e)
+	for i, wantAlgo := range []string{"PageRank", "Coreness"} {
+		//lint:ignore huslint/rawio reading back a bench artifact, not graph data
+		buf, err := os.ReadFile(paths[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		var rep BenchReport
+		if err := json.Unmarshal(buf, &rep); err != nil {
+			t.Fatalf("artifact %d is not valid JSON: %v", i, err)
+		}
+		if rep.Dataset != "livejournal-sim" || rep.Algo != wantAlgo || rep.Device != "hdd" {
+			t.Fatalf("report header: %+v", rep)
+		}
+		for _, e := range rep.Entries {
+			if e.Iterations <= 0 || e.NsPerIter <= 0 || e.BytesRead <= 0 {
+				t.Fatalf("degenerate entry: %+v", e)
+			}
 		}
 	}
 }

@@ -37,8 +37,12 @@ func TestCheckBenchTrendCleanOnFreshArtifact(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(trends) != 11 {
-		t.Fatalf("trend rows = %d, want 11 (sync, prefetch, prefetch+cache, pipeline, pipeline-depth2, pipeline-depth2-nocache, sem, compress, compress:decode, shard2, shard4)", len(trends))
+	// 11 configs per artifact (sync, prefetch, prefetch+cache, pipeline,
+	// pipeline-depth2, pipeline-depth2-nocache, sem, compress,
+	// compress:decode, shard2, shard4) × 2 artifacts: the dataset's
+	// PageRank default plus its Coreness benchExtraAlgos row.
+	if len(trends) != 22 {
+		t.Fatalf("trend rows = %d, want 22 (11 configs × {PageRank, Coreness})", len(trends))
 	}
 	var sawDecode bool
 	for _, tr := range trends {

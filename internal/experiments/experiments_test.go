@@ -310,7 +310,7 @@ func TestByNameDispatch(t *testing.T) {
 func TestExtendedAlgosRunnable(t *testing.T) {
 	r := quickRunner()
 	d, _ := r.Dataset("livejournal-sim")
-	for _, name := range []string{"PageRank-Delta", "KCore", "PPR"} {
+	for _, name := range []string{"PageRank-Delta", "KCore", "PPR", "SSSP-Delta", "Coreness"} {
 		a, err := AlgoByName(name)
 		if err != nil {
 			t.Fatal(err)
@@ -323,7 +323,7 @@ func TestExtendedAlgosRunnable(t *testing.T) {
 			t.Fatalf("%s: did not converge", name)
 		}
 	}
-	if len(ExtendedAlgos()) != 3 {
+	if len(ExtendedAlgos()) != 5 {
 		t.Fatalf("extended algos = %d", len(ExtendedAlgos()))
 	}
 }

@@ -8,6 +8,7 @@ package experiments
 import (
 	"fmt"
 	"runtime"
+	"strings"
 	"sync"
 
 	"husgraph/internal/algos"
@@ -69,21 +70,28 @@ func StandardAlgos() []Algo {
 }
 
 // ExtendedAlgos returns the algorithms beyond the paper's benchmarks
-// (DESIGN.md §4a): PageRank-Delta, k-core decomposition, personalized
-// PageRank and SpMV.
+// (DESIGN.md §4a, §4h): PageRank-Delta, k-core decomposition, personalized
+// PageRank, and the bucketed priority programs — delta-stepping SSSP
+// (bucket width 2, matching the 1–10 uniform weights of the registry
+// datasets) and the full coreness decomposition.
 func ExtendedAlgos() []Algo {
 	return []Algo{
 		{Name: "PageRank-Delta", New: func(*graph.Graph) core.Program { return &algos.PageRankDelta{Epsilon: 1e-7} }},
 		{Name: "KCore", Symmetric: true, New: func(*graph.Graph) core.Program { return algos.KCore{K: 8} }},
 		{Name: "PPR", New: func(g *graph.Graph) core.Program { return &algos.PPR{Source: gen.BFSSource(g), Epsilon: 1e-9} }},
+		{Name: "SSSP-Delta", Weighted: true, New: func(g *graph.Graph) core.Program {
+			return algos.DeltaSSSP{Source: gen.BFSSource(g), Delta: 2}
+		}},
+		{Name: "Coreness", Symmetric: true, New: func(*graph.Graph) core.Program { return &algos.Coreness{} }},
 	}
 }
 
 // AlgoByName returns the standard or extended algorithm with the given
-// name.
+// name. Matching is case-insensitive, so CLI spellings like "sssp-delta"
+// or "coreness" resolve; the returned Algo carries the canonical Name.
 func AlgoByName(name string) (Algo, error) {
 	for _, a := range append(StandardAlgos(), ExtendedAlgos()...) {
-		if a.Name == name {
+		if strings.EqualFold(a.Name, name) {
 			return a, nil
 		}
 	}

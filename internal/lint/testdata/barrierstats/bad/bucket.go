@@ -1,0 +1,47 @@
+// Fixture: bucket barrier hints written off the coordinator — the hint
+// fields of a bucketed run are barrier-published (the coordinator routes
+// the merged frontier and writes them before any worker starts), so a
+// worker goroutine updating them plainly races every reader of the
+// iteration's bucket metadata.
+package stats
+
+// BucketStats is barrier-published: the priority of the bucket being
+// processed and the count of vertices still parked, written by the run's
+// coordinator at the iteration barrier before the workers are released.
+type BucketStats struct {
+	Pri     int64
+	Pending int
+}
+
+type bucketEngine struct {
+	bucket BucketStats
+	cmds   chan int
+	done   chan struct{}
+}
+
+// drain is the violation: each worker rewrites the hint for itself
+// instead of leaving it to the coordinator's serial section.
+func (e *bucketEngine) drain() {
+	for pri := range e.cmds {
+		e.bucket.Pri = int64(pri)
+	}
+	close(e.done)
+}
+
+func (e *bucketEngine) Start() {
+	go e.drain() // want "writes barrier-published field stats.BucketStats.Pri"
+}
+
+// settle hides the write one call away; the fact system carries it back
+// to the spawn.
+func (e *bucketEngine) settle() {
+	e.bucket.Pending--
+}
+
+func (e *bucketEngine) StartIndirect() {
+	go func() { // want "writes barrier-published field stats.BucketStats.Pending"
+		<-e.cmds
+		e.settle()
+		close(e.done)
+	}()
+}

@@ -1,0 +1,43 @@
+// Fixture: bucket barrier hints handled correctly — the coordinator
+// writes the hint fields in the serial section at the iteration barrier,
+// before the worker goroutine is released by the command channel (whose
+// send publishes the plain writes); workers only read them.
+package stats
+
+import "sync"
+
+// BucketStats is barrier-published: the priority of the bucket being
+// processed and the count of vertices still parked, written by the run's
+// coordinator at the iteration barrier before the workers are released.
+type BucketStats struct {
+	Pri     int64
+	Pending int
+}
+
+type bucketEngine struct {
+	bucket BucketStats
+	cmds   chan int
+	wg     sync.WaitGroup
+}
+
+// worker reads the hint the barrier published; it never writes it.
+func (e *bucketEngine) worker() {
+	defer e.wg.Done()
+	for range e.cmds {
+		_ = e.bucket.Pri
+		_ = e.bucket.Pending
+	}
+}
+
+// RunIteration is the coordinator: route the bucket, publish the hint,
+// then release the worker — the command send orders the plain writes
+// before any worker read.
+func (e *bucketEngine) RunIteration(pri int64, pending int) {
+	e.bucket.Pri = pri
+	e.bucket.Pending = pending
+	e.wg.Add(1)
+	go e.worker()
+	e.cmds <- 1
+	close(e.cmds)
+	e.wg.Wait()
+}

@@ -17,13 +17,14 @@ import (
 //     copy of the merged frontier (sparse id list or dense bitmap,
 //     whichever is smaller); 2K messages.
 //
-// Bytes are priced at an EWMA-tracked effective rate (like the engine's
-// decode-cost EWMA): the configured ns/B seeds the rate, and every priced
-// exchange feeds back its realized time-per-byte — which exceeds the wire
-// rate whenever per-message setup dominates small exchanges — at
-// 0.75·old + 0.25·new. The predictor's exchange term for the coming
-// iteration uses that effective rate, so sparse iterations dominated by
-// message setup are predicted as such.
+// Bytes are priced at the configured wire rate plus a per-message setup
+// term. The model also tracks an effective ns/B EWMA for the predictor,
+// but that rate is seeded-only until something EXTERNAL is observed:
+// Observe exists for callers with real measured exchange times, and the
+// model never feeds its own priced output back into it — a modeled time
+// is the rate times the bytes, so self-observation would only launder the
+// per-message term into the rate and ratchet EffRate upward on every
+// sparse exchange.
 const (
 	// DefaultNsPerByte models a 10 GbE-class interconnect (~0.8 ns per
 	// byte on the wire), the default for -shards runs.
@@ -35,8 +36,8 @@ const (
 	// vertex id plus an 8-byte float64 value.
 	UpdateWireBytes = 12
 	// mergeNsPerByte prices the barrier's OR-merge of frontier pieces —
-	// modeled (word-wide OR over the dense bitmaps), not measured, so
-	// replayed runs stay deterministic.
+	// modeled per byte of dense bitmap, not measured, so replayed runs
+	// stay deterministic.
 	mergeNsPerByte = 0.2
 )
 
@@ -46,8 +47,10 @@ type CostModel struct {
 	nsPerByte float64
 	perMsgNs  float64
 
-	// effRate is the EWMA of realized ns per byte (message setup folded
-	// in); seeded from nsPerByte until the first observation.
+	// effRate is the EWMA of EXTERNALLY measured ns per byte (message
+	// setup folded in); seeded from nsPerByte and unchanged until a
+	// caller Observes a real measurement — the model's own priced output
+	// must never be fed back (see Observe).
 	effRate float64
 	known   bool
 }
@@ -74,7 +77,13 @@ func (m *CostModel) Price(bytes, msgs int64) time.Duration {
 	return time.Duration(float64(bytes)*m.nsPerByte + float64(msgs)*m.perMsgNs)
 }
 
-// Observe feeds one realized exchange back into the effective-rate EWMA.
+// Observe feeds one externally measured exchange into the effective-rate
+// EWMA. Only real measurements belong here: the model's own Price/Choose
+// output is bytes·rate + msgs·setup by construction, so observing it
+// would fold the per-message term into the rate and ratchet EffRate
+// upward on every sparse exchange (each observation's realized ns/B
+// exceeds the current rate whenever setup dominates). No caller in the
+// simulator measures real exchanges today, so EffRate stays at its seed.
 // Byte-free exchanges (an empty frontier) carry no rate signal and are
 // skipped.
 func (m *CostModel) Observe(bytes int64, t time.Duration) {
@@ -100,8 +109,13 @@ func (m *CostModel) EffRate() float64 {
 
 // PredictNext estimates the coming iteration's exchange time for the model
 // arbiter, using the entering frontier's activity as a proxy for the
-// activations the iteration will produce. The estimate is added to both
-// the ROP and the COP candidate — the barrier exchange ships the same
+// activations the iteration will produce. Both modes are priced the same
+// way Choose prices them — bytes at the effective rate PLUS the modeled
+// message count at the per-message setup cost — and the cheaper one is
+// returned; without the message term, a sparse frontier's K·(K−1) push
+// messages (or the pull broadcast's 2K) would predict as near zero even
+// though setup dominates exactly there. The estimate is added to both the
+// ROP and the COP candidate — the barrier exchange ships the same
 // activations whichever update model produced them — so it documents the
 // communication term without perturbing the ROP/COP choice away from the
 // unsharded predictor's.
@@ -110,11 +124,17 @@ func (m *CostModel) PredictNext(activeEst, n, k int) time.Duration {
 		return 0
 	}
 	push, pull := exchangeVolumes(uniformCounts(activeEst, k), activeEst, n, k)
-	t := time.Duration(float64(push.Bytes) * m.EffRate())
-	if pt := time.Duration(float64(pull.Bytes) * m.EffRate()); pt < t {
+	t := m.predictPrice(push)
+	if pt := m.predictPrice(pull); pt < t {
 		t = pt
 	}
 	return t
+}
+
+// predictPrice is Price at the effective (rather than configured) byte
+// rate, over a modeled exchange plan.
+func (m *CostModel) predictPrice(p ExchangePlan) time.Duration {
+	return time.Duration(float64(p.Bytes)*m.EffRate() + float64(p.Msgs)*m.perMsgNs)
 }
 
 // ExchangePlan is one priced exchange mode.
@@ -127,8 +147,9 @@ type ExchangePlan struct {
 
 // Choose prices push against pull for the activations the iteration
 // actually produced — pieceCounts per shard, mergedCount distinct after the
-// OR-merge, over a universe of n vertices — returns the cheaper plan, and
-// feeds the realized rate back into the EWMA.
+// OR-merge, over a universe of n vertices — and returns the cheaper plan.
+// The chosen plan is NOT fed back into the rate EWMA: its Time is the
+// model's own output, not a measurement (see Observe).
 func (m *CostModel) Choose(pieceCounts []int, mergedCount, n int) ExchangePlan {
 	k := len(pieceCounts)
 	push, pull := exchangeVolumes(pieceCounts, mergedCount, n, k)
@@ -138,7 +159,6 @@ func (m *CostModel) Choose(pieceCounts []int, mergedCount, n int) ExchangePlan {
 	if pull.Time < push.Time {
 		best = pull
 	}
-	m.Observe(best.Bytes, best.Time)
 	return best
 }
 
@@ -176,11 +196,12 @@ func uniformCounts(total, k int) []int {
 }
 
 // MergedFrontierCost prices the barrier's OR-merge of K pieces into the
-// next frontier: K−1 word-wide OR passes over the dense bitmap.
+// next frontier: K−1 OR passes priced per byte of the dense bitmap
+// ((n+7)/8 bytes over n vertices).
 func MergedFrontierCost(n, k int) time.Duration {
 	if k <= 1 {
 		return 0
 	}
-	words := int64((n + 7) / 8)
-	return time.Duration(float64(k-1) * float64(words) * mergeNsPerByte)
+	bitmapBytes := int64((n + 7) / 8)
+	return time.Duration(float64(k-1) * float64(bitmapBytes) * mergeNsPerByte)
 }

@@ -1,0 +1,93 @@
+package shard
+
+import (
+	"testing"
+	"time"
+)
+
+// TestEffRateStableAcrossChoose pins the self-feedback fix: repeated
+// sparse exchanges priced through Choose must leave the effective rate at
+// its seed. Before the fix, Choose observed its own priced output — whose
+// realized ns/B folds the per-message setup in, and so always exceeds the
+// current rate on sparse exchanges — ratcheting EffRate upward on every
+// call.
+func TestEffRateStableAcrossChoose(t *testing.T) {
+	m := NewCostModel(0, 0)
+	seed := m.EffRate()
+	if seed != DefaultNsPerByte {
+		t.Fatalf("seed rate = %v, want %v", seed, DefaultNsPerByte)
+	}
+	// A sparse exchange: 3 activations per shard across K=4 over a large
+	// universe — per-message setup dominates the handful of wire bytes.
+	for i := 0; i < 100; i++ {
+		plan := m.Choose([]int{3, 3, 3, 3}, 12, 1<<20)
+		if plan.Time <= 0 {
+			t.Fatalf("call %d: non-positive exchange time %v", i, plan.Time)
+		}
+		if got := m.EffRate(); got != seed {
+			t.Fatalf("call %d: EffRate ratcheted to %v (seed %v)", i, got, seed)
+		}
+	}
+}
+
+// TestObserveStillFeedsExternalMeasurements pins that Observe (the
+// external-measurement path) still moves the rate — the fix removed the
+// self-feedback, not the EWMA.
+func TestObserveStillFeedsExternalMeasurements(t *testing.T) {
+	m := NewCostModel(0, 0)
+	m.Observe(1000, 2000*time.Nanosecond) // measured 2 ns/B
+	if got := m.EffRate(); got != 2.0 {
+		t.Fatalf("EffRate after first observation = %v, want 2.0", got)
+	}
+	m.Observe(1000, 4000*time.Nanosecond) // EWMA: 0.75·2 + 0.25·4
+	if got := m.EffRate(); got != 2.5 {
+		t.Fatalf("EffRate after second observation = %v, want 2.5", got)
+	}
+	m.Observe(0, time.Second) // byte-free: no rate signal
+	if got := m.EffRate(); got != 2.5 {
+		t.Fatalf("EffRate after byte-free observation = %v, want 2.5", got)
+	}
+}
+
+// TestPredictNextIncludesPerMessageTerm pins the prediction fix: a sparse
+// frontier's exchange is dominated by message setup — K·(K−1) push
+// messages or the pull broadcast's 2K — so the prediction must be at
+// least the cheaper mode's message bill, not the near-zero byte cost the
+// old bytes-only computation produced.
+func TestPredictNextIncludesPerMessageTerm(t *testing.T) {
+	m := NewCostModel(0, 0)
+	k, n := 4, 1<<20
+	got := m.PredictNext(1, n, k)
+
+	// The cheaper mode cannot beat its own message floor: min(K·(K−1), 2K)
+	// messages at the per-message cost.
+	pushMsgs := int64(k) * int64(k-1)
+	pullMsgs := 2 * int64(k)
+	minMsgs := pushMsgs
+	if pullMsgs < minMsgs {
+		minMsgs = pullMsgs
+	}
+	floor := time.Duration(float64(minMsgs) * DefaultPerMsgNs)
+	if got < floor {
+		t.Fatalf("sparse prediction %v below the per-message floor %v", got, floor)
+	}
+
+	// And it must price exactly like Choose does for the same modeled
+	// volumes (rate seeded, so EffRate == nsPerByte).
+	push, pull := exchangeVolumes(uniformCounts(1, k), 1, n, k)
+	want := m.Price(push.Bytes, push.Msgs)
+	if pt := m.Price(pull.Bytes, pull.Msgs); pt < want {
+		want = pt
+	}
+	if got != want {
+		t.Fatalf("prediction %v != Price of the cheaper modeled plan %v", got, want)
+	}
+}
+
+// TestPredictNextZeroAtK1 pins the unsharded shortcut.
+func TestPredictNextZeroAtK1(t *testing.T) {
+	m := NewCostModel(0, 0)
+	if got := m.PredictNext(100, 1000, 1); got != 0 {
+		t.Fatalf("K=1 prediction = %v, want 0", got)
+	}
+}

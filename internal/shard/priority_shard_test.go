@@ -1,0 +1,129 @@
+package shard_test
+
+import (
+	"fmt"
+	"testing"
+
+	"husgraph/internal/algos"
+	"husgraph/internal/core"
+	"husgraph/internal/gen"
+	"husgraph/internal/graph"
+	"husgraph/internal/shard"
+)
+
+// freshPriorityProg returns a new instance per run: Coreness carries the
+// per-bucket peel threshold, so instances must never be shared across runs.
+func freshPriorityProg(name string, src graph.VertexID) core.Program {
+	switch name {
+	case "SSSP-Delta":
+		return algos.DeltaSSSP{Source: src, Delta: 2}
+	case "Coreness":
+		return &algos.Coreness{}
+	default:
+		panic("unknown program " + name)
+	}
+}
+
+// TestShardBucketedBitIdenticalAcrossK is the bucketed acceptance property:
+// the coordinator routes the merged frontier through one bucket router at
+// the barrier, so K ∈ {2,4} must replay K=1's bucket sequence exactly —
+// bit-identical values, same iteration count, and the same per-iteration
+// (Bucketed, BucketPri, BucketPending) metadata.
+func TestShardBucketedBitIdenticalAcrossK(t *testing.T) {
+	for gname, g0 := range testGraphs(t) {
+		for _, pname := range []string{"SSSP-Delta", "Coreness"} {
+			t.Run(gname+"/"+pname, func(t *testing.T) {
+				g := g0
+				src := gen.BFSSource(g)
+				if freshPriorityProg(pname, src).NeedsSymmetric() {
+					g = g.Symmetrize()
+				}
+				runK := func(k int) *core.Result {
+					co, err := shard.New(buildStore(t, g, 8), shard.Config{
+						Config: core.Config{Threads: 4}, Shards: k,
+					})
+					if err != nil {
+						t.Fatal(err)
+					}
+					res, err := co.Run(freshPriorityProg(pname, src))
+					if err != nil {
+						t.Fatal(err)
+					}
+					return res
+				}
+				base := runK(1)
+				if !base.Converged {
+					t.Fatal("K=1 did not converge")
+				}
+				for _, k := range []int{2, 4} {
+					got := runK(k)
+					tag := fmt.Sprintf("K=%d", k)
+					wantSameValues(t, tag, got.Values, base.Values)
+					if got.Converged != base.Converged {
+						t.Fatalf("%s: Converged = %v, want %v", tag, got.Converged, base.Converged)
+					}
+					if len(got.Iterations) != len(base.Iterations) {
+						t.Fatalf("%s: %d iterations, want %d", tag, len(got.Iterations), len(base.Iterations))
+					}
+					for i := range base.Iterations {
+						gi, bi := got.Iterations[i], base.Iterations[i]
+						if !gi.Bucketed || gi.BucketPri != bi.BucketPri || gi.BucketPending != bi.BucketPending {
+							t.Fatalf("%s iter %d: bucket sequence diverges: got {bucketed=%v pri=%d pending=%d} want {pri=%d pending=%d}",
+								tag, i, gi.Bucketed, gi.BucketPri, gi.BucketPending, bi.BucketPri, bi.BucketPending)
+						}
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestShardBucketedMatchesOracle closes the loop at K=2 against the serial
+// references, so sharded bucketed runs are pinned to ground truth and not
+// just to each other.
+func TestShardBucketedMatchesOracle(t *testing.T) {
+	g := testGraphs(t)["rmat"]
+	src := gen.BFSSource(g)
+
+	co, err := shard.New(buildStore(t, g, 8), shard.Config{Config: core.Config{Threads: 4}, Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := co.Run(algos.DeltaSSSP{Source: src, Delta: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantSameValues(t, "SSSP-Delta/K=2", res.Values, algos.OracleBellmanFord(g, src))
+
+	sym := g.Symmetrize()
+	co, err = shard.New(buildStore(t, sym, 8), shard.Config{Config: core.Config{Threads: 4}, Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err = co.Run(&algos.Coreness{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantSameValues(t, "Coreness/K=2", res.Values, algos.OracleCoreness(sym))
+}
+
+// TestShardPriorityRejectsCheckpointing pins the coordinator-side guard
+// (the worker engines never see RunContext, so the coordinator must reject
+// checkpointed or resumed priority runs itself).
+func TestShardPriorityRejectsCheckpointing(t *testing.T) {
+	g := testGraphs(t)["tree"].Symmetrize()
+	for _, mod := range []func(*shard.Config){
+		func(c *shard.Config) { c.CheckpointEvery = 1 },
+		func(c *shard.Config) { c.Resume = true },
+	} {
+		cfg := shard.Config{Config: core.Config{Threads: 2}, Shards: 2}
+		mod(&cfg)
+		co, err := shard.New(buildStore(t, g, 8), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := co.Run(&algos.Coreness{}); err == nil {
+			t.Fatal("priority program with checkpointing did not error")
+		}
+	}
+}

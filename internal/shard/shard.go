@@ -164,6 +164,16 @@ func (c *Coordinator) RunContext(ctx context.Context, prog core.Program) (*core.
 	s := values
 	d := make([]float64, n)
 	res := &core.Result{Values: s}
+	// Priority programs route through one coordinator-owned bucket router:
+	// the merged frontier is parked and popped at the barrier exactly as an
+	// unsharded run's own loop would, which keeps every K bit-identical.
+	var router *core.BucketRouter
+	if pp, ok := prog.(core.PriorityProgram); ok {
+		if c.cfg.CheckpointEvery > 0 || c.cfg.Resume {
+			return nil, fmt.Errorf("shard: priority program %s cannot run with checkpointing or resume: parked bucket state is not derivable from a value checkpoint", prog.Name())
+		}
+		router = core.NewBucketRouter(pp, n)
+	}
 	startRetries := eng0.Retries()
 	startHedges := eng0.Hedges()
 	startUnused := make([]int64, c.k)
@@ -192,6 +202,17 @@ func (c *Coordinator) RunContext(ctx context.Context, prog core.Program) (*core.
 				prev.eng.FinishRun()
 			}
 			return nil, err
+		}
+	}
+	if router != nil {
+		// Seed after StartRun (which resets each engine's bucket state):
+		// park the init frontier and open the first bucket, then hand every
+		// worker engine the barrier hint. The workers have not spawned yet,
+		// so the writes are trivially ordered before any iteration.
+		var hint core.BucketHint
+		frontier, hint = router.Route(frontier, s)
+		for _, w := range c.workers {
+			w.eng.SetBucketHint(hint)
 		}
 	}
 	c.quit = make(chan struct{})
@@ -300,7 +321,19 @@ func (c *Coordinator) RunContext(ctx context.Context, prog core.Program) (*core.
 		if c.cfg.OnIteration != nil {
 			c.cfg.OnIteration(st)
 		}
-		frontier = next
+		if router != nil {
+			// Route the one merged (and at K>1, reindexed) frontier and
+			// republish the hint; the workers are parked in their select
+			// until the next command, so the coordinator owns the engines'
+			// bucket fields here and the command channel publishes them.
+			var hint core.BucketHint
+			frontier, hint = router.Route(next, s)
+			for _, w := range c.workers {
+				w.eng.SetBucketHint(hint)
+			}
+		} else {
+			frontier = next
+		}
 
 		if c.cfg.CheckpointEvery > 0 && (iter+1)%c.cfg.CheckpointEvery == 0 {
 			if err := eng0.WriteCheckpoint(prog, iter+1, s, frontier); err != nil {
@@ -309,7 +342,10 @@ func (c *Coordinator) RunContext(ctx context.Context, prog core.Program) (*core.
 			res.Recovery.CheckpointsWritten++
 		}
 
-		if prog.Kind() != core.Monotone && c.cfg.Tolerance > 0 && st.MaxDelta < c.cfg.Tolerance {
+		// Tolerance never terminates a bucketed run: a quiescent iteration
+		// only settles the current bucket; convergence is structural (the
+		// router runs out of live vertices and routes an empty frontier).
+		if router == nil && prog.Kind() != core.Monotone && c.cfg.Tolerance > 0 && st.MaxDelta < c.cfg.Tolerance {
 			res.Converged = true
 			break
 		}
@@ -412,6 +448,11 @@ func (c *Coordinator) combine(iter int, frontier *bitset.Frontier, header core.I
 		Model:          msgs[0].Stats.Model,
 		PredictedROP:   header.PredictedROP,
 		PredictedCOP:   header.PredictedCOP,
+		// Every shard engine got the same barrier hint, so shard 0's
+		// bucket fields are the run's.
+		Bucketed:      msgs[0].Stats.Bucketed,
+		BucketPri:     msgs[0].Stats.BucketPri,
+		BucketPending: msgs[0].Stats.BucketPending,
 	}
 	var maxRuntime, sumRuntime time.Duration
 	for i := range msgs {
